@@ -1,0 +1,173 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment driver
+// on a calibrated budget and logs the table it produced, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation (the bench output of a run is
+// recorded in EXPERIMENTS.md against the paper's numbers). Single-run
+// simulator throughput benchmarks are at the bottom.
+package catch_test
+
+import (
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/experiments"
+	"catch/internal/workloads"
+)
+
+// benchBudget is the per-figure budget used by the benchmarks: all 70
+// workloads at a reduced instruction count, so each figure completes in
+// tens of seconds while preserving the published shape.
+func benchBudget() experiments.Budget {
+	return experiments.Budget{Insts: 200_000, Warmup: 100_000, Mixes: 8}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, benchBudget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Logf("\n%s", t.Print())
+			}
+		}
+	}
+}
+
+// BenchmarkFig1RemoveL2 regenerates Figure 1: the performance impact of
+// removing the L2 at iso-capacity and iso-area (paper: -7.8% / -5.1%).
+func BenchmarkFig1RemoveL2(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3LatencySensitivity regenerates Figure 3: +1/2/3-cycle
+// latency sensitivity per cache level (paper: L1 -2.4/-4.8/-7.2%).
+func BenchmarkFig3LatencySensitivity(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4CriticalityOracle regenerates Figure 4: converting ALL
+// vs only non-critical hits at each level to the next level's latency.
+func BenchmarkFig4CriticalityOracle(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5OraclePrefetch regenerates Figure 5: the zero-time
+// oracle prefetcher versus tracked critical PC count (32…2048, All,
+// noL2+2048).
+func BenchmarkFig5OraclePrefetch(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig10CATCHExclusive regenerates Figure 10: CATCH on the
+// large-L2 exclusive baseline (the headline +8.4% / two-level results).
+func BenchmarkFig10CATCHExclusive(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Timeliness regenerates Figure 11: TACT prefetch source
+// and latency-saved buckets (paper: ~88% from LLC, >85% saving >80%).
+func BenchmarkFig11Timeliness(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12PerWorkload regenerates Figure 12: per-workload
+// performance ratios for the noL2 and CATCH configurations.
+func BenchmarkFig12PerWorkload(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13TACTComponents regenerates Figure 13: the cumulative
+// Code → +Cross → +Deep → +Feeder component breakdown over noL2.
+func BenchmarkFig13TACTComponents(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Multiprogrammed regenerates Figure 14: 4-way MP
+// weighted speedups (paper: noL2 -4.1%, noL2+CATCH +8.5%, CATCH +9.0%).
+func BenchmarkFig14Multiprogrammed(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15LLCLatency regenerates Figure 15: sensitivity of noL2
+// and two-level CATCH to +6/+12 LLC cycles.
+func BenchmarkFig15LLCLatency(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16Energy regenerates Figure 16: energy savings of the
+// two-level CATCH hierarchy (paper: ~11% average).
+func BenchmarkFig16Energy(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17Inclusive regenerates Figure 17: CATCH on the
+// small-L2 inclusive baseline (paper: noL2 -5.7% … CATCH +10.3%).
+func BenchmarkFig17Inclusive(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkTable1Area regenerates Table I / Fig 9: the hardware budget
+// of the detector graph (~3KB) and TACT structures (~1.2KB).
+func BenchmarkTable1Area(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkAreaPerfTradeoff runs the extension experiment: chip-level
+// cache area versus performance across hierarchy designs (§VI-E).
+func BenchmarkAreaPerfTradeoff(b *testing.B) { runExperiment(b, "area") }
+
+// --- raw simulator throughput ---------------------------------------------
+
+func benchSim(b *testing.B, cfgName, workload string) {
+	b.Helper()
+	cfg, ok := experiments.ConfigByName(cfgName)
+	if !ok {
+		b.Fatalf("config %s", cfgName)
+	}
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		b.Fatalf("workload %s", workload)
+	}
+	const insts = 100_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(cfg)
+		res := sys.RunST(w.NewGen(), insts, 20_000)
+		if res.IPC <= 0 {
+			b.Fatal("no progress")
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSimBaseline measures raw simulation speed of the baseline.
+func BenchmarkSimBaseline(b *testing.B) { benchSim(b, "baseline-excl", "hmmer") }
+
+// BenchmarkSimCATCH measures simulation speed with the detector and
+// TACT active (the extra cost of the CATCH hardware models).
+func BenchmarkSimCATCH(b *testing.B) { benchSim(b, "catch", "hmmer") }
+
+// BenchmarkSimMP measures 4-core multi-programmed simulation speed.
+func BenchmarkSimMP(b *testing.B) {
+	cfg, _ := experiments.ConfigByName("baseline-excl")
+	cfg.Cores = 4
+	mix := workloads.Mixes()[0]
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(cfg)
+		sys.RunMP(mix.Gens(), 30_000, 10_000)
+	}
+}
+
+// BenchmarkSystemConstruction measures system build cost (cache
+// allocation dominates).
+func BenchmarkSystemConstruction(b *testing.B) {
+	cfg := config.BaselineExclusive()
+	for i := 0; i < b.N; i++ {
+		core.NewSystem(cfg)
+	}
+}
+
+// --- extension experiments -------------------------------------------------
+
+// BenchmarkExtTableSize sweeps the critical-load table size (§VI-D2).
+func BenchmarkExtTableSize(b *testing.B) { runExperiment(b, "ext-tablesize") }
+
+// BenchmarkExtMSHR ablates the demand-miss fill-buffer count.
+func BenchmarkExtMSHR(b *testing.B) { runExperiment(b, "ext-mshr") }
+
+// BenchmarkExtDeepDistance ablates the deep-self distance cap.
+func BenchmarkExtDeepDistance(b *testing.B) { runExperiment(b, "ext-deepdist") }
+
+// BenchmarkExtReplacement checks CATCH orthogonality to LLC replacement.
+func BenchmarkExtReplacement(b *testing.B) { runExperiment(b, "ext-replacement") }
+
+// BenchmarkExtHeuristics compares criticality sources driving CATCH.
+func BenchmarkExtHeuristics(b *testing.B) { runExperiment(b, "ext-heuristics") }
+
+// BenchmarkExtBranchPred swaps trace-flagged speculation for a gshare
+// predictor and checks the CATCH conclusion survives.
+func BenchmarkExtBranchPred(b *testing.B) { runExperiment(b, "ext-branchpred") }
+
+// BenchmarkExtSharedCode quantifies code replication vs sharing (§II).
+func BenchmarkExtSharedCode(b *testing.B) { runExperiment(b, "ext-sharedcode") }

@@ -1,0 +1,52 @@
+// Command catchexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	catchexp -exp fig10                 # one experiment
+//	catchexp -exp all                   # the full evaluation
+//	catchexp -exp fig1 -insts 500000    # custom budget
+//	catchexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"catch/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "fig10", "experiment id, or 'all'")
+		insts  = flag.Int64("insts", 300_000, "measured instructions per workload")
+		warmup = flag.Int64("warmup", 150_000, "warmup instructions per workload")
+		nwl    = flag.Int("workloads", 0, "restrict to N workloads (0 = all 70)")
+		mixes  = flag.Int("mixes", 16, "number of MP mixes for fig14 (0 = all 60)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	b := experiments.Budget{Insts: *insts, Warmup: *warmup, Workloads: *nwl, Mixes: *mixes}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		tables, err := experiments.Run(id, b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Print())
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command catchsim runs one workload on one system configuration and
+// prints detailed statistics.
+//
+// Usage:
+//
+//	catchsim -workload mcf -config catch -n 300000 -warmup 50000
+//	catchsim -list            # list workloads
+//	catchsim -configs         # list configurations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"catch/internal/core"
+	"catch/internal/experiments"
+	"catch/internal/stats"
+	"catch/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf", "workload name (see -list)")
+		cfgName  = flag.String("config", "baseline-excl", "configuration name (see -configs)")
+		n        = flag.Int64("n", 300_000, "instructions to measure")
+		warmup   = flag.Int64("warmup", 60_000, "warmup instructions")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		configs  = flag.Bool("configs", false, "list configurations and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		byCat := workloads.ByCategory()
+		cats := make([]string, 0, len(byCat))
+		for c := range byCat {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			fmt.Printf("%s:\n", c)
+			for _, w := range byCat[c] {
+				fmt.Printf("  %s\n", w.WName)
+			}
+		}
+		return
+	}
+	if *configs {
+		for _, name := range experiments.ConfigNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
+		os.Exit(1)
+	}
+	cfg, ok := experiments.ConfigByName(*cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown config %q (try -configs)\n", *cfgName)
+		os.Exit(1)
+	}
+
+	sys := core.NewSystem(cfg)
+	res := sys.RunST(w.NewGen(), *n, *warmup)
+	printResult(&res)
+}
+
+func printResult(r *core.Result) {
+	fmt.Printf("workload      %s (%s)\n", r.Workload, r.Category)
+	fmt.Printf("config        %s\n", r.Config)
+	fmt.Printf("instructions  %d\n", r.Insts)
+	fmt.Printf("cycles        %d\n", r.Cycles)
+	fmt.Printf("IPC           %.4f\n", r.IPC)
+	fmt.Printf("mispredicts   %d\n", r.Mispredicts)
+	fmt.Printf("code stalls   %d\n", r.CodeStalls)
+	fmt.Println()
+	h := &r.Hier
+	fmt.Printf("loads         %d  (L1 %.1f%%  L2 %.1f%%  LLC %.1f%%  mem %.1f%%)\n",
+		h.Loads,
+		100*stats.Ratio(h.LoadL1, h.Loads), 100*stats.Ratio(h.LoadL2, h.Loads),
+		100*stats.Ratio(h.LoadLLC, h.Loads), 100*stats.Ratio(h.LoadMem, h.Loads))
+	fmt.Printf("fetch lines   %d  (L1 %.1f%%  L2 %.1f%%  LLC %.1f%%  mem %.1f%%)\n",
+		h.Fetches,
+		100*stats.Ratio(h.FetchL1, h.Fetches), 100*stats.Ratio(h.FetchL2, h.Fetches),
+		100*stats.Ratio(h.FetchLLC, h.Fetches), 100*stats.Ratio(h.FetchMem, h.Fetches))
+	fmt.Printf("stores        %d  (L1 hit %.1f%%)\n", h.Stores, 100*stats.Ratio(h.StoreL1Hit, h.Stores))
+	fmt.Printf("load MPKI     %.2f\n", r.LoadMPKI())
+	fmt.Printf("DRAM          reads %d  writes %d  row-hit %.1f%%  avg lat %.0f cyc\n",
+		r.DRAM.Reads, r.DRAM.Writes,
+		100*stats.Ratio(r.DRAM.RowHits, r.DRAM.RowHits+r.DRAM.RowMisses+r.DRAM.RowConflicts),
+		avg(r.DRAM.TotalReadLat, r.DRAM.Reads))
+	fmt.Println()
+	if r.Crit.Walks > 0 {
+		fmt.Printf("criticality   walks %d  path-loads %d  recorded %d  criticalPCs %d\n",
+			r.Crit.Walks, r.Crit.PathLoads, r.Crit.RecordedLoads, r.CriticalPCs)
+	}
+	t := &r.Tact
+	if h.TactIssued > 0 || t.CodeIssued > 0 || r.CodePfIssued > 0 {
+		fmt.Printf("TACT issued   %d  (filled from L2 %d, LLC %d; dropped present %d, miss %d)\n",
+			h.TactIssued, h.TactFilledL2, h.TactFilledLLC, h.TactDropPresent, h.TactDropMiss)
+		fmt.Printf("TACT compnts  dist1 %d  deep %d  cross %d  feeder %d  (trained: cross %d feeder %d)\n",
+			t.Dist1Issued, t.DeepIssued, t.CrossIssued, t.FeederIssued, t.CrossTrained, t.FeederTrained)
+		fmt.Printf("TACT used     %d\n", h.TactUsed)
+		if hist := h.TactTimeliness; hist != nil && hist.Total > 0 {
+			fmt.Printf("timeliness    <10%% saved: %.1f%%   10-80%%: %.1f%%   >80%%: %.1f%%\n",
+				100*hist.Fraction(0), 100*hist.Fraction(1), 100*hist.Fraction(2))
+		}
+		fmt.Printf("code prefetch learned %d  issued %d\n", r.CodePfLearned, r.CodePfIssued)
+	}
+	if r.ConvertedLoads > 0 {
+		fmt.Printf("converted     %d loads (%.1f%%)\n", r.ConvertedLoads, 100*r.ConvertedFrac())
+	}
+}
+
+func avg(total, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}

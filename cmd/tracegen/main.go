@@ -1,0 +1,91 @@
+// Command tracegen inspects the synthetic workload traces: instruction
+// mix, data/code footprint, branch behaviour, and a sample of the
+// stream. Useful when adding or calibrating workloads.
+//
+//	tracegen -workload mcf -n 100000
+//	tracegen -workload mcf -dump 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"catch/internal/trace"
+	"catch/internal/workloads"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "mcf", "workload name")
+		n    = flag.Int("n", 100_000, "instructions to analyze")
+		dump = flag.Int("dump", 0, "also print the first N instructions")
+	)
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	g := w.NewGen()
+
+	var (
+		in        trace.Inst
+		opCounts  [trace.NumOps]int
+		dataLines = map[uint64]bool{}
+		codeLines = map[uint64]bool{}
+		branches  int
+		mispreds  int
+	)
+	for i := 0; i < *n; i++ {
+		g.Next(&in)
+		opCounts[in.Op]++
+		codeLines[in.PC&^63] = true
+		if in.IsMem() {
+			dataLines[in.Addr&^63] = true
+		}
+		if in.Op == trace.OpBranch {
+			branches++
+			if in.Mispred {
+				mispreds++
+			}
+		}
+		if i < *dump {
+			fmt.Printf("%6d  pc=%#08x %-6s dst=%2d src=%2d,%2d addr=%#x\n",
+				i, in.PC, in.Op, in.Dst, in.Src1, in.Src2, in.Addr)
+		}
+	}
+
+	fmt.Printf("workload        %s (%s), seed %#x\n", w.WName, w.WCategory, w.Seed)
+	fmt.Printf("instructions    %d\n", *n)
+	fmt.Println("instruction mix:")
+	type opn struct {
+		op trace.Op
+		n  int
+	}
+	var mix []opn
+	for op, c := range opCounts {
+		if c > 0 {
+			mix = append(mix, opn{trace.Op(op), c})
+		}
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	for _, m := range mix {
+		fmt.Printf("  %-8s %8d (%5.1f%%)\n", m.op, m.n, 100*float64(m.n)/float64(*n))
+	}
+	fmt.Printf("data footprint  %d lines (%.1f KB)\n", len(dataLines), float64(len(dataLines))*64/1024)
+	fmt.Printf("code footprint  %d lines (%.1f KB)\n", len(codeLines), float64(len(codeLines))*64/1024)
+	if branches > 0 {
+		fmt.Printf("branches        %d (%.2f%% mispredicted)\n", branches, 100*float64(mispreds)/float64(branches))
+	}
+	if pw, ok := g.(trace.Prewarmer); ok {
+		var total uint64
+		for _, r := range pw.PrewarmRegions() {
+			total += r.Size
+		}
+		fmt.Printf("prewarm regions %d (%.1f KB declared resident)\n",
+			len(pw.PrewarmRegions()), float64(total)/1024)
+	}
+}

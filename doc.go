@@ -1,0 +1,20 @@
+// Package catch is a reproduction of "Criticality Aware Tiered Cache
+// Hierarchy: A Fundamental Relook at Multi-level Cache Hierarchies"
+// (Nori, Gaur, Rai, Subramoney, Wang — ISCA 2018).
+//
+// The library lives under internal/: an out-of-order core timing model
+// (internal/cpu), a multi-level cache hierarchy with inclusive and
+// exclusive LLCs (internal/cache), DRAM and ring models
+// (internal/memory, internal/interconnect), baseline stride/stream
+// prefetchers (internal/prefetch), the paper's hardware criticality
+// detector (internal/criticality) and TACT prefetchers (internal/tact),
+// the synthetic workload suite (internal/trace, internal/workloads),
+// and the per-figure experiment drivers (internal/experiments).
+//
+// Entry points: cmd/catchsim (single run), cmd/catchexp (regenerate the
+// paper's tables and figures), cmd/tracegen (workload inspection), and
+// the runnable examples under examples/.
+//
+// The benchmarks in bench_test.go regenerate every evaluated table and
+// figure; see EXPERIMENTS.md for paper-versus-measured numbers.
+package catch

@@ -1,0 +1,80 @@
+// Hierarchy explorer: the paper's §VI-E claim is that CATCH is a
+// framework for chip-level area/performance/power trade-offs. This
+// example sweeps hierarchy designs — the three-level baseline, CATCH on
+// top of it, and two-level CATCH designs at several LLC sizes — and
+// prints area, performance and energy for each so the trade-off frontier
+// is visible.
+//
+//	go run ./examples/hierarchy_explorer
+package main
+
+import (
+	"fmt"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/power"
+	"catch/internal/stats"
+	"catch/internal/workloads"
+)
+
+func main() {
+	const (
+		insts  = 100_000
+		warmup = 60_000
+		nWork  = 20 // spread across categories
+	)
+
+	type design struct {
+		name string
+		cfg  config.SystemConfig
+	}
+	base := config.BaselineExclusive()
+	designs := []design{
+		{"3-level baseline (1MB L2 + 5.5MB LLC)", base},
+		{"3-level + CATCH", config.WithCATCH(base, "catch")},
+		{"2-level CATCH, 5.5MB LLC", config.WithCATCH(config.NoL2(base, 5632*config.KB, 11, ""), "c55")},
+		{"2-level CATCH, 6.5MB LLC", config.WithCATCH(config.NoL2(base, 6656*config.KB, 13, ""), "c65")},
+		{"2-level CATCH, 9.5MB LLC (iso-area)", config.WithCATCH(config.NoL2(base, 9728*config.KB, 19, ""), "c95")},
+	}
+
+	wls := workloads.StudyList(nWork)
+	am := power.DefaultAreaModel()
+	em := power.DefaultEnergyModel()
+
+	type row struct {
+		name   string
+		area   float64
+		ipc    float64
+		energy float64
+	}
+	var rows []row
+	for _, d := range designs {
+		var ipcs []float64
+		var energy float64
+		for _, w := range wls {
+			r := core.NewSystem(d.cfg).RunST(w.NewGen(), insts, warmup)
+			ipcs = append(ipcs, r.IPC)
+			energy += em.Energy(&d.cfg, &r).TotalUJ
+		}
+		fourCore := d.cfg
+		fourCore.Cores = 4
+		rows = append(rows, row{
+			name:   d.name,
+			area:   am.CacheAreaMM2(&fourCore),
+			ipc:    stats.Geomean(ipcs),
+			energy: energy,
+		})
+	}
+
+	baseRow := rows[0]
+	fmt.Printf("%-40s %12s %12s %12s\n", "design", "area (mm²)", "perf", "energy")
+	for _, r := range rows {
+		fmt.Printf("%-40s %12.1f %+11.1f%% %+11.1f%%\n",
+			r.name, r.area,
+			(r.ipc/baseRow.ipc-1)*100,
+			(r.energy/baseRow.energy-1)*100)
+	}
+	fmt.Println("\narea is 4-core cache area; perf is geomean IPC vs the baseline;")
+	fmt.Println("energy is total cache+ring+DRAM energy vs the baseline.")
+}

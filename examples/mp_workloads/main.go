@@ -1,0 +1,69 @@
+// Multi-programmed example: run a 4-way mix on the shared-LLC system
+// (paper §VI-C) and report per-core IPC and weighted speedup for the
+// baseline and the CATCH hierarchy.
+//
+//	go run ./examples/mp_workloads [mix-index]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/workloads"
+)
+
+func main() {
+	const (
+		insts  = 80_000
+		warmup = 40_000
+	)
+	idx := 31 // first random mix
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil {
+			idx = v
+		}
+	}
+	mixes := workloads.Mixes()
+	if idx < 0 || idx >= len(mixes) {
+		fmt.Fprintf(os.Stderr, "mix index out of range (0..%d)\n", len(mixes)-1)
+		os.Exit(1)
+	}
+	mix := mixes[idx]
+	fmt.Printf("mix %s: %s, %s, %s, %s\n\n", mix.Name,
+		mix.Parts[0].WName, mix.Parts[1].WName, mix.Parts[2].WName, mix.Parts[3].WName)
+
+	for _, variant := range []struct {
+		label string
+		cfg   config.SystemConfig
+	}{
+		{"baseline", config.BaselineExclusive()},
+		{"CATCH", config.WithCATCH(config.BaselineExclusive(), "catch")},
+	} {
+		cfg := variant.cfg
+		cfg.Cores = 4
+
+		// Weighted speedup needs each part's IPC running alone.
+		alone := map[string]float64{}
+		for _, p := range mix.Parts {
+			if _, ok := alone[p.WName]; ok {
+				continue
+			}
+			r := core.NewSystem(cfg).RunST(p.NewGen(), insts, warmup)
+			alone[p.WName] = r.IPC
+		}
+
+		rs := core.NewSystem(cfg).RunMP(mix.Gens(), insts, warmup)
+		ws := 0.0
+		fmt.Printf("— %s —\n", variant.label)
+		for i, r := range rs {
+			rel := r.IPC / alone[mix.Parts[i].WName]
+			ws += rel
+			fmt.Printf("  core %d %-16s IPC %.3f (%.0f%% of solo)\n",
+				i, r.Workload, r.IPC, rel*100)
+		}
+		fmt.Printf("  weighted speedup: %.3f / 4\n\n", ws)
+	}
+}

@@ -1,0 +1,3 @@
+module catch
+
+go 1.22

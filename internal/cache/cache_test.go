@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestCache(size uint64, ways int) *Cache {
+	return New(Config{Name: "t", Size: size, Ways: ways, HitLat: 5})
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := newTestCache(32*1024, 8)
+	if c.Sets != 64 {
+		t.Fatalf("32KB 8-way: sets = %d, want 64", c.Sets)
+	}
+	c = newTestCache(5632*1024, 11)
+	if c.Sets != 8192 {
+		t.Fatalf("5.5MB 11-way: sets = %d, want 8192", c.Sets)
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := newTestCache(4096, 4)
+	if _, hit := c.Lookup(0x1000); hit {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000, 10, 0, false, PfNone)
+	l, hit := c.Lookup(0x1000)
+	if !hit {
+		t.Fatal("fill then lookup missed")
+	}
+	if l.FillTime != 10 {
+		t.Fatalf("fill time = %d", l.FillTime)
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats wrong: %+v", c.Stats)
+	}
+}
+
+func TestCacheSameLineDifferentOffsets(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Fill(0x1000, 0, 0, false, PfNone)
+	if _, hit := c.Lookup(0x1020); !hit {
+		t.Fatal("same-line offset missed")
+	}
+	if _, hit := c.Lookup(0x1040); hit {
+		t.Fatal("next line hit spuriously")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newTestCache(4*64, 4)                   // one set, 4 ways
+	addrs := []uint64{0, 64 * 1, 64 * 2, 64 * 3} // all map to set 0... need same set
+	// With 1 set every line maps to set 0.
+	for _, a := range addrs {
+		c.Fill(a, 0, 0, false, PfNone)
+	}
+	// Touch addr 0 to make it MRU; fill a 5th line -> victim must be 64.
+	c.Lookup(0)
+	v := c.Fill(64*9, 0, 0, false, PfNone)
+	if !v.Valid || v.Addr != 64 {
+		t.Fatalf("LRU victim = %+v, want addr 64", v)
+	}
+	if _, hit := c.Lookup(0); !hit {
+		t.Fatal("MRU line evicted")
+	}
+}
+
+func TestCacheDirtyVictim(t *testing.T) {
+	c := newTestCache(64, 1) // one line
+	c.Fill(0, 0, 0, true, PfNone)
+	v := c.Fill(64, 0, 0, false, PfNone)
+	if !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Fatalf("dirty victim wrong: %+v", v)
+	}
+	if c.Stats.DirtyEvictions != 1 {
+		t.Fatalf("dirty eviction not counted: %+v", c.Stats)
+	}
+}
+
+func TestCacheRefillMergesDirty(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Fill(0x1000, 0, 0, true, PfNone)
+	v := c.Fill(0x1000, 5, 0, false, PfNone)
+	if v.Valid {
+		t.Fatalf("refill of present line produced victim %+v", v)
+	}
+	l := c.Probe(0x1000)
+	if l == nil || !l.Dirty {
+		t.Fatal("refill dropped dirty bit")
+	}
+}
+
+func TestCacheMarkDirty(t *testing.T) {
+	c := newTestCache(4096, 4)
+	if c.MarkDirty(0x2000) {
+		t.Fatal("MarkDirty hit on absent line")
+	}
+	c.Fill(0x2000, 0, 0, false, PfNone)
+	if !c.MarkDirty(0x2000) {
+		t.Fatal("MarkDirty missed present line")
+	}
+	if !c.Probe(0x2000).Dirty {
+		t.Fatal("dirty bit not set")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Fill(0x3000, 0, 0, true, PfNone)
+	present, dirty := c.Invalidate(0x3000)
+	if !present || !dirty {
+		t.Fatalf("invalidate returned %v %v", present, dirty)
+	}
+	if _, hit := c.Lookup(0x3000); hit {
+		t.Fatal("line survived invalidation")
+	}
+	if p, _ := c.Invalidate(0x3000); p {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestCacheProbeNoSideEffects(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Fill(0x1000, 0, 0, false, PfNone)
+	before := c.Stats
+	c.Probe(0x1000)
+	c.Probe(0x9999000)
+	if c.Stats != before {
+		t.Fatal("Probe changed statistics")
+	}
+}
+
+func TestCachePrefetchAccounting(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Fill(0x1000, 0, 40, false, PfTACT)
+	if c.Stats.PrefetchFills != 1 {
+		t.Fatal("prefetch fill not counted")
+	}
+	l, _ := c.Lookup(0x1000)
+	c.NoteDemandUse(l)
+	if c.Stats.PrefetchUsed != 1 || l.Prefetch != PfNone {
+		t.Fatal("demand use of prefetched line not credited")
+	}
+	c.NoteDemandUse(l)
+	if c.Stats.PrefetchUsed != 1 {
+		t.Fatal("double-credited prefetch use")
+	}
+}
+
+func TestCacheUnusedPrefetchEvictionCounted(t *testing.T) {
+	c := newTestCache(64, 1)
+	c.Fill(0, 0, 40, false, PfTACT)
+	c.Fill(64, 0, 0, false, PfNone)
+	if c.Stats.PrefetchEvictedUnused != 1 {
+		t.Fatalf("unused prefetch eviction not counted: %+v", c.Stats)
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Fill(0, 0, 0, false, PfNone)
+	c.Lookup(0)
+	c.Lookup(64)
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", hr)
+	}
+}
+
+// Property: a filled line is always findable until evicted, and fills
+// never exceed capacity.
+func TestCacheOccupancyProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := newTestCache(8192, 4)
+		resident := make(map[uint64]bool)
+		for _, a32 := range addrs {
+			a := uint64(a32) &^ 63
+			v := c.Fill(a, 0, 0, false, PfNone)
+			resident[a] = true
+			if v.Valid {
+				delete(resident, v.Addr)
+			}
+		}
+		if len(resident) > 8192/64 {
+			return false
+		}
+		for a := range resident {
+			if c.Probe(a) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := newTestCache(4096, 4)
+	c.Lookup(0)
+	c.ResetStats()
+	if c.Stats != (Stats{}) {
+		t.Fatal("ResetStats left counters")
+	}
+}

@@ -1,0 +1,154 @@
+package cache
+
+// Policy abstracts the replacement policy of a cache set. Lines carry a
+// small per-line metadata byte (Line.Meta) that belongs to the policy.
+//
+// LRU is the default everywhere (the paper's configuration); RRIP-class
+// policies [Jaleel et al., ISCA'10 — the paper's reference 18] are
+// provided for the ext-replacement study, since the paper positions
+// CATCH as orthogonal to LLC replacement research.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// OnHit updates state when way is hit.
+	OnHit(set []Line, way int)
+	// OnFill updates state when way is (re)filled.
+	OnFill(set []Line, way int, setIdx int)
+	// Victim picks the way to replace (invalid ways are chosen by the
+	// cache before the policy is consulted).
+	Victim(set []Line, setIdx int) int
+}
+
+// rrpv constants for 2-bit RRIP.
+const (
+	rrpvMax  = 3 // distant re-reference
+	rrpvLong = 2 // long re-reference (SRRIP insertion)
+	rrpvNear = 0 // near-immediate (promotion on hit)
+)
+
+// SRRIP is static RRIP: insert at "long", promote to "near" on hit,
+// evict the first line predicted "distant", aging the set as needed.
+type SRRIP struct{}
+
+// Name implements Policy.
+func (SRRIP) Name() string { return "srrip" }
+
+// OnHit implements Policy.
+func (SRRIP) OnHit(set []Line, way int) { set[way].Meta = rrpvNear }
+
+// OnFill implements Policy.
+func (SRRIP) OnFill(set []Line, way int, _ int) { set[way].Meta = rrpvLong }
+
+// Victim implements Policy.
+func (SRRIP) Victim(set []Line, _ int) int {
+	for {
+		for i := range set {
+			if set[i].Meta >= rrpvMax {
+				return i
+			}
+		}
+		for i := range set {
+			set[i].Meta++
+		}
+	}
+}
+
+// BRRIP is bimodal RRIP: inserts at "distant" most of the time and at
+// "long" with low probability, protecting the cache from thrashing
+// access patterns.
+type BRRIP struct {
+	ctr uint32
+}
+
+// Name implements Policy.
+func (*BRRIP) Name() string { return "brrip" }
+
+// OnHit implements Policy.
+func (*BRRIP) OnHit(set []Line, way int) { set[way].Meta = rrpvNear }
+
+// OnFill implements Policy.
+func (b *BRRIP) OnFill(set []Line, way int, _ int) {
+	b.ctr++
+	if b.ctr%32 == 0 {
+		set[way].Meta = rrpvLong
+	} else {
+		set[way].Meta = rrpvMax
+	}
+}
+
+// Victim implements Policy.
+func (*BRRIP) Victim(set []Line, _ int) int { return SRRIP{}.Victim(set, 0) }
+
+// DRRIP set-duels SRRIP against BRRIP: a few leader sets are dedicated
+// to each policy; misses in leader sets steer a saturating selector
+// that the follower sets obey.
+type DRRIP struct {
+	sets    int
+	psel    int // >=0: SRRIP, <0: BRRIP
+	pselMax int
+	brrip   BRRIP
+}
+
+// NewDRRIP builds a DRRIP policy for a cache with the given set count.
+func NewDRRIP(sets int) *DRRIP {
+	return &DRRIP{sets: sets, pselMax: 512}
+}
+
+// leader returns +1 for SRRIP leader sets, -1 for BRRIP leaders, 0 for
+// followers (every 32nd set alternates).
+func (d *DRRIP) leader(setIdx int) int {
+	if setIdx%32 == 0 {
+		return +1
+	}
+	if setIdx%32 == 16 {
+		return -1
+	}
+	return 0
+}
+
+// Name implements Policy.
+func (d *DRRIP) Name() string { return "drrip" }
+
+// OnHit implements Policy.
+func (d *DRRIP) OnHit(set []Line, way int) { set[way].Meta = rrpvNear }
+
+// OnFill implements Policy. Fills into leader sets update the duel.
+func (d *DRRIP) OnFill(set []Line, way int, setIdx int) {
+	switch d.leader(setIdx) {
+	case +1: // SRRIP leader: a fill here means an SRRIP-set miss
+		if d.psel > -d.pselMax {
+			d.psel--
+		}
+		SRRIP{}.OnFill(set, way, setIdx)
+	case -1:
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+		d.brrip.OnFill(set, way, setIdx)
+	default:
+		if d.psel >= 0 {
+			SRRIP{}.OnFill(set, way, setIdx)
+		} else {
+			d.brrip.OnFill(set, way, setIdx)
+		}
+	}
+}
+
+// Victim implements Policy.
+func (d *DRRIP) Victim(set []Line, _ int) int { return SRRIP{}.Victim(set, 0) }
+
+// PolicyByName constructs a replacement policy ("lru" returns nil: the
+// cache's built-in LRU).
+func PolicyByName(name string, sets int) Policy {
+	switch name {
+	case "", "lru":
+		return nil
+	case "srrip":
+		return SRRIP{}
+	case "brrip":
+		return &BRRIP{}
+	case "drrip":
+		return NewDRRIP(sets)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package cache
+
+import "testing"
+
+func TestPolicyByName(t *testing.T) {
+	if PolicyByName("lru", 64) != nil || PolicyByName("", 64) != nil {
+		t.Fatal("LRU must be the nil (built-in) policy")
+	}
+	for _, n := range []string{"srrip", "brrip", "drrip"} {
+		p := PolicyByName(n, 64)
+		if p == nil || p.Name() != n {
+			t.Fatalf("policy %q not constructed", n)
+		}
+	}
+	if PolicyByName("bogus", 64) != nil {
+		t.Fatal("unknown policy must fall back to LRU")
+	}
+}
+
+func TestSRRIPInsertAndPromote(t *testing.T) {
+	set := make([]Line, 4)
+	p := SRRIP{}
+	p.OnFill(set, 0, 0)
+	if set[0].Meta != rrpvLong {
+		t.Fatalf("SRRIP insertion RRPV = %d", set[0].Meta)
+	}
+	p.OnHit(set, 0)
+	if set[0].Meta != rrpvNear {
+		t.Fatalf("SRRIP hit RRPV = %d", set[0].Meta)
+	}
+}
+
+func TestSRRIPVictimAging(t *testing.T) {
+	set := make([]Line, 4)
+	p := SRRIP{}
+	for i := range set {
+		set[i].Valid = true
+		p.OnFill(set, i, 0)
+	}
+	p.OnHit(set, 2) // protect way 2
+	v := p.Victim(set, 0)
+	if v == 2 {
+		t.Fatal("SRRIP evicted the protected (near) way")
+	}
+	// Aging must have occurred: at least one way at max RRPV.
+	found := false
+	for i := range set {
+		if set[i].Meta >= rrpvMax {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("victim search did not age the set")
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	set := make([]Line, 1)
+	p := &BRRIP{}
+	distant := 0
+	for i := 0; i < 320; i++ {
+		p.OnFill(set, 0, 0)
+		if set[0].Meta == rrpvMax {
+			distant++
+		}
+	}
+	if distant < 280 {
+		t.Fatalf("BRRIP inserted distant only %d/320 times", distant)
+	}
+	if distant == 320 {
+		t.Fatal("BRRIP never inserted long")
+	}
+}
+
+func TestDRRIPDuel(t *testing.T) {
+	d := NewDRRIP(64)
+	set := make([]Line, 4)
+	// Misses in the SRRIP leader set (index 0) push psel toward BRRIP.
+	for i := 0; i < 100; i++ {
+		d.OnFill(set, 0, 0)
+	}
+	if d.psel >= 0 {
+		t.Fatalf("psel did not move toward BRRIP: %d", d.psel)
+	}
+	// Misses in the BRRIP leader set (index 16) push it back.
+	for i := 0; i < 300; i++ {
+		d.OnFill(set, 0, 16)
+	}
+	if d.psel <= 0 {
+		t.Fatalf("psel did not move toward SRRIP: %d", d.psel)
+	}
+}
+
+func TestCacheWithRRIPScanResistance(t *testing.T) {
+	// A hot set re-referenced between one-shot scan lines: RRIP should
+	// keep more of the hot set than LRU.
+	run := func(policy string) uint64 {
+		c := New(Config{Name: "t", Size: 16 * 64, Ways: 16, HitLat: 5})
+		c.SetPolicy(policy)
+		hot := make([]uint64, 6)
+		for i := range hot {
+			hot[i] = uint64(i * 64 * 1) // same set (1 set total)
+		}
+		var hits uint64
+		scan := uint64(1 << 20)
+		for round := 0; round < 200; round++ {
+			for _, a := range hot {
+				if _, ok := c.Lookup(a); ok {
+					hits++
+				} else {
+					c.Fill(a, 0, 0, false, PfNone)
+				}
+			}
+			// 12 one-shot scan lines.
+			for k := 0; k < 12; k++ {
+				scan += 64
+				if _, ok := c.Lookup(scan); !ok {
+					c.Fill(scan, 0, 0, false, PfNone)
+				}
+			}
+		}
+		return hits
+	}
+	lru, srrip := run("lru"), run("srrip")
+	if srrip < lru {
+		t.Fatalf("SRRIP (%d hits) not scan-resistant vs LRU (%d hits)", srrip, lru)
+	}
+}
+
+func TestHierarchyWithDRRIPLLC(t *testing.T) {
+	h := newTestHier(true, false)
+	h.LLC.SetPolicy("drrip")
+	driveRandom(h, 20000, 99, 1<<21)
+	if h.LLC.PolicyName() != "drrip" {
+		t.Fatal("policy not installed")
+	}
+	if h.Stats.Loads == 0 {
+		t.Fatal("no loads")
+	}
+	// Exclusive invariant must hold under any policy.
+	violations := 0
+	forEachValid(h.L2, func(addr uint64, l *Line) {
+		if h.LLC.Probe(addr) != nil {
+			violations++
+		}
+	})
+	if violations > 0 {
+		t.Fatalf("%d exclusive violations under DRRIP", violations)
+	}
+}

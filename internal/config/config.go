@@ -1,0 +1,261 @@
+// Package config defines the named system configurations evaluated in
+// the paper: the Skylake-like large-L2/exclusive-LLC baseline, the
+// small-L2/inclusive-LLC baseline, the two-level (noL2) variants at
+// iso-capacity and iso-area, and the CATCH-enabled versions of each.
+package config
+
+import (
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/criticality"
+	"catch/internal/memory"
+	"catch/internal/tact"
+)
+
+// KB and MB are size helpers.
+const (
+	KB = 1024
+	MB = 1024 * KB
+)
+
+// ConvertSpec is the Fig 4 oracle latency-conversion experiment: hits
+// at level From are served at ToLat instead of their natural latency
+// (state transitions are unchanged). When OnlyNonCritical is set, loads
+// marked critical by the detector keep their natural latency.
+type ConvertSpec struct {
+	From            cache.HitLevel
+	ToLat           int64
+	OnlyNonCritical bool
+}
+
+// SystemConfig describes one complete system.
+type SystemConfig struct {
+	Name  string
+	Cores int
+
+	CPU cpu.Params
+
+	L1ISize, L1DSize uint64
+	L1Ways           int
+	L1Lat            int64
+
+	HasL2  bool
+	L2Size uint64
+	L2Ways int
+	L2Lat  int64
+
+	LLCSize   uint64 // total shared capacity
+	LLCWays   int
+	LLCLat    int64
+	Inclusive bool
+	LLCPolicy string // "lru" (default), "srrip", "brrip", "drrip"
+
+	DRAM       memory.Config
+	RingStops  int
+	RingHopLat int64
+
+	// MSHRs bounds demand L1 misses in flight per core (fill buffers).
+	MSHRs int
+
+	// GsharePredictorBits, when non-zero, installs a gshare branch
+	// predictor with 2^bits counters in place of the trace's
+	// misprediction flags (ext-branchpred study).
+	GsharePredictorBits int
+
+	// SharedCode maps code addresses identically across cores, so
+	// symmetric (RATE-style) multi-programmed runs share code lines in
+	// the LLC instead of replicating them per core — the paper's §II
+	// observation about code replication in private caches.
+	SharedCode bool
+
+	// Baseline prefetchers (paper §V: stride at L1, aggressive
+	// multi-stream into L2/LLC).
+	BaselineStride bool
+	BaselineStream bool
+	StreamDegree   int
+	StreamCount    int
+
+	// CATCH: hardware criticality detection + TACT prefetchers.
+	EnableCriticality bool
+	// CritSource selects the criticality mechanism: "" or "graph" for
+	// the paper's DDG detector, "feedsbranch" or "robstall" for the
+	// literature's heuristics (ext-heuristics study).
+	CritSource string
+	CritTable  criticality.TableConfig
+	CritRecord criticality.LevelMask
+	Tact       tact.Config
+	EnableTact bool
+
+	// Oracle studies.
+	OraclePrefetch   bool // §III-C zero-time promote of critical L1 misses
+	OracleAllLoads   bool // promote every load (the "All PC" point)
+	OracleCodeAllHit bool // all code accesses hit the L1I
+	Convert          *ConvertSpec
+}
+
+// MemLatApprox is the approximate load-to-use memory latency used by
+// Fig 4's "LLC hits at memory latency" conversion.
+const MemLatApprox = 200
+
+func defaults(name string) SystemConfig {
+	p := cpu.DefaultParams()
+	return SystemConfig{
+		Name:  name,
+		Cores: 1,
+		CPU:   p,
+
+		L1ISize: 32 * KB,
+		L1DSize: 32 * KB,
+		L1Ways:  8,
+		L1Lat:   5,
+
+		LLCLat: 40,
+
+		DRAM:       memory.DDR4_2400(),
+		RingStops:  8,
+		RingHopLat: 2,
+		MSHRs:      10,
+
+		BaselineStride: true,
+		BaselineStream: true,
+		StreamDegree:   2,
+		StreamCount:    16,
+
+		CritTable:  criticality.DefaultTableConfig(),
+		CritRecord: criticality.DefaultMask,
+		Tact:       tact.DefaultConfig(),
+	}
+}
+
+// BaselineExclusive is the paper's primary baseline: 1MB private L2 per
+// core and a 5.5MB shared exclusive LLC (Skylake-server-like).
+func BaselineExclusive() SystemConfig {
+	c := defaults("baseline-excl")
+	c.HasL2 = true
+	c.L2Size = 1 * MB
+	c.L2Ways = 16
+	c.L2Lat = 15
+	c.LLCSize = 5632 * KB // 5.5 MB
+	c.LLCWays = 11
+	c.Inclusive = false
+	return c
+}
+
+// BaselineInclusive is the Skylake-client-like baseline: 256KB L2 and
+// an 8MB shared inclusive LLC (§VI-F).
+func BaselineInclusive() SystemConfig {
+	c := defaults("baseline-incl")
+	c.HasL2 = true
+	c.L2Size = 256 * KB
+	c.L2Ways = 16
+	c.L2Lat = 13
+	c.LLCSize = 8 * MB
+	c.LLCWays = 16
+	c.Inclusive = true
+	return c
+}
+
+// NoL2 removes the L2 and sets the LLC to the given total capacity
+// (6.5MB keeps per-core capacity constant; 9.5MB is iso-area).
+func NoL2(base SystemConfig, llcSize uint64, ways int, name string) SystemConfig {
+	c := base
+	c.Name = name
+	c.HasL2 = false
+	c.L2Size = 0
+	c.LLCSize = llcSize
+	c.LLCWays = ways
+	return c
+}
+
+// WithCATCH enables the criticality detector and the TACT prefetchers.
+func WithCATCH(base SystemConfig, name string) SystemConfig {
+	c := base
+	c.Name = name
+	c.EnableCriticality = true
+	c.EnableTact = true
+	return c
+}
+
+// WithLatencyDelta adds cycles to the hit latency of one level (Fig 3
+// and Fig 15 sensitivity studies).
+func WithLatencyDelta(base SystemConfig, level cache.HitLevel, cycles int64, name string) SystemConfig {
+	c := base
+	c.Name = name
+	switch level {
+	case cache.HitL1:
+		c.L1Lat += cycles
+		c.CPU.L1IHitLat += cycles
+	case cache.HitL2:
+		c.L2Lat += cycles
+	case cache.HitLLC:
+		c.LLCLat += cycles
+	}
+	return c
+}
+
+// WithOraclePrefetch configures the §III-C oracle: track critical loads
+// with a table of trackPCs entries (0 means "All PC": promote every
+// load), promote their L1 misses at zero time, make all code hit, and
+// disable the hardware prefetchers (their training interacts with the
+// oracle, per the paper).
+func WithOraclePrefetch(base SystemConfig, trackPCs int, name string) SystemConfig {
+	c := base
+	c.Name = name
+	c.EnableCriticality = true
+	c.OraclePrefetch = true
+	c.OracleCodeAllHit = true
+	c.BaselineStride = false
+	c.BaselineStream = false
+	if trackPCs <= 0 {
+		c.OracleAllLoads = true
+	} else {
+		c.CritTable = criticality.TableConfig{Entries: trackPCs, Ways: 8, ConfSat: 3}
+		if trackPCs > 1024 {
+			c.CritTable.Unlimited = true
+		}
+	}
+	return c
+}
+
+// WithConvert configures a Fig 4 latency-conversion experiment.
+func WithConvert(base SystemConfig, spec ConvertSpec, record criticality.LevelMask, name string) SystemConfig {
+	c := base
+	c.Name = name
+	c.EnableCriticality = true
+	c.CritRecord = record
+	sp := spec
+	c.Convert = &sp
+	return c
+}
+
+// LevelLat returns the configured hit latency of a level.
+func (c *SystemConfig) LevelLat(l cache.HitLevel) int64 {
+	switch l {
+	case cache.HitL1:
+		return c.L1Lat
+	case cache.HitL2:
+		return c.L2Lat
+	case cache.HitLLC:
+		return c.LLCLat
+	case cache.HitMem:
+		return MemLatApprox
+	}
+	return 0
+}
+
+// PerCoreCacheBytes returns the private cache capacity per core plus
+// the LLC share (used in area accounting).
+func (c *SystemConfig) PerCoreCacheBytes() uint64 {
+	b := c.L1ISize + c.L1DSize
+	if c.HasL2 {
+		b += c.L2Size
+	}
+	return b + c.LLCSize/uint64(maxInt(c.Cores, 1))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

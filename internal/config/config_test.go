@@ -1,0 +1,121 @@
+package config
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+)
+
+func TestBaselineExclusiveParameters(t *testing.T) {
+	c := BaselineExclusive()
+	if c.L2Size != 1*MB || c.LLCSize != 5632*KB || c.Inclusive {
+		t.Fatalf("exclusive baseline wrong: %+v", c)
+	}
+	if c.L1Lat != 5 || c.L2Lat != 15 || c.LLCLat != 40 {
+		t.Fatalf("latencies wrong: %d %d %d", c.L1Lat, c.L2Lat, c.LLCLat)
+	}
+	if c.CPU.Width != 4 || c.CPU.ROB != 224 {
+		t.Fatalf("core params wrong: %+v", c.CPU)
+	}
+	if !c.BaselineStride || !c.BaselineStream {
+		t.Fatal("baseline prefetchers disabled")
+	}
+}
+
+func TestBaselineInclusiveParameters(t *testing.T) {
+	c := BaselineInclusive()
+	if c.L2Size != 256*KB || c.LLCSize != 8*MB || !c.Inclusive {
+		t.Fatalf("inclusive baseline wrong: %+v", c)
+	}
+}
+
+func TestNoL2(t *testing.T) {
+	c := NoL2(BaselineExclusive(), 6656*KB, 13, "nol2")
+	if c.HasL2 || c.L2Size != 0 {
+		t.Fatal("NoL2 left an L2")
+	}
+	if c.LLCSize != 6656*KB || c.LLCWays != 13 {
+		t.Fatalf("LLC not resized: %+v", c)
+	}
+	if c.Name != "nol2" {
+		t.Fatal("name not set")
+	}
+}
+
+func TestWithCATCH(t *testing.T) {
+	c := WithCATCH(BaselineExclusive(), "catch")
+	if !c.EnableCriticality || !c.EnableTact {
+		t.Fatal("CATCH not enabled")
+	}
+	if c.CritTable.Entries != 32 {
+		t.Fatalf("critical table size %d", c.CritTable.Entries)
+	}
+	// The base must be unmodified (value semantics).
+	if BaselineExclusive().EnableTact {
+		t.Fatal("mutation leaked into base config")
+	}
+}
+
+func TestWithLatencyDelta(t *testing.T) {
+	c := WithLatencyDelta(BaselineExclusive(), cache.HitL2, 6, "l2+6")
+	if c.L2Lat != 21 {
+		t.Fatalf("L2 latency %d", c.L2Lat)
+	}
+	c = WithLatencyDelta(BaselineExclusive(), cache.HitL1, 3, "l1+3")
+	if c.L1Lat != 8 || c.CPU.L1IHitLat != 8 {
+		t.Fatalf("L1 latencies %d/%d", c.L1Lat, c.CPU.L1IHitLat)
+	}
+}
+
+func TestWithOraclePrefetch(t *testing.T) {
+	c := WithOraclePrefetch(BaselineExclusive(), 64, "oracle")
+	if !c.OraclePrefetch || !c.OracleCodeAllHit || c.OracleAllLoads {
+		t.Fatalf("oracle flags wrong: %+v", c)
+	}
+	if c.CritTable.Entries != 64 {
+		t.Fatalf("oracle table size %d", c.CritTable.Entries)
+	}
+	if c.BaselineStride || c.BaselineStream {
+		t.Fatal("oracle config kept hardware prefetchers")
+	}
+	all := WithOraclePrefetch(BaselineExclusive(), 0, "oracle-all")
+	if !all.OracleAllLoads {
+		t.Fatal("All-PC oracle not configured")
+	}
+	big := WithOraclePrefetch(BaselineExclusive(), 2048, "oracle-big")
+	if !big.CritTable.Unlimited {
+		t.Fatal("large oracle table not unlimited")
+	}
+}
+
+func TestWithConvert(t *testing.T) {
+	spec := ConvertSpec{From: cache.HitL2, ToLat: 40, OnlyNonCritical: true}
+	c := WithConvert(BaselineExclusive(), spec, 2, "conv")
+	if c.Convert == nil || c.Convert.From != cache.HitL2 || !c.Convert.OnlyNonCritical {
+		t.Fatalf("convert spec wrong: %+v", c.Convert)
+	}
+	if !c.EnableCriticality {
+		t.Fatal("conversion without detector")
+	}
+}
+
+func TestLevelLat(t *testing.T) {
+	c := BaselineExclusive()
+	if c.LevelLat(cache.HitL1) != 5 || c.LevelLat(cache.HitL2) != 15 ||
+		c.LevelLat(cache.HitLLC) != 40 || c.LevelLat(cache.HitMem) != MemLatApprox {
+		t.Fatal("LevelLat wrong")
+	}
+}
+
+func TestPerCoreCacheBytes(t *testing.T) {
+	c := BaselineExclusive()
+	want := uint64(32*KB + 32*KB + 1*MB + 5632*KB)
+	if got := c.PerCoreCacheBytes(); got != want {
+		t.Fatalf("per-core bytes %d, want %d", got, want)
+	}
+	c.Cores = 4
+	want = uint64(32*KB + 32*KB + 1*MB + 5632*KB/4)
+	if got := c.PerCoreCacheBytes(); got != want {
+		t.Fatalf("4-core bytes %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/config"
+	"catch/internal/stats"
+	"catch/internal/workloads"
+)
+
+// These tests validate that the synthetic workload suite lands in the
+// microarchitectural regimes the paper's Table II categories were
+// chosen for — the load-hit structure, front-end pressure, and
+// criticality concentration that the whole evaluation depends on.
+
+func runAllQuick(t *testing.T, cfg config.SystemConfig, n int) []Result {
+	t.Helper()
+	wls := workloads.StudyList(n)
+	out := make([]Result, 0, len(wls))
+	for _, w := range wls {
+		sys := NewSystem(cfg)
+		out = append(out, sys.RunST(w.NewGen(), 30_000, 20_000))
+	}
+	return out
+}
+
+func TestAverageL1HitRateInPaperRegime(t *testing.T) {
+	// Paper §III-A: "we observed an average 85% L1 hit rate on our
+	// study list". Accept a generous band around it.
+	rs := runAllQuick(t, config.BaselineExclusive(), 24)
+	var hr []float64
+	for i := range rs {
+		hr = append(hr, rs[i].L1LoadHitRate())
+	}
+	avg := stats.Mean(hr)
+	if avg < 0.70 || avg > 0.97 {
+		t.Fatalf("average L1 load hit rate %.2f outside the paper's regime (~0.85)", avg)
+	}
+}
+
+func TestServerWorkloadsHaveFrontEndPressure(t *testing.T) {
+	// Server category: large code footprints must produce L1I misses
+	// in the baseline (the paper's motivation for L2 code benefits).
+	for _, name := range []string{"tpcc", "oracle-db", "specjbb"} {
+		r := runWorkload(t, name, config.BaselineExclusive())
+		miss := r.Hier.Fetches - r.Hier.FetchL1
+		if miss == 0 {
+			t.Fatalf("%s: no code L1 misses", name)
+		}
+	}
+}
+
+func TestStreamWorkloadsAreMemoryBound(t *testing.T) {
+	for _, name := range []string{"libquantum", "stream-triad", "lbm"} {
+		r := runWorkload(t, name, config.BaselineExclusive())
+		if r.DRAM.Reads == 0 {
+			t.Fatalf("%s: no DRAM traffic", name)
+		}
+	}
+}
+
+func TestChaseWorkloadsSerializeLoads(t *testing.T) {
+	// Pointer-chase workloads expose the latency of the level their
+	// list lives at: bfs's chase set sits beyond the L2, so extra LLC
+	// latency must visibly slow it, unlike an L1-resident compute code.
+	base := runWorkload(t, "bfs", config.BaselineExclusive())
+	slow := runWorkload(t, "bfs",
+		config.WithLatencyDelta(config.BaselineExclusive(), cache.HitLLC, 12, "llc+12"))
+	if slow.IPC >= base.IPC*0.995 {
+		t.Fatalf("chase workload insensitive to LLC latency: %.3f vs %.3f", slow.IPC, base.IPC)
+	}
+	cBase := runWorkload(t, "gamess", config.BaselineExclusive())
+	cSlow := runWorkload(t, "gamess",
+		config.WithLatencyDelta(config.BaselineExclusive(), cache.HitLLC, 12, "llc+12"))
+	if cSlow.IPC < cBase.IPC*0.98 {
+		t.Fatalf("L1-resident compute workload too LLC-sensitive: %.3f vs %.3f", cSlow.IPC, cBase.IPC)
+	}
+}
+
+func TestCriticalityConcentration(t *testing.T) {
+	// The premise of Fig 5: a small number of PCs carries the
+	// criticality. The detector table must not be thrashing on typical
+	// workloads (povray is the deliberate exception).
+	cfg := config.WithCATCH(config.BaselineExclusive(), "catch")
+	for _, name := range []string{"hmmer", "mcf", "xalancbmk"} {
+		r := runWorkload(t, name, cfg)
+		if r.CriticalPCs == 0 {
+			t.Fatalf("%s: no critical PCs found", name)
+		}
+		if r.CriticalPCs > 32 {
+			t.Fatalf("%s: critical PCs exceed the table (%d)", name, r.CriticalPCs)
+		}
+	}
+}
+
+func TestCategoriesDifferInBehaviour(t *testing.T) {
+	// The five categories must not collapse into one behaviour: their
+	// mean L1 hit rates should span a visible range.
+	rs := runAllQuick(t, config.BaselineExclusive(), 30)
+	byCat := map[string][]float64{}
+	for i := range rs {
+		byCat[rs[i].Category] = append(byCat[rs[i].Category], rs[i].L1LoadHitRate())
+	}
+	min, max := 1.0, 0.0
+	for _, v := range byCat {
+		m := stats.Mean(v)
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max-min < 0.02 {
+		t.Fatalf("categories indistinguishable: L1 hit-rate spread %.3f", max-min)
+	}
+}
+
+func TestPrewarmRaisesOnDieHits(t *testing.T) {
+	// Prewarming must move first-touch misses on die: compare a run
+	// with prewarm (normal) against cold caches by measuring memory
+	// loads early in a run for a capacity workload.
+	r := runWorkload(t, "sphinx3", config.BaselineExclusive())
+	memFrac := float64(r.Hier.LoadMem) / float64(r.Hier.Loads)
+	if memFrac > 0.5 {
+		t.Fatalf("sphinx3 memory-load fraction %.2f despite prewarm", memFrac)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/config"
+	"catch/internal/workloads"
+)
+
+// Tests of the oracle machinery (§III-C) and the latency-conversion
+// machinery (§III-B) at system level.
+
+func TestOracleAllLoadsGEQTracked(t *testing.T) {
+	w, _ := workloads.ByName("hmmer")
+	run := func(cfg config.SystemConfig) float64 {
+		return NewSystem(cfg).RunST(w.NewGen(), testInsts, testWarmup).IPC
+	}
+	tracked := run(config.WithOraclePrefetch(config.BaselineExclusive(), 32, "o32"))
+	all := run(config.WithOraclePrefetch(config.BaselineExclusive(), 0, "oall"))
+	if all < tracked*0.98 {
+		t.Fatalf("All-PC oracle (%.3f) below 32-PC oracle (%.3f)", all, tracked)
+	}
+}
+
+func TestOracleOnNoL2MatchesWithL2(t *testing.T) {
+	// Paper Fig 5's last bar: with the oracle in play, removing the L2
+	// costs (almost) nothing.
+	w, _ := workloads.ByName("hmmer")
+	withL2 := config.WithOraclePrefetch(config.BaselineExclusive(), 2048, "o")
+	noL2 := config.WithOraclePrefetch(
+		config.NoL2(config.BaselineExclusive(), 6656*config.KB, 13, "n"), 2048, "on")
+	a := NewSystem(withL2).RunST(w.NewGen(), testInsts, testWarmup).IPC
+	b := NewSystem(noL2).RunST(w.NewGen(), testInsts, testWarmup).IPC
+	if b < a*0.93 {
+		t.Fatalf("oracle noL2 (%.3f) far below oracle with L2 (%.3f)", b, a)
+	}
+}
+
+func TestConvertCountsMatchLevels(t *testing.T) {
+	// Converting ALL hits at a level must convert exactly the loads
+	// served at that level.
+	spec := config.ConvertSpec{From: cache.HitL2, ToLat: 40}
+	cfg := config.WithConvert(config.BaselineExclusive(), spec, 0, "conv")
+	r := runWorkload(t, "hmmer", cfg)
+	if r.ConvertedLoads != r.Hier.LoadL2 {
+		t.Fatalf("converted %d loads but %d were L2 hits", r.ConvertedLoads, r.Hier.LoadL2)
+	}
+}
+
+func TestConvertL1CostsMoreThanL2(t *testing.T) {
+	// The paper's Fig 4 ordering: converting all L1 hits hurts far more
+	// than converting all L2 hits.
+	l1 := config.WithConvert(config.BaselineExclusive(),
+		config.ConvertSpec{From: cache.HitL1, ToLat: 15}, 0, "l1conv")
+	l2 := config.WithConvert(config.BaselineExclusive(),
+		config.ConvertSpec{From: cache.HitL2, ToLat: 40}, 0, "l2conv")
+	base := runWorkload(t, "xalancbmk", config.BaselineExclusive())
+	r1 := runWorkload(t, "xalancbmk", l1)
+	r2 := runWorkload(t, "xalancbmk", l2)
+	loss1 := 1 - r1.IPC/base.IPC
+	loss2 := 1 - r2.IPC/base.IPC
+	if loss1 <= loss2 {
+		t.Fatalf("L1 conversion loss %.3f not above L2 conversion loss %.3f", loss1, loss2)
+	}
+}
+
+func TestGshareSystemRuns(t *testing.T) {
+	cfg := config.BaselineExclusive()
+	cfg.GsharePredictorBits = 12
+	r := runWorkload(t, "gobmk", cfg)
+	if r.IPC <= 0 {
+		t.Fatal("no progress with gshare installed")
+	}
+	if r.Mispredicts == 0 {
+		t.Fatal("gshare produced zero mispredictions on branchy code")
+	}
+}
+
+func TestSharedCodeReducesColdCodeMemoryFetches(t *testing.T) {
+	// RATE-4 with shared code: once one core has pulled a code line on
+	// die, its siblings find it in the shared LLC, so far fewer code
+	// fetches go to memory than with per-core replicated code.
+	mix := workloads.Mixes()[1] // rate4-gcc: a big-code server workload
+	memFetches := func(shared bool) uint64 {
+		// Inclusive LLC: memory fills allocate in the shared LLC, so
+		// sharing is visible on the cold path (an exclusive LLC only
+		// holds victims, where sharing shows up gradually instead).
+		cfg := config.BaselineInclusive()
+		cfg.Cores = 4
+		cfg.SharedCode = shared
+		sys := NewSystem(cfg)
+		// No warmup: the cold path is exactly what sharing changes.
+		rs := sys.RunMP(mix.Gens(), 20_000, 0)
+		var m uint64
+		for _, r := range rs {
+			m += r.Hier.FetchMem
+		}
+		return m
+	}
+	repl, shared := memFetches(false), memFetches(true)
+	if repl == 0 {
+		t.Fatal("no cold code fetches in the replicated run")
+	}
+	if shared >= repl {
+		t.Fatalf("shared code did not reduce memory code fetches: %d vs %d", shared, repl)
+	}
+}
+
+func TestHeuristicSourceDrivesCATCH(t *testing.T) {
+	cfg := config.WithCATCH(config.BaselineExclusive(), "catch-heur")
+	cfg.CritSource = "robstall"
+	r := runWorkload(t, "hmmer", cfg)
+	if r.Hier.TactIssued == 0 {
+		t.Fatal("TACT idle under heuristic criticality source")
+	}
+}

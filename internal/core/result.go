@@ -1,0 +1,90 @@
+// Package core assembles the full CATCH system: the OOO timing model,
+// the cache hierarchy, the baseline prefetchers, the hardware
+// criticality detector and the TACT prefetchers, for single-core and
+// 4-way multi-programmed simulation.
+package core
+
+import (
+	"catch/internal/cache"
+	"catch/internal/criticality"
+	"catch/internal/interconnect"
+	"catch/internal/memory"
+	"catch/internal/tact"
+)
+
+// Result captures everything measured in one run.
+type Result struct {
+	Workload string
+	Category string
+	Config   string
+
+	Insts  int64
+	Cycles int64
+	IPC    float64
+
+	Mispredicts int64
+	CodeStalls  int64
+
+	Hier  cache.HierStats
+	L1D   cache.Stats
+	L1I   cache.Stats
+	L2    cache.Stats // zero-valued when the config has no L2
+	HasL2 bool
+	LLC   cache.Stats
+	DRAM  memory.Stats
+	Ring  interconnect.Stats
+
+	Crit criticality.Stats
+	Tact tact.Stats
+
+	CriticalPCs    int
+	ConvertedLoads uint64
+	CodePfLearned  uint64
+	CodePfIssued   uint64
+}
+
+// L1LoadHitRate returns the fraction of demand loads served by the L1.
+func (r *Result) L1LoadHitRate() float64 {
+	if r.Hier.Loads == 0 {
+		return 0
+	}
+	return float64(r.Hier.LoadL1) / float64(r.Hier.Loads)
+}
+
+// LoadMPKI returns LLC load misses per kilo-instruction.
+func (r *Result) LoadMPKI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.Hier.LoadMem) * 1000 / float64(r.Insts)
+}
+
+// ConvertedFrac returns the fraction of demand loads whose latency the
+// Fig 4 conversion inflated.
+func (r *Result) ConvertedFrac() float64 {
+	if r.Hier.Loads == 0 {
+		return 0
+	}
+	return float64(r.ConvertedLoads) / float64(r.Hier.Loads)
+}
+
+// CacheTraffic returns total lookups+fills across on-die caches (power
+// proxy, §VI-E).
+func (r *Result) CacheTraffic() uint64 {
+	t := r.L1D.Lookups + r.L1D.Fills + r.L1I.Lookups + r.L1I.Fills +
+		r.LLC.Lookups + r.LLC.Fills
+	if r.HasL2 {
+		t += r.L2.Lookups + r.L2.Fills
+	}
+	return t
+}
+
+// OuterCacheTraffic returns L2+LLC lookups+fills — the "cache traffic"
+// the paper's §VI-E example counts when comparing hierarchies.
+func (r *Result) OuterCacheTraffic() uint64 {
+	t := r.LLC.Lookups + r.LLC.Fills
+	if r.HasL2 {
+		t += r.L2.Lookups + r.L2.Fills
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/trace"
+)
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(12)
+	pc := uint64(0x1000)
+	// Always-taken branch: after warmup the predictor must be right.
+	for i := 0; i < 100; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Fatal("gshare did not learn an always-taken branch")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	g := NewGshare(12)
+	pc := uint64(0x2000)
+	// T,N,T,N... is captured by global history after warmup.
+	taken := true
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 180 {
+		t.Fatalf("gshare got only %d/200 on a strict alternation", correct)
+	}
+}
+
+func TestGshareRandomIsHard(t *testing.T) {
+	g := NewGshare(12)
+	rng := trace.NewRNG(5)
+	pc := uint64(0x3000)
+	wrong := 0
+	for i := 0; i < 10000; i++ {
+		taken := rng.Bool(0.5)
+		if g.Predict(pc) != taken {
+			wrong++
+		}
+		g.Update(pc, taken)
+	}
+	rate := float64(wrong) / 10000
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("random stream misprediction rate %.2f implausible", rate)
+	}
+}
+
+func TestGshareBitsClamped(t *testing.T) {
+	small := NewGshare(0)
+	big := NewGshare(40)
+	if len(small.table) != 1<<4 || len(big.table) != 1<<24 {
+		t.Fatalf("bits not clamped: %d, %d", len(small.table), len(big.table))
+	}
+}
+
+func TestCoreWithPredictorOverridesTraceFlags(t *testing.T) {
+	c := New(DefaultParams())
+	c.BP = NewGshare(12)
+	c.Ports.Load = fixedLoad(5, cache.HitL1)
+	// A well-behaved loop branch flagged "mispredicted" in the trace:
+	// with a real predictor the flag must be ignored once learned.
+	for i := 0; i < 4000; i++ {
+		in := trace.Inst{PC: 0x1000, Op: trace.OpBranch, Dst: trace.NoReg,
+			Src1: trace.NoReg, Src2: trace.NoReg, Taken: true, Mispred: true}
+		c.Step(&in)
+	}
+	rate := float64(c.Mispredicts) / float64(c.Branches)
+	if rate > 0.05 {
+		t.Fatalf("predictor did not override trace flags: mispredict rate %.3f", rate)
+	}
+	g := c.BP.(*Gshare)
+	if g.Predicts == 0 {
+		t.Fatal("gshare stats not tracked")
+	}
+}

@@ -1,0 +1,263 @@
+package cpu
+
+import (
+	"catch/internal/cache"
+	"catch/internal/trace"
+)
+
+// Retired describes one committed instruction, in program order, with
+// the timing and dependency information the criticality detector
+// consumes (§IV-A: the OOO provides data/memory dependencies and bad
+// speculation information at retirement).
+type Retired struct {
+	Inst     trace.Inst
+	Seq      int64 // global instruction index
+	D        int64 // allocation (dispatch into the OOO)
+	E        int64 // dispatch to execution (operands ready)
+	W        int64 // write-back (E + execution latency)
+	C        int64 // commit
+	Lat      int64 // execution latency
+	HitLevel cache.HitLevel
+	// Producer sequence numbers: Src1, Src2 register producers and the
+	// forwarding store (-1 when absent).
+	Dep [3]int64
+}
+
+// Ports connects the core to the rest of the system. All hooks are
+// optional except Load.
+type Ports struct {
+	// Load returns the load-to-use latency and serving level for a
+	// demand load whose address is ready at the given cycle.
+	Load func(in *trace.Inst, ready int64) (int64, cache.HitLevel)
+	// StoreCommit is invoked when a store commits.
+	StoreCommit func(in *trace.Inst, commit int64)
+	// FetchLine is consulted when the front end crosses into a new
+	// 64B code line; it returns the fetch latency (a latency equal to
+	// the L1I hit latency is fully pipelined and causes no stall).
+	FetchLine func(lineAddr uint64, now int64) int64
+	// OnDispatch fires for each instruction at its dispatch time
+	// (drives TACT training and trigger prefetches).
+	OnDispatch func(in *trace.Inst, dispatch int64, seq int64)
+	// OnRetire fires in order at commit (drives the criticality
+	// detector).
+	OnRetire func(r *Retired)
+}
+
+const storeSetSize = 512
+
+type storeSlot struct {
+	addr uint64
+	done int64
+	seq  int64
+}
+
+// Core is the timing model state.
+type Core struct {
+	P     Params
+	Ports Ports
+
+	// BP, when non-nil, replaces the trace's misprediction flags with
+	// an actual branch predictor's outcomes.
+	BP BranchPredictor
+
+	seq        int64
+	dRing      []int64 // D of the last Width instructions
+	cRingROB   []int64 // C of the last ROB instructions
+	cRingW     []int64 // C of the last Width instructions
+	lastD      int64
+	lastC      int64
+	fetchReady int64
+	redirectAt int64
+	curLine    uint64
+
+	regReady [trace.NumArchRegs]int64
+	regSeq   [trace.NumArchRegs]int64
+
+	stores [storeSetSize]storeSlot
+
+	// Stats
+	Insts       int64
+	Loads       int64
+	Branches    int64
+	Mispredicts int64
+	CodeStalls  int64
+}
+
+// New builds a core with the given parameters.
+func New(p Params) *Core {
+	c := &Core{P: p}
+	c.Reset()
+	return c
+}
+
+// Reset clears all timing state.
+func (c *Core) Reset() {
+	c.seq = 0
+	c.dRing = make([]int64, c.P.Width)
+	c.cRingROB = make([]int64, c.P.ROB)
+	c.cRingW = make([]int64, c.P.Width)
+	c.lastD, c.lastC = 0, 0
+	c.fetchReady, c.redirectAt = 0, 0
+	c.curLine = ^uint64(0)
+	for i := range c.regReady {
+		c.regReady[i] = 0
+		c.regSeq[i] = -1
+	}
+	for i := range c.stores {
+		c.stores[i] = storeSlot{seq: -1}
+	}
+	c.Insts, c.Loads, c.Branches, c.Mispredicts, c.CodeStalls = 0, 0, 0, 0, 0
+}
+
+// Cycles returns the cycle of the last commit (total elapsed cycles).
+func (c *Core) Cycles() int64 { return c.lastC }
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.lastC == 0 {
+		return 0
+	}
+	return float64(c.Insts) / float64(c.lastC)
+}
+
+// Step advances the model by one instruction.
+func (c *Core) Step(in *trace.Inst) {
+	seq := c.seq
+	c.seq++
+	c.Insts++
+
+	// ----- Front end: code-line crossing.
+	line := in.PC &^ 63
+	if line != c.curLine {
+		c.curLine = line
+		t := c.lastD
+		if t < c.redirectAt {
+			t = c.redirectAt
+		}
+		if c.Ports.FetchLine != nil {
+			lat := c.Ports.FetchLine(line, t)
+			if stall := lat - c.P.L1IHitLat - c.P.FetchHide; stall > 0 {
+				c.CodeStalls++
+				if fr := t + c.P.L1IHitLat + stall; fr > c.fetchReady {
+					c.fetchReady = fr
+				}
+			}
+		}
+	}
+
+	// ----- D node: in-order allocation.
+	wIdx := int(seq) % c.P.Width
+	rIdx := int(seq % int64(c.P.ROB))
+	D := c.dRing[wIdx] + 1 // D[i-W] + 1 cycle (width constraint)
+	if D < c.lastD {
+		D = c.lastD // in-order allocation
+	}
+	if D < c.fetchReady {
+		D = c.fetchReady
+	}
+	if D < c.redirectAt {
+		D = c.redirectAt // E-D edge from a mispredicted branch
+	}
+	if seq >= int64(c.P.ROB) && D < c.cRingROB[rIdx] {
+		D = c.cRingROB[rIdx] // C-D edge: ROB depth
+	}
+
+	if c.Ports.OnDispatch != nil {
+		c.Ports.OnDispatch(in, D, seq)
+	}
+
+	// ----- E node: operands ready.
+	E := D + c.P.RenameLat
+	var dep [3]int64
+	dep[0], dep[1], dep[2] = -1, -1, -1
+	if s := in.Src1; s >= 0 {
+		if t := c.regReady[s]; t > E {
+			E = t
+		}
+		dep[0] = c.regSeq[s]
+	}
+	if s := in.Src2; s >= 0 {
+		if t := c.regReady[s]; t > E {
+			E = t
+		}
+		dep[1] = c.regSeq[s]
+	}
+
+	var lat int64
+	lvl := cache.HitNone
+	switch in.Op {
+	case trace.OpLoad:
+		c.Loads++
+		// Memory dependency: forward from an in-flight store.
+		slot := &c.stores[(in.Addr>>3)%storeSetSize]
+		if slot.seq >= 0 && slot.addr == in.Addr {
+			if slot.done > E {
+				E = slot.done
+			}
+			dep[2] = slot.seq
+		}
+		lat, lvl = c.Ports.Load(in, E)
+	case trace.OpStore:
+		lat = ExecLatency[trace.OpStore]
+	default:
+		lat = ExecLatency[in.Op]
+	}
+	W := E + lat
+
+	// ----- C node: in-order commit.
+	C := W
+	if C < c.lastC {
+		C = c.lastC
+	}
+	if cw := c.cRingW[wIdx] + 1; C < cw {
+		C = cw
+	}
+
+	// ----- Side effects.
+	if in.Op == trace.OpBranch {
+		c.Branches++
+		if c.BP != nil {
+			// Emergent misprediction: compare the prediction with the
+			// trace's actual outcome.
+			in.Mispred = c.BP.Predict(in.PC) != in.Taken
+			c.BP.Update(in.PC, in.Taken)
+			if g, ok := c.BP.(*Gshare); ok {
+				g.Predicts++
+				if in.Mispred {
+					g.Mispredicts++
+				}
+			}
+		}
+		if in.Mispred {
+			c.Mispredicts++
+			if ra := W + c.P.MispredictPenalty; ra > c.redirectAt {
+				c.redirectAt = ra
+			}
+		}
+	}
+	if in.Op == trace.OpStore {
+		c.stores[(in.Addr>>3)%storeSetSize] = storeSlot{addr: in.Addr, done: W, seq: seq}
+		if c.Ports.StoreCommit != nil {
+			c.Ports.StoreCommit(in, C)
+		}
+	}
+	if d := in.Dst; d >= 0 {
+		c.regReady[d] = W
+		c.regSeq[d] = seq
+	}
+
+	c.dRing[wIdx] = D
+	c.cRingROB[rIdx] = C
+	c.cRingW[wIdx] = C
+	c.lastD = D
+	c.lastC = C
+
+	if c.Ports.OnRetire != nil {
+		r := Retired{
+			Inst: *in, Seq: seq,
+			D: D, E: E, W: W, C: C,
+			Lat: lat, HitLevel: lvl, Dep: dep,
+		}
+		c.Ports.OnRetire(&r)
+	}
+}

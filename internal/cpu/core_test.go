@@ -1,0 +1,264 @@
+package cpu
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/trace"
+)
+
+// fixedLoad wires a constant load latency.
+func fixedLoad(lat int64, lvl cache.HitLevel) func(*trace.Inst, int64) (int64, cache.HitLevel) {
+	return func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		return lat, lvl
+	}
+}
+
+func newTestCore(loadLat int64) *Core {
+	c := New(DefaultParams())
+	c.Ports.Load = fixedLoad(loadLat, cache.HitL1)
+	return c
+}
+
+func alu(pc uint64, dst, s1 int8) trace.Inst {
+	return trace.Inst{PC: pc, Op: trace.OpALU, Dst: dst, Src1: s1, Src2: trace.NoReg}
+}
+
+func TestWidthBoundsIPC(t *testing.T) {
+	c := newTestCore(5)
+	// Independent ALU ops: IPC must approach (and never exceed) width.
+	for i := 0; i < 10000; i++ {
+		in := alu(0x1000, int8(i%4), trace.NoReg)
+		c.Step(&in)
+	}
+	ipc := c.IPC()
+	if ipc > 4.0 {
+		t.Fatalf("IPC %v exceeds machine width", ipc)
+	}
+	if ipc < 3.5 {
+		t.Fatalf("independent ALU IPC %v far below width", ipc)
+	}
+}
+
+func TestDependencyChainBoundsIPC(t *testing.T) {
+	c := newTestCore(5)
+	// A serial chain of 1-cycle ALUs: one instruction per cycle.
+	for i := 0; i < 10000; i++ {
+		in := alu(0x1000, 1, 1)
+		c.Step(&in)
+	}
+	ipc := c.IPC()
+	if ipc > 1.05 || ipc < 0.9 {
+		t.Fatalf("serial chain IPC %v, want ≈1", ipc)
+	}
+}
+
+func TestLoadLatencyOnChain(t *testing.T) {
+	// Serial loads (address depends on previous load) expose latency.
+	run := func(lat int64) int64 {
+		c := newTestCore(lat)
+		for i := 0; i < 2000; i++ {
+			in := trace.Inst{PC: 0x1000, Op: trace.OpLoad, Dst: 1, Src1: 1,
+				Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+			c.Step(&in)
+		}
+		return c.Cycles()
+	}
+	c5, c40 := run(5), run(40)
+	ratio := float64(c40) / float64(c5)
+	if ratio < 5 {
+		t.Fatalf("40-cycle chained loads only %.2fx slower than 5-cycle", ratio)
+	}
+}
+
+func TestIndependentLoadsHideLatency(t *testing.T) {
+	// Loads with no consumers are absorbed by the OOO window.
+	c := newTestCore(40)
+	for i := 0; i < 10000; i++ {
+		in := trace.Inst{PC: 0x1000, Op: trace.OpLoad, Dst: int8(i % 4),
+			Src1: trace.NoReg, Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+		c.Step(&in)
+	}
+	if ipc := c.IPC(); ipc < 3 {
+		t.Fatalf("independent 40-cycle loads IPC %v, want near width", ipc)
+	}
+}
+
+func TestMispredictPenalty(t *testing.T) {
+	run := func(mispred bool) int64 {
+		c := newTestCore(5)
+		for i := 0; i < 2000; i++ {
+			in := alu(0x1000, int8(i%4), trace.NoReg)
+			c.Step(&in)
+			br := trace.Inst{PC: 0x1010, Op: trace.OpBranch, Dst: trace.NoReg,
+				Src1: int8(i % 4), Src2: trace.NoReg, Taken: true, Mispred: mispred}
+			c.Step(&br)
+		}
+		return c.Cycles()
+	}
+	good, bad := run(false), run(true)
+	if bad < good*5 {
+		t.Fatalf("mispredicted branches barely slower: %d vs %d", bad, good)
+	}
+}
+
+func TestROBLimitsRunahead(t *testing.T) {
+	// One very long latency load followed by independent work: the ROB
+	// must stall dispatch after ~ROB instructions.
+	c := New(DefaultParams())
+	first := true
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		if first {
+			first = false
+			return 100000, cache.HitMem
+		}
+		return 5, cache.HitL1
+	}
+	ld := trace.Inst{PC: 0x1000, Op: trace.OpLoad, Dst: 1, Src1: trace.NoReg, Src2: trace.NoReg, Addr: 64}
+	c.Step(&ld)
+	for i := 0; i < 1000; i++ {
+		in := alu(0x2000, 2, trace.NoReg)
+		c.Step(&in)
+	}
+	// The 225th+ instruction cannot dispatch before the load commits.
+	if c.Cycles() < 100000 {
+		t.Fatalf("ROB did not stall behind long-latency load: cycles=%d", c.Cycles())
+	}
+}
+
+func TestStoreLoadForwardingDependency(t *testing.T) {
+	c := newTestCore(5)
+	var lastLoadReady int64
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		lastLoadReady = ready
+		return 5, cache.HitL1
+	}
+	// A slow producer feeds a store; a dependent load from the same
+	// address must wait for the store's data.
+	div := trace.Inst{PC: 0x1000, Op: trace.OpIDiv, Dst: 1, Src1: 1, Src2: trace.NoReg}
+	c.Step(&div)
+	st := trace.Inst{PC: 0x1004, Op: trace.OpStore, Dst: trace.NoReg, Src1: 1, Src2: trace.NoReg, Addr: 0x8000}
+	c.Step(&st)
+	ld := trace.Inst{PC: 0x1008, Op: trace.OpLoad, Dst: 2, Src1: trace.NoReg, Src2: trace.NoReg, Addr: 0x8000}
+	c.Step(&ld)
+	if lastLoadReady < 18 {
+		t.Fatalf("load did not wait for store data: ready at %d", lastLoadReady)
+	}
+}
+
+func TestCodeMissStallsFrontEnd(t *testing.T) {
+	run := func(codeLat int64) int64 {
+		c := New(DefaultParams())
+		c.Ports.Load = fixedLoad(5, cache.HitL1)
+		c.Ports.FetchLine = func(line uint64, now int64) int64 { return codeLat }
+		for i := 0; i < 4000; i++ {
+			// March through code so every 16th instruction crosses a line.
+			in := alu(uint64(0x10000+i*4), int8(i%4), trace.NoReg)
+			c.Step(&in)
+		}
+		return c.Cycles()
+	}
+	fast, slow := run(5), run(200)
+	if slow < fast*2 {
+		t.Fatalf("code misses did not stall: %d vs %d", slow, fast)
+	}
+}
+
+func TestFetchHideAbsorbsL2CodeLatency(t *testing.T) {
+	p := DefaultParams()
+	run := func(codeLat int64) int64 {
+		c := New(p)
+		c.Ports.Load = fixedLoad(5, cache.HitL1)
+		c.Ports.FetchLine = func(line uint64, now int64) int64 { return codeLat }
+		for i := 0; i < 4000; i++ {
+			in := alu(uint64(0x10000+i*4), int8(i%4), trace.NoReg)
+			c.Step(&in)
+		}
+		return c.Cycles()
+	}
+	l1 := run(p.L1IHitLat)
+	hidden := run(p.L1IHitLat + p.FetchHide)
+	if hidden > l1+l1/10 {
+		t.Fatalf("fetch queue did not hide small code latency: %d vs %d", hidden, l1)
+	}
+}
+
+func TestRetireCallbackOrderAndTimes(t *testing.T) {
+	c := newTestCore(5)
+	var retired []Retired
+	c.Ports.OnRetire = func(r *Retired) { retired = append(retired, *r) }
+	for i := 0; i < 100; i++ {
+		in := alu(0x1000, 1, 1)
+		c.Step(&in)
+	}
+	if len(retired) != 100 {
+		t.Fatalf("retired %d, want 100", len(retired))
+	}
+	for i := 1; i < len(retired); i++ {
+		r, p := &retired[i], &retired[i-1]
+		if r.Seq != p.Seq+1 {
+			t.Fatal("retire order broken")
+		}
+		if r.C < p.C {
+			t.Fatal("commit times not monotonic")
+		}
+		if r.E < r.D || r.W < r.E || r.C < r.W {
+			t.Fatalf("node times out of order: %+v", r)
+		}
+		if r.Dep[0] != p.Seq {
+			t.Fatalf("dependency sequence wrong: %+v", r)
+		}
+	}
+}
+
+func TestDispatchCallback(t *testing.T) {
+	c := newTestCore(5)
+	n := 0
+	c.Ports.OnDispatch = func(in *trace.Inst, d int64, seq int64) {
+		if seq != int64(n) {
+			t.Fatalf("dispatch seq %d, want %d", seq, n)
+		}
+		n++
+	}
+	for i := 0; i < 50; i++ {
+		in := alu(0x1000, 1, trace.NoReg)
+		c.Step(&in)
+	}
+	if n != 50 {
+		t.Fatalf("dispatch callback fired %d times", n)
+	}
+}
+
+func TestStoreCommitCallback(t *testing.T) {
+	c := newTestCore(5)
+	stores := 0
+	c.Ports.StoreCommit = func(in *trace.Inst, commit int64) { stores++ }
+	st := trace.Inst{PC: 0x1000, Op: trace.OpStore, Dst: trace.NoReg, Src1: 1, Src2: trace.NoReg, Addr: 0x40}
+	c.Step(&st)
+	if stores != 1 {
+		t.Fatal("store commit callback not fired")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	c := newTestCore(5)
+	for i := 0; i < 100; i++ {
+		in := alu(0x1000, 1, 1)
+		c.Step(&in)
+	}
+	c.Reset()
+	if c.Insts != 0 || c.Cycles() != 0 {
+		t.Fatal("Reset left state")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := newTestCore(5)
+	ld := trace.Inst{PC: 0x1000, Op: trace.OpLoad, Dst: 1, Src1: trace.NoReg, Src2: trace.NoReg, Addr: 0x40}
+	c.Step(&ld)
+	br := trace.Inst{PC: 0x1004, Op: trace.OpBranch, Dst: trace.NoReg, Src1: 1, Src2: trace.NoReg, Mispred: true}
+	c.Step(&br)
+	if c.Loads != 1 || c.Branches != 1 || c.Mispredicts != 1 {
+		t.Fatalf("counters wrong: loads=%d branches=%d mispredicts=%d", c.Loads, c.Branches, c.Mispredicts)
+	}
+}

@@ -1,0 +1,53 @@
+// Package cpu implements the out-of-order core timing model. It is a
+// constrained evaluation of the Fields et al. data-dependency graph
+// (the same graph the paper's §II-A analysis and §IV-A hardware
+// detector are built on): in-order dispatch bounded by machine width,
+// a reorder-buffer depth constraint, data-dependency edges through the
+// 16 architectural registers and through memory (store→load), branch
+// misprediction re-steer edges, and in-order commit. Load execution
+// latency is supplied by the cache hierarchy, so IPC emerges from the
+// interaction of the program's critical path with the memory system.
+package cpu
+
+import "catch/internal/trace"
+
+// Params configures the core, defaulting to the paper's Skylake-like
+// machine: four-wide, 224-entry ROB, 3.2GHz.
+type Params struct {
+	Width             int   // dispatch and commit width
+	ROB               int   // reorder buffer entries
+	RenameLat         int64 // allocation → earliest dispatch
+	MispredictPenalty int64 // branch execute → front-end re-steer
+	L1IHitLat         int64 // code fetch latency hidden by the pipeline
+	// FetchHide is the extra code-miss latency the decoupled fetch
+	// queue absorbs before the front end actually stalls (an L2 code
+	// hit is mostly hidden; LLC and memory code misses stall).
+	FetchHide int64
+}
+
+// DefaultParams returns the paper's core configuration.
+func DefaultParams() Params {
+	return Params{
+		Width:             4,
+		ROB:               224,
+		RenameLat:         2,
+		MispredictPenalty: 15,
+		L1IHitLat:         5,
+		FetchHide:         6,
+	}
+}
+
+// ExecLatency is the base execution latency of each op class; loads are
+// overridden by the hierarchy, stores complete locally in one cycle.
+var ExecLatency = [trace.NumOps]int64{
+	trace.OpALU:    1,
+	trace.OpIMul:   3,
+	trace.OpIDiv:   18,
+	trace.OpFAdd:   3,
+	trace.OpFMul:   4,
+	trace.OpFDiv:   20,
+	trace.OpLoad:   5, // placeholder; replaced by hierarchy latency
+	trace.OpStore:  1,
+	trace.OpBranch: 1,
+	trace.OpNop:    1,
+}

@@ -1,0 +1,41 @@
+package criticality
+
+// AreaBudget reproduces the paper's Table I storage accounting for the
+// graph buffer plus the hashed-PC storage (§IV-A: "about 3 KB").
+type AreaBudget struct {
+	Instructions int // buffered graph capacity (2.5 × ROB)
+	BitsPerInst  int // graph edge/weight storage per instruction
+	GraphBytes   int
+	PCBits       int // hashed PC width
+	PCBytes      int
+	TableBytes   int // critical-load table
+	TotalBytes   int
+}
+
+// Table I bit budget per buffered instruction:
+//
+//	implicit edges (D-D, C-C, D-E, C-D)        0 b
+//	E-C execution latency, quantized            5 b
+//	E-E dependencies: 3 sources + memory dep   32 b
+//	E-D bad speculation flag                    1 b
+const bitsPerInst = 5 + 32 + 1
+
+// ComputeArea returns the storage budget for a detector over a core
+// with the given ROB size.
+func ComputeArea(rob int, bufferFactor float64, tableEntries int) AreaBudget {
+	if bufferFactor <= 0 {
+		bufferFactor = 2.5
+	}
+	n := int(bufferFactor * float64(rob))
+	a := AreaBudget{
+		Instructions: n,
+		BitsPerInst:  bitsPerInst,
+		PCBits:       10,
+	}
+	a.GraphBytes = (n*bitsPerInst + 7) / 8
+	a.PCBytes = (n*a.PCBits + 7) / 8
+	// Table entry: 10b hashed PC + 2b confidence + 3b LRU ≈ 2 bytes.
+	a.TableBytes = tableEntries * 2
+	a.TotalBytes = a.GraphBytes + a.PCBytes + a.TableBytes
+	return a
+}

@@ -1,0 +1,193 @@
+package criticality
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/trace"
+)
+
+// bruteForceCosts computes the longest path to every node of the
+// buffered DDG by explicit relaxation over all edges (O(N²) worst
+// case), independently of the detector's incremental prev-node scheme.
+// It mirrors the edge system of addCosts exactly.
+func bruteForceCosts(buf []gnode, cfg Config) (d, e, c []int64) {
+	n := len(buf)
+	d = make([]int64, n)
+	e = make([]int64, n)
+	c = make([]int64, n)
+	w := int64(cfg.Width)
+	for i := 0; i < n; i++ {
+		// D node.
+		d[i] = 0
+		if i > 0 {
+			dd := d[i-1]
+			if int64(i)%w == 0 {
+				dd++
+			}
+			if dd > d[i] {
+				d[i] = dd
+			}
+			if buf[i-1].mispred {
+				if eb := e[i-1] + buf[i-1].qlat + cfg.MispredictPenalty; eb > d[i] {
+					d[i] = eb
+				}
+			}
+		}
+		if i >= cfg.ROB && c[i-cfg.ROB] > d[i] {
+			d[i] = c[i-cfg.ROB]
+		}
+		// E node.
+		e[i] = d[i] + cfg.RenameLat
+		for _, j := range buf[i].dep {
+			if j >= 0 {
+				if ec := e[j] + buf[j].qlat; ec > e[i] {
+					e[i] = ec
+				}
+			}
+		}
+		// C node.
+		c[i] = e[i] + buf[i].qlat
+		if i > 0 {
+			cc := c[i-1]
+			if int64(i)%w == 0 {
+				cc++
+			}
+			if cc > c[i] {
+				c[i] = cc
+			}
+		}
+	}
+	return
+}
+
+// synthRetired generates a pseudo-random but well-formed retired
+// instruction stream through a real core, capturing the detector's
+// buffered graph just before a walk.
+func captureGraph(t *testing.T, seed uint64, n int) ([]gnode, Config) {
+	t.Helper()
+	cfg := DefaultConfig(cpu.DefaultParams())
+	cfg.ROB = 32 // small window → frequent cross-window edges
+	d := New(cfg)
+
+	rng := trace.NewRNG(seed)
+	c := cpu.New(cpu.Params{Width: 4, ROB: 32, RenameLat: 2, MispredictPenalty: 15, L1IHitLat: 5, FetchHide: 6})
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		switch in.Addr % 3 {
+		case 0:
+			return 5, cache.HitL1
+		case 1:
+			return 15, cache.HitL2
+		default:
+			return 40, cache.HitLLC
+		}
+	}
+	var snapshot []gnode
+	c.Ports.OnRetire = func(r *cpu.Retired) {
+		d.OnRetire(r)
+		if len(d.buf) == 2*cfg.ROB-1 && snapshot == nil {
+			snapshot = append([]gnode(nil), d.buf...)
+		}
+	}
+	for i := 0; i < n && snapshot == nil; i++ {
+		var in trace.Inst
+		switch rng.Intn(5) {
+		case 0:
+			in = trace.Inst{PC: uint64(0x1000 + rng.Intn(16)*4), Op: trace.OpLoad,
+				Dst: int8(rng.Intn(8)), Src1: int8(rng.Intn(8)), Src2: trace.NoReg,
+				Addr: rng.Uint64() % (1 << 20)}
+		case 1:
+			in = trace.Inst{PC: 0x2000, Op: trace.OpBranch, Dst: trace.NoReg,
+				Src1: int8(rng.Intn(8)), Src2: trace.NoReg,
+				Taken: rng.Bool(0.5), Mispred: rng.Bool(0.1)}
+		case 2:
+			in = trace.Inst{PC: 0x3000, Op: trace.OpIMul, Dst: int8(rng.Intn(8)),
+				Src1: int8(rng.Intn(8)), Src2: int8(rng.Intn(8))}
+		default:
+			in = trace.Inst{PC: 0x4000, Op: trace.OpALU, Dst: int8(rng.Intn(8)),
+				Src1: int8(rng.Intn(8)), Src2: trace.NoReg}
+		}
+		c.Step(&in)
+	}
+	if snapshot == nil {
+		t.Fatal("never captured a full graph buffer")
+	}
+	return snapshot, cfg
+}
+
+// TestIncrementalCostsMatchBruteForce is the central correctness check
+// of the detector: the incremental node costs (the paper's prev-node
+// scheme) must equal an independent brute-force longest-path
+// computation over the same graph, for many random graphs.
+func TestIncrementalCostsMatchBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		buf, cfg := captureGraph(t, seed, 10_000)
+		d, e, c := bruteForceCosts(buf, cfg)
+		for i := range buf {
+			if buf[i].dCost != d[i] || buf[i].eCost != e[i] || buf[i].cCost != c[i] {
+				t.Fatalf("seed %d inst %d: incremental (D=%d E=%d C=%d) vs brute force (D=%d E=%d C=%d)",
+					seed, i, buf[i].dCost, buf[i].eCost, buf[i].cCost, d[i], e[i], c[i])
+			}
+		}
+	}
+}
+
+// TestWalkFollowsMaximalPath checks that the critical-path walk only
+// traverses edges that realize the node costs (i.e. the prev-node
+// pointers are consistent with the longest path).
+func TestWalkFollowsMaximalPath(t *testing.T) {
+	buf, cfg := captureGraph(t, 7, 10_000)
+	for i := range buf {
+		g := &buf[i]
+		switch g.eFrom {
+		case fromEDep:
+			j := g.eDep
+			if j < 0 || int(j) >= i {
+				t.Fatalf("inst %d: eDep out of range: %d", i, j)
+			}
+			if buf[j].eCost+buf[j].qlat != g.eCost {
+				t.Fatalf("inst %d: E prev-node does not realize cost", i)
+			}
+		case fromDSelf:
+			if g.dCost+cfg.RenameLat != g.eCost {
+				t.Fatalf("inst %d: E cost does not match D self edge", i)
+			}
+		}
+		switch g.cFrom {
+		case fromESelf:
+			if g.eCost+g.qlat != g.cCost {
+				t.Fatalf("inst %d: C prev-node does not realize cost", i)
+			}
+		case fromCPrev:
+			if i == 0 {
+				t.Fatalf("inst 0 claims C-C predecessor")
+			}
+		}
+	}
+}
+
+// TestWalkTerminates drives long random streams and ensures every walk
+// terminates and visits a bounded number of nodes.
+func TestWalkTerminates(t *testing.T) {
+	cfg := DefaultConfig(cpu.DefaultParams())
+	d := New(cfg)
+	rng := trace.NewRNG(11)
+	c := cpu.New(cpu.DefaultParams())
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		return 15, cache.HitL2
+	}
+	c.Ports.OnRetire = d.OnRetire
+	for i := 0; i < 30_000; i++ {
+		in := trace.Inst{PC: uint64(0x1000 + rng.Intn(64)*4), Op: trace.OpLoad,
+			Dst: int8(rng.Intn(16)), Src1: int8(rng.Intn(16)), Src2: trace.NoReg,
+			Addr: rng.Uint64() % (1 << 24)}
+		c.Step(&in)
+	}
+	if d.Stats.Walks == 0 {
+		t.Fatal("no walks")
+	}
+	if d.Stats.PathNodes > uint64(3*cfg.ROB)*d.Stats.Walks {
+		t.Fatalf("walks visit too many nodes: %d over %d walks", d.Stats.PathNodes, d.Stats.Walks)
+	}
+}

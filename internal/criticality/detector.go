@@ -1,0 +1,316 @@
+package criticality
+
+import (
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/trace"
+)
+
+// LevelMask selects which hit levels a critical load must have been
+// served from to be recorded in the table. The paper records loads that
+// hit in the L2 or LLC (those are the ones CATCH can accelerate);
+// oracle studies at other levels use different masks.
+type LevelMask uint8
+
+// Level mask bits.
+const (
+	MaskL1 LevelMask = 1 << iota
+	MaskL2
+	MaskLLC
+	MaskMem
+)
+
+// DefaultMask records L2 and LLC hits.
+const DefaultMask = MaskL2 | MaskLLC
+
+func (m LevelMask) matches(l cache.HitLevel) bool {
+	switch l {
+	case cache.HitL1:
+		return m&MaskL1 != 0
+	case cache.HitL2:
+		return m&MaskL2 != 0
+	case cache.HitLLC:
+		return m&MaskLLC != 0
+	case cache.HitMem:
+		return m&MaskMem != 0
+	}
+	return false
+}
+
+// Config parameterizes the detector.
+type Config struct {
+	ROB               int   // core reorder-buffer size
+	Width             int   // dispatch width (D-D / C-C edge weights)
+	RenameLat         int64 // D-E edge weight
+	MispredictPenalty int64 // E-D edge weight
+	// BufferFactor × ROB instructions are buffered; the walk window is
+	// 2 × ROB (paper: 2.5 and 2.0).
+	BufferFactor float64
+	// RelearnInterval is the retired-instruction period after which
+	// unsaturated table entries are reset (paper: 100K).
+	RelearnInterval int64
+	Table           TableConfig
+	// Record selects which serving levels are recorded.
+	Record LevelMask
+}
+
+// DefaultConfig returns the paper's detector configuration for the
+// given core parameters.
+func DefaultConfig(p cpu.Params) Config {
+	return Config{
+		ROB:               p.ROB,
+		Width:             p.Width,
+		RenameLat:         p.RenameLat,
+		MispredictPenalty: p.MispredictPenalty,
+		BufferFactor:      2.5,
+		RelearnInterval:   100_000,
+		Table:             DefaultTableConfig(),
+		Record:            DefaultMask,
+	}
+}
+
+// prev-node encodings for the walk.
+type fromKind uint8
+
+const (
+	fromNone  fromKind = iota
+	fromDPrev          // D[i] <- D[i-1]
+	fromCROB           // D[i] <- C[i-ROB]
+	fromEBad           // D[i] <- E of mispredicted branch
+	fromDSelf          // E[i] <- D[i]
+	fromEDep           // E[i] <- E[j] (data/memory dependency)
+	fromESelf          // C[i] <- E[i]
+	fromCPrev          // C[i] <- C[i-1]
+)
+
+// gnode is one instruction's three DDG nodes with incremental longest-
+// path state. Only the fields the hardware keeps (Table I) influence
+// behaviour; PCs are stored hashed to 10 bits for area accounting but
+// kept in full here to index the table.
+type gnode struct {
+	pc      uint64
+	isLoad  bool
+	level   cache.HitLevel
+	mispred bool
+	qlat    int64    // quantized execution latency (5-bit, ×8)
+	dep     [3]int32 // producer indices within the buffer, -1 if none
+
+	dCost, eCost, cCost int64
+	dFrom, eFrom, cFrom fromKind
+	eDep                int32 // chosen producer for fromEDep
+}
+
+// Stats counts detector activity.
+type Stats struct {
+	Retired       uint64
+	Walks         uint64
+	PathNodes     uint64
+	PathLoads     uint64
+	RecordedLoads uint64
+	Overflows     uint64
+}
+
+// Detector is the hardware criticality detector.
+type Detector struct {
+	cfg   Config
+	Table *Table
+
+	buf          []gnode
+	n            int // buffered instruction count
+	baseSeq      int64
+	walkAt       int // buffer fill level that triggers a walk (2×ROB)
+	sinceRelearn int64
+
+	Stats Stats
+}
+
+// New builds a detector.
+func New(cfg Config) *Detector {
+	if cfg.BufferFactor < 2.0 {
+		cfg.BufferFactor = 2.5
+	}
+	if cfg.RelearnInterval <= 0 {
+		cfg.RelearnInterval = 100_000
+	}
+	capN := int(cfg.BufferFactor * float64(cfg.ROB))
+	d := &Detector{
+		cfg:    cfg,
+		Table:  NewTable(cfg.Table),
+		buf:    make([]gnode, 0, capN),
+		walkAt: 2 * cfg.ROB,
+	}
+	return d
+}
+
+// quantize models the 5-bit, divide-by-8 saturating latency storage
+// (round to nearest; short ALU latencies round to zero, exactly as the
+// hardware storage would lose them).
+func quantize(lat int64) int64 {
+	q := (lat + 4) / 8
+	if q > 31 {
+		q = 31
+	}
+	return q * 8
+}
+
+// OnRetire adds a retired instruction to the graph buffer, computing
+// its node costs incrementally, and triggers a critical-path walk once
+// 2×ROB instructions are buffered.
+func (d *Detector) OnRetire(r *cpu.Retired) {
+	d.Stats.Retired++
+	d.sinceRelearn++
+	if d.sinceRelearn >= d.cfg.RelearnInterval {
+		d.sinceRelearn = 0
+		d.Table.Relearn()
+	}
+
+	if len(d.buf) == 0 {
+		d.baseSeq = r.Seq
+	}
+	i := len(d.buf)
+	if i >= cap(d.buf) {
+		// Graph overflow: discard and start afresh (paper §IV-A).
+		d.Stats.Overflows++
+		d.buf = d.buf[:0]
+		d.baseSeq = r.Seq
+		i = 0
+	}
+	d.buf = d.buf[:i+1]
+	g := &d.buf[i]
+	*g = gnode{
+		pc:      r.Inst.PC,
+		isLoad:  r.Inst.Op == trace.OpLoad,
+		level:   r.HitLevel,
+		mispred: r.Inst.Op == trace.OpBranch && r.Inst.Mispred,
+		qlat:    quantize(r.Lat),
+	}
+	for k, s := range r.Dep {
+		g.dep[k] = -1
+		if s >= 0 {
+			if rel := s - d.baseSeq; rel >= 0 && rel < int64(i) {
+				g.dep[k] = int32(rel)
+			}
+		}
+	}
+
+	d.addCosts(i)
+
+	if len(d.buf) >= d.walkAt {
+		d.walk()
+		d.buf = d.buf[:0]
+	}
+}
+
+// addCosts performs the paper's incremental longest-path update: each
+// node examines only its immediate incoming edges against cumulative
+// costs.
+func (d *Detector) addCosts(i int) {
+	g := &d.buf[i]
+	w := int64(d.cfg.Width)
+
+	// D node.
+	g.dCost, g.dFrom = 0, fromNone
+	if i > 0 {
+		p := &d.buf[i-1]
+		dd := p.dCost
+		if int64(i)%w == 0 {
+			dd++ // dispatch group boundary costs a cycle
+		}
+		if dd > g.dCost {
+			g.dCost, g.dFrom = dd, fromDPrev
+		}
+		if p.mispred {
+			if eb := p.eCost + p.qlat + d.cfg.MispredictPenalty; eb > g.dCost {
+				g.dCost, g.dFrom = eb, fromEBad
+			}
+		}
+	}
+	if i >= d.cfg.ROB {
+		if cr := d.buf[i-d.cfg.ROB].cCost; cr > g.dCost {
+			g.dCost, g.dFrom = cr, fromCROB
+		}
+	}
+
+	// E node.
+	g.eCost, g.eFrom, g.eDep = g.dCost+d.cfg.RenameLat, fromDSelf, -1
+	for _, j := range g.dep {
+		if j < 0 {
+			continue
+		}
+		p := &d.buf[j]
+		if ec := p.eCost + p.qlat; ec > g.eCost {
+			g.eCost, g.eFrom, g.eDep = ec, fromEDep, j
+		}
+	}
+
+	// C node.
+	g.cCost, g.cFrom = g.eCost+g.qlat, fromESelf
+	if i > 0 {
+		cc := d.buf[i-1].cCost
+		if int64(i)%w == 0 {
+			cc++
+		}
+		if cc > g.cCost {
+			g.cCost, g.cFrom = cc, fromCPrev
+		}
+	}
+}
+
+// walk traverses prev-node pointers from the last C node and records
+// critical loads that were served from the configured levels.
+func (d *Detector) walk() {
+	d.Stats.Walks++
+	i := len(d.buf) - 1
+	if i < 0 {
+		return
+	}
+	type nk uint8
+	const (
+		atD nk = iota
+		atE
+		atC
+	)
+	at := atC
+	for i >= 0 {
+		d.Stats.PathNodes++
+		g := &d.buf[i]
+		switch at {
+		case atC:
+			if g.cFrom == fromESelf {
+				at = atE
+			} else {
+				i--
+			}
+		case atE:
+			if g.isLoad {
+				d.Stats.PathLoads++
+				if d.cfg.Record.matches(g.level) {
+					d.Stats.RecordedLoads++
+					d.Table.Record(g.pc)
+				}
+			}
+			switch g.eFrom {
+			case fromEDep:
+				i = int(g.eDep)
+			default:
+				at = atD
+			}
+		case atD:
+			switch g.dFrom {
+			case fromCROB:
+				i -= d.cfg.ROB
+				at = atC
+			case fromEBad:
+				i--
+				at = atE
+			case fromDPrev:
+				i--
+			default:
+				return // reached the start of the window
+			}
+		}
+	}
+}
+
+// IsCritical reports whether pc is currently marked critical.
+func (d *Detector) IsCritical(pc uint64) bool { return d.Table.IsCritical(pc) }

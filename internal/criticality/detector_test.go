@@ -1,0 +1,163 @@
+package criticality
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/trace"
+)
+
+// runDetector drives a real core over a synthetic instruction stream
+// with per-PC load latencies/levels, returning the detector.
+func runDetector(t *testing.T, cfg Config, n int, gen func(i int) trace.Inst,
+	loads map[uint64]struct {
+		lat int64
+		lvl cache.HitLevel
+	}) *Detector {
+	t.Helper()
+	d := New(cfg)
+	c := cpu.New(cpu.DefaultParams())
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		if e, ok := loads[in.PC]; ok {
+			return e.lat, e.lvl
+		}
+		return 5, cache.HitL1
+	}
+	c.Ports.OnRetire = d.OnRetire
+	for i := 0; i < n; i++ {
+		in := gen(i)
+		c.Step(&in)
+	}
+	return d
+}
+
+type loadSpec = map[uint64]struct {
+	lat int64
+	lvl cache.HitLevel
+}
+
+const (
+	pcCritLoad = uint64(0x1000)
+	pcL1Load   = uint64(0x2000)
+	pcALU      = uint64(0x3000)
+)
+
+// chainGen emits a serial L2-hit load chain (critical) interleaved with
+// independent L1 loads and filler ALUs (non-critical).
+func chainGen(i int) trace.Inst {
+	switch i % 4 {
+	case 0: // serial chain through r1
+		return trace.Inst{PC: pcCritLoad, Op: trace.OpLoad, Dst: 1, Src1: 1, Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+	case 1: // independent L1 load
+		return trace.Inst{PC: pcL1Load, Op: trace.OpLoad, Dst: 2, Src1: trace.NoReg, Src2: trace.NoReg, Addr: uint64(0x200000 + i*64)}
+	default:
+		return trace.Inst{PC: pcALU, Op: trace.OpALU, Dst: 3, Src1: trace.NoReg, Src2: trace.NoReg}
+	}
+}
+
+func chainLoads() loadSpec {
+	return loadSpec{
+		pcCritLoad: {lat: 15, lvl: cache.HitL2},
+		pcL1Load:   {lat: 5, lvl: cache.HitL1},
+	}
+}
+
+func TestDetectorFindsSerialL2Loads(t *testing.T) {
+	d := runDetector(t, DefaultConfig(cpu.DefaultParams()), 20000, chainGen, chainLoads())
+	if !d.IsCritical(pcCritLoad) {
+		t.Fatal("serial L2-hit load not marked critical")
+	}
+	if d.IsCritical(pcL1Load) {
+		t.Fatal("independent L1 load marked critical")
+	}
+	if d.IsCritical(pcALU) {
+		t.Fatal("ALU PC marked critical")
+	}
+	if d.Stats.Walks == 0 || d.Stats.PathLoads == 0 {
+		t.Fatalf("detector did not walk: %+v", d.Stats)
+	}
+}
+
+func TestDetectorRespectsLevelMask(t *testing.T) {
+	cfg := DefaultConfig(cpu.DefaultParams())
+	cfg.Record = MaskLLC // L2 hits must NOT be recorded
+	d := runDetector(t, cfg, 20000, chainGen, chainLoads())
+	if d.IsCritical(pcCritLoad) {
+		t.Fatal("L2 hit recorded despite LLC-only mask")
+	}
+}
+
+func TestDetectorMaskL1(t *testing.T) {
+	cfg := DefaultConfig(cpu.DefaultParams())
+	cfg.Record = MaskL1
+	// Make the serial chain an L1-hit chain: still the critical path.
+	loads := loadSpec{
+		pcCritLoad: {lat: 5, lvl: cache.HitL1},
+		pcL1Load:   {lat: 5, lvl: cache.HitL1},
+	}
+	d := runDetector(t, cfg, 20000, chainGen, loads)
+	if !d.IsCritical(pcCritLoad) {
+		t.Fatal("serial L1 chain not marked under L1 mask")
+	}
+}
+
+func TestDetectorMispredictedBranchPath(t *testing.T) {
+	// A load whose value feeds a mispredicted branch is critical even
+	// though nothing else consumes it.
+	pcBrLoad := uint64(0x4000)
+	gen := func(i int) trace.Inst {
+		switch i % 8 {
+		case 0:
+			return trace.Inst{PC: pcBrLoad, Op: trace.OpLoad, Dst: 1, Src1: trace.NoReg, Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+		case 1:
+			return trace.Inst{PC: 0x4010, Op: trace.OpBranch, Dst: trace.NoReg, Src1: 1, Src2: trace.NoReg, Taken: true, Mispred: i%16 == 1}
+		default:
+			return trace.Inst{PC: pcALU, Op: trace.OpALU, Dst: 3, Src1: trace.NoReg, Src2: trace.NoReg}
+		}
+	}
+	loads := loadSpec{pcBrLoad: {lat: 40, lvl: cache.HitLLC}}
+	d := runDetector(t, DefaultConfig(cpu.DefaultParams()), 30000, gen, loads)
+	if !d.IsCritical(pcBrLoad) {
+		t.Fatal("load feeding mispredicted branches not marked critical")
+	}
+}
+
+func TestDetectorQuantization(t *testing.T) {
+	if quantize(1) != 0 {
+		t.Fatalf("quantize(1) = %d, want 0 (5-bit /8 storage)", quantize(1))
+	}
+	if quantize(15) != 16 {
+		t.Fatalf("quantize(15) = %d", quantize(15))
+	}
+	if quantize(40) != 40 {
+		t.Fatalf("quantize(40) = %d", quantize(40))
+	}
+	if quantize(10000) != 31*8 {
+		t.Fatalf("quantize saturates at %d, got %d", 31*8, quantize(10000))
+	}
+}
+
+func TestDetectorBufferFlushAndOverflow(t *testing.T) {
+	cfg := DefaultConfig(cpu.DefaultParams())
+	d := runDetector(t, cfg, 5000, chainGen, chainLoads())
+	// 5000 retires with walks every 2×ROB=448 instructions.
+	wantWalks := uint64(5000 / 448)
+	if d.Stats.Walks < wantWalks-1 || d.Stats.Walks > wantWalks+1 {
+		t.Fatalf("walks = %d, want ≈%d", d.Stats.Walks, wantWalks)
+	}
+}
+
+func TestComputeArea(t *testing.T) {
+	a := ComputeArea(224, 2.5, 32)
+	if a.Instructions != 560 {
+		t.Fatalf("buffered instructions = %d", a.Instructions)
+	}
+	// Paper: graph ≈ 2.3KB, PCs ≈ 1KB, total ≈ 3KB.
+	if a.GraphBytes < 2000 || a.GraphBytes > 3000 {
+		t.Fatalf("graph bytes = %d, want ≈2.3KB", a.GraphBytes)
+	}
+	if a.TotalBytes < 2500 || a.TotalBytes > 4096 {
+		t.Fatalf("total bytes = %d, want ≈3KB", a.TotalBytes)
+	}
+}

@@ -1,0 +1,114 @@
+package criticality
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/trace"
+)
+
+// This file reproduces the semantics of the paper's Figure 2 example:
+// a dependency chain in which one L2-hit load (instruction 2) lies on
+// the critical path while other L2/LLC hits (instructions 3 and 6) do
+// not. The paper draws three conclusions, each checked here:
+//
+//  1. the critical path runs through the chained L2 hit, not the
+//     independent ones;
+//  2. slowing the NON-critical L2 hits to LLC latency leaves the
+//     execution time (critical path) unchanged;
+//  3. making the CRITICAL load an L1 hit shortens execution.
+
+const (
+	fig2PCMemLoad  = 0x100 // long-latency load the chain hangs off
+	fig2PCCritL2   = 0x104 // L2 hit on the dependent chain (critical)
+	fig2PCFreeL2   = 0x108 // independent L2 hit (non-critical)
+	fig2PCFreeLLC  = 0x10C // independent LLC hit (non-critical)
+	fig2PCChainALU = 0x110
+)
+
+// fig2Gen emits the example's structure repeatedly: a memory load
+// feeding a chained L2 load feeding ALU work, with independent L2/LLC
+// loads alongside.
+func fig2Gen(i int) trace.Inst {
+	switch i % 8 {
+	case 0:
+		return trace.Inst{PC: fig2PCMemLoad, Op: trace.OpLoad, Dst: 1, Src1: 1,
+			Src2: trace.NoReg, Addr: uint64(0x1000000 + i*64)}
+	case 1: // dependent: address from r1
+		return trace.Inst{PC: fig2PCCritL2, Op: trace.OpLoad, Dst: 2, Src1: 1,
+			Src2: trace.NoReg, Addr: uint64(0x2000000 + i*64)}
+	case 2:
+		return trace.Inst{PC: fig2PCChainALU, Op: trace.OpALU, Dst: 1, Src1: 2, Src2: trace.NoReg}
+	case 3: // independent L2 hit
+		return trace.Inst{PC: fig2PCFreeL2, Op: trace.OpLoad, Dst: 3, Src1: trace.NoReg,
+			Src2: trace.NoReg, Addr: uint64(0x3000000 + i*64)}
+	case 4: // independent LLC hit
+		return trace.Inst{PC: fig2PCFreeLLC, Op: trace.OpLoad, Dst: 4, Src1: trace.NoReg,
+			Src2: trace.NoReg, Addr: uint64(0x4000000 + i*64)}
+	default:
+		return trace.Inst{PC: 0x200, Op: trace.OpALU, Dst: 5, Src1: trace.NoReg, Src2: trace.NoReg}
+	}
+}
+
+// fig2Run executes the example with configurable latencies for the two
+// non-critical loads and the critical load, returning total cycles and
+// the detector.
+func fig2Run(t *testing.T, critLat, freeL2Lat int64, critLvl cache.HitLevel) (int64, *Detector) {
+	t.Helper()
+	d := New(DefaultConfig(cpu.DefaultParams()))
+	c := cpu.New(cpu.DefaultParams())
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		switch in.PC {
+		case fig2PCMemLoad:
+			return 200, cache.HitMem
+		case fig2PCCritL2:
+			return critLat, critLvl
+		case fig2PCFreeL2:
+			return freeL2Lat, cache.HitL2
+		case fig2PCFreeLLC:
+			return 30, cache.HitLLC
+		}
+		return 5, cache.HitL1
+	}
+	c.Ports.OnRetire = d.OnRetire
+	for i := 0; i < 20000; i++ {
+		in := fig2Gen(i)
+		c.Step(&in)
+	}
+	return c.Cycles(), d
+}
+
+func TestFig2CriticalPathThroughChainedLoad(t *testing.T) {
+	_, d := fig2Run(t, 11, 11, cache.HitL2)
+	if !d.IsCritical(fig2PCCritL2) {
+		t.Fatal("the chained L2 hit (paper's instruction 2) not marked critical")
+	}
+	if d.IsCritical(fig2PCFreeL2) {
+		t.Fatal("the independent L2 hit (paper's instruction 3/6) marked critical")
+	}
+	if d.IsCritical(fig2PCFreeLLC) {
+		t.Fatal("the independent LLC hit marked critical")
+	}
+}
+
+func TestFig2SlowingNonCriticalIsFree(t *testing.T) {
+	// "if the latency of the non-critical L2 hits (11 cycles) is
+	// increased to LLC hit latency (30 cycles), the critical path of
+	// execution will remain the same."
+	base, _ := fig2Run(t, 11, 11, cache.HitL2)
+	slow, _ := fig2Run(t, 11, 30, cache.HitL2)
+	if slow > base+base/100 {
+		t.Fatalf("slowing non-critical L2 hits changed execution: %d vs %d cycles", slow, base)
+	}
+}
+
+func TestFig2AcceleratingCriticalHelps(t *testing.T) {
+	// "if critical load instruction 2 is made a hit in the L1, the
+	// overall performance will improve."
+	base, _ := fig2Run(t, 11, 11, cache.HitL2)
+	fast, _ := fig2Run(t, 5, 11, cache.HitL1)
+	if fast >= base {
+		t.Fatalf("accelerating the critical load did not help: %d vs %d cycles", fast, base)
+	}
+}

@@ -1,0 +1,146 @@
+package criticality
+
+import (
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/trace"
+)
+
+// Source is any mechanism that identifies critical load PCs from the
+// retirement stream. The paper's graph-buffer Detector and the
+// heuristic baselines below all implement it, so CATCH can be driven by
+// either (§IV-A: "CATCH ... doesn't preclude the use of other finely
+// tuned heuristics").
+type Source interface {
+	OnRetire(r *cpu.Retired)
+	IsCritical(pc uint64) bool
+	CriticalCount() int
+	Snapshot() Stats
+}
+
+// CriticalCount implements Source for the graph Detector.
+func (d *Detector) CriticalCount() int { return len(d.Table.CriticalPCs()) }
+
+// Snapshot implements Source for the graph Detector.
+func (d *Detector) Snapshot() Stats { return d.Stats }
+
+// HeuristicKind selects one of the literature's criticality heuristics.
+type HeuristicKind uint8
+
+// Heuristic kinds.
+const (
+	// HeurFeedsBranch marks loads whose results feed branches,
+	// weighting mispredicted branches heavily (Tune et al. style,
+	// paper reference [2]). It suffers exactly the false positive the
+	// paper describes: branches in the shadow of an unrelated miss
+	// still credit their feeding loads.
+	HeurFeedsBranch HeuristicKind = iota
+	// HeurROBStall marks loads that complete while blocking
+	// retirement (commit immediately follows writeback): an
+	// oldest-in-ROB stall heuristic (Subramaniam et al. style, paper
+	// reference [6]).
+	HeurROBStall
+)
+
+// Heuristic is a table-backed heuristic criticality source.
+type Heuristic struct {
+	Kind   HeuristicKind
+	Table  *Table
+	record LevelMask
+
+	// feeds-branch state: the most recent load PC writing each
+	// register lineage (as TACT's feeder tracker does).
+	regLoadPC [trace.NumArchRegs]uint64
+	// recent load history by sequence for dependency lookups.
+	recent map[int64]recentLoad
+
+	Stats Stats
+}
+
+type recentLoad struct {
+	pc  uint64
+	lvl cache.HitLevel
+}
+
+// NewHeuristic builds a heuristic source with the paper's table shape.
+func NewHeuristic(kind HeuristicKind, table TableConfig, record LevelMask) *Heuristic {
+	if record == 0 {
+		record = DefaultMask
+	}
+	return &Heuristic{
+		Kind:   kind,
+		Table:  NewTable(table),
+		record: record,
+		recent: make(map[int64]recentLoad),
+	}
+}
+
+// IsCritical implements Source.
+func (h *Heuristic) IsCritical(pc uint64) bool { return h.Table.IsCritical(pc) }
+
+// CriticalCount implements Source.
+func (h *Heuristic) CriticalCount() int { return len(h.Table.CriticalPCs()) }
+
+// Snapshot implements Source.
+func (h *Heuristic) Snapshot() Stats { return h.Stats }
+
+// OnRetire implements Source.
+func (h *Heuristic) OnRetire(r *cpu.Retired) {
+	h.Stats.Retired++
+	switch h.Kind {
+	case HeurFeedsBranch:
+		h.feedsBranch(r)
+	case HeurROBStall:
+		h.robStall(r)
+	}
+}
+
+func (h *Heuristic) feedsBranch(r *cpu.Retired) {
+	in := &r.Inst
+	if in.Op == trace.OpLoad {
+		if h.record.matches(r.HitLevel) && in.Dst >= 0 {
+			h.regLoadPC[in.Dst] = in.PC
+		} else if in.Dst >= 0 {
+			h.regLoadPC[in.Dst] = 0
+		}
+		return
+	}
+	if in.Op == trace.OpBranch {
+		// Credit the load lineage feeding the branch condition. A
+		// mispredicted branch credits harder.
+		if in.Src1 >= 0 {
+			if pc := h.regLoadPC[in.Src1]; pc != 0 {
+				h.Stats.RecordedLoads++
+				h.Table.Record(pc)
+				if in.Mispred {
+					h.Table.Record(pc)
+					h.Table.Record(pc)
+				}
+			}
+		}
+		return
+	}
+	// Propagate lineage through register writes.
+	if in.Dst >= 0 {
+		var y uint64
+		if in.Src1 >= 0 {
+			y = h.regLoadPC[in.Src1]
+		}
+		if y == 0 && in.Src2 >= 0 {
+			y = h.regLoadPC[in.Src2]
+		}
+		h.regLoadPC[in.Dst] = y
+	}
+}
+
+func (h *Heuristic) robStall(r *cpu.Retired) {
+	if r.Inst.Op != trace.OpLoad || !h.record.matches(r.HitLevel) {
+		return
+	}
+	// A load whose commit happens right at its writeback was blocking
+	// in-order retirement: the classic oldest-in-ROB criticality proxy.
+	if r.C-r.W <= 1 {
+		h.Stats.RecordedLoads++
+		h.Table.Record(r.Inst.PC)
+	}
+}

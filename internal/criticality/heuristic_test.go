@@ -1,0 +1,135 @@
+package criticality
+
+import (
+	"testing"
+
+	"catch/internal/cache"
+	"catch/internal/cpu"
+	"catch/internal/trace"
+)
+
+func runHeuristic(t *testing.T, kind HeuristicKind, n int, gen func(i int) trace.Inst,
+	loads loadSpec) *Heuristic {
+	t.Helper()
+	h := NewHeuristic(kind, DefaultTableConfig(), DefaultMask)
+	c := cpu.New(cpu.DefaultParams())
+	c.Ports.Load = func(in *trace.Inst, ready int64) (int64, cache.HitLevel) {
+		if e, ok := loads[in.PC]; ok {
+			return e.lat, e.lvl
+		}
+		return 5, cache.HitL1
+	}
+	c.Ports.OnRetire = h.OnRetire
+	for i := 0; i < n; i++ {
+		in := gen(i)
+		c.Step(&in)
+	}
+	return h
+}
+
+func TestFeedsBranchHeuristic(t *testing.T) {
+	pcLoad := uint64(0x5000)
+	gen := func(i int) trace.Inst {
+		switch i % 6 {
+		case 0:
+			return trace.Inst{PC: pcLoad, Op: trace.OpLoad, Dst: 1, Src1: trace.NoReg,
+				Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+		case 1:
+			return trace.Inst{PC: 0x5010, Op: trace.OpBranch, Dst: trace.NoReg,
+				Src1: 1, Src2: trace.NoReg, Taken: true, Mispred: i%12 == 1}
+		default:
+			return trace.Inst{PC: 0x5020, Op: trace.OpALU, Dst: 2, Src1: trace.NoReg, Src2: trace.NoReg}
+		}
+	}
+	h := runHeuristic(t, HeurFeedsBranch, 5000, gen, loadSpec{
+		pcLoad: {lat: 15, lvl: cache.HitL2},
+	})
+	if !h.IsCritical(pcLoad) {
+		t.Fatal("feeds-branch heuristic missed a branch-feeding L2 load")
+	}
+}
+
+func TestFeedsBranchIgnoresL1Loads(t *testing.T) {
+	pcLoad := uint64(0x5000)
+	gen := func(i int) trace.Inst {
+		if i%3 == 0 {
+			return trace.Inst{PC: pcLoad, Op: trace.OpLoad, Dst: 1, Src1: trace.NoReg,
+				Src2: trace.NoReg, Addr: 0x100000}
+		}
+		return trace.Inst{PC: 0x5010, Op: trace.OpBranch, Dst: trace.NoReg,
+			Src1: 1, Src2: trace.NoReg, Taken: true}
+	}
+	h := runHeuristic(t, HeurFeedsBranch, 3000, gen, loadSpec{
+		pcLoad: {lat: 5, lvl: cache.HitL1},
+	})
+	if h.IsCritical(pcLoad) {
+		t.Fatal("feeds-branch heuristic flagged an L1-hit load (record mask L2|LLC)")
+	}
+}
+
+func TestROBStallHeuristic(t *testing.T) {
+	// A serial chain of LLC-hit loads is always blocking retirement.
+	pcLoad := uint64(0x6000)
+	gen := func(i int) trace.Inst {
+		if i%2 == 0 {
+			return trace.Inst{PC: pcLoad, Op: trace.OpLoad, Dst: 1, Src1: 1,
+				Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+		}
+		return trace.Inst{PC: 0x6010, Op: trace.OpALU, Dst: 2, Src1: 1, Src2: trace.NoReg}
+	}
+	h := runHeuristic(t, HeurROBStall, 5000, gen, loadSpec{
+		pcLoad: {lat: 40, lvl: cache.HitLLC},
+	})
+	if !h.IsCritical(pcLoad) {
+		t.Fatal("ROB-stall heuristic missed a retirement-blocking load")
+	}
+}
+
+func TestHeuristicOverMarksVsGraph(t *testing.T) {
+	// The paper's point about heuristics: a branch in the shadow of an
+	// unrelated serial chain still credits its (actually non-critical)
+	// feeding load. The graph detector must not mark it.
+	pcSerial := uint64(0x7000) // true critical chain
+	pcShadow := uint64(0x7100) // L2 load feeding a well-predicted branch,
+	// fully hidden behind the serial chain
+	gen := func(i int) trace.Inst {
+		switch i % 8 {
+		case 0, 2, 4, 6:
+			return trace.Inst{PC: pcSerial, Op: trace.OpLoad, Dst: 1, Src1: 1,
+				Src2: trace.NoReg, Addr: uint64(0x100000 + i*64)}
+		case 1:
+			return trace.Inst{PC: pcShadow, Op: trace.OpLoad, Dst: 2, Src1: trace.NoReg,
+				Src2: trace.NoReg, Addr: uint64(0x900000 + i*64)}
+		case 3:
+			return trace.Inst{PC: 0x7110, Op: trace.OpBranch, Dst: trace.NoReg,
+				Src1: 2, Src2: trace.NoReg, Taken: true} // never mispredicted
+		default:
+			return trace.Inst{PC: 0x7200, Op: trace.OpALU, Dst: 3, Src1: trace.NoReg, Src2: trace.NoReg}
+		}
+	}
+	loads := loadSpec{
+		pcSerial: {lat: 40, lvl: cache.HitLLC},
+		pcShadow: {lat: 15, lvl: cache.HitL2},
+	}
+	heur := runHeuristic(t, HeurFeedsBranch, 20000, gen, loads)
+	graph := runDetector(t, DefaultConfig(cpu.DefaultParams()), 20000, gen, loads)
+	if !heur.IsCritical(pcShadow) {
+		t.Fatal("heuristic did not exhibit the shadow false positive (test premise)")
+	}
+	if graph.IsCritical(pcShadow) {
+		t.Fatal("graph detector marked the shadowed, non-critical load")
+	}
+	if !graph.IsCritical(pcSerial) {
+		t.Fatal("graph detector missed the true critical chain")
+	}
+}
+
+func TestHeuristicSnapshot(t *testing.T) {
+	h := NewHeuristic(HeurROBStall, DefaultTableConfig(), 0)
+	if h.Snapshot().Retired != 0 {
+		t.Fatal("fresh heuristic has activity")
+	}
+	if h.CriticalCount() != 0 {
+		t.Fatal("fresh heuristic marks PCs")
+	}
+}

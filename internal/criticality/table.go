@@ -1,0 +1,185 @@
+// Package criticality implements the paper's hardware criticality
+// detection (§IV-A): a bounded buffer of the retirement-order data
+// dependency graph (Fields et al.), an incremental longest-path
+// computation via node costs and prev-node pointers, a walk that
+// enumerates the load instructions on the critical path, and the
+// 32-entry set-associative critical-load-PC table with 2-bit
+// confidence counters and periodic re-learning.
+package criticality
+
+// TableConfig sizes the critical-load-PC table.
+type TableConfig struct {
+	Entries int // total entries (paper: 32)
+	Ways    int // set associativity (paper: 8)
+	// ConfSat is the saturation value of the 2-bit confidence counter.
+	ConfSat uint8
+	// Unlimited switches to an unbounded table (oracle studies, the
+	// "All PC" point of Fig 5).
+	Unlimited bool
+}
+
+// DefaultTableConfig returns the paper's 32-entry, 8-way table.
+func DefaultTableConfig() TableConfig {
+	return TableConfig{Entries: 32, Ways: 8, ConfSat: 3}
+}
+
+type tableEntry struct {
+	pc    uint64
+	conf  uint8
+	lru   int64
+	valid bool
+}
+
+// Table is the critical-load-PC table. A PC is reported critical only
+// when present with a saturated confidence counter.
+type Table struct {
+	cfg     TableConfig
+	sets    int
+	entries []tableEntry
+	tick    int64
+
+	unlimited map[uint64]*tableEntry
+
+	Inserts, Promotions, Resets uint64
+}
+
+// NewTable builds a table from cfg.
+func NewTable(cfg TableConfig) *Table {
+	if cfg.ConfSat == 0 {
+		cfg.ConfSat = 3
+	}
+	t := &Table{cfg: cfg}
+	if cfg.Unlimited {
+		t.unlimited = make(map[uint64]*tableEntry)
+		return t
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 1
+	}
+	if cfg.Entries < cfg.Ways {
+		cfg.Entries = cfg.Ways
+	}
+	t.cfg = cfg
+	t.sets = cfg.Entries / cfg.Ways
+	if t.sets == 0 {
+		t.sets = 1
+	}
+	t.entries = make([]tableEntry, t.sets*cfg.Ways)
+	return t
+}
+
+func (t *Table) set(pc uint64) []tableEntry {
+	s := int((pc >> 2) % uint64(t.sets))
+	return t.entries[s*t.cfg.Ways : (s+1)*t.cfg.Ways]
+}
+
+// Record notes that pc was observed on the critical path, inserting or
+// bumping its confidence.
+func (t *Table) Record(pc uint64) {
+	t.tick++
+	if t.unlimited != nil {
+		e := t.unlimited[pc]
+		if e == nil {
+			e = &tableEntry{pc: pc, conf: 1, valid: true}
+			t.unlimited[pc] = e
+			t.Inserts++
+			return
+		}
+		if e.conf < t.cfg.ConfSat {
+			e.conf++
+			if e.conf == t.cfg.ConfSat {
+				t.Promotions++
+			}
+		}
+		return
+	}
+	set := t.set(pc)
+	victim, oldest := 0, int64(1<<62-1)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.pc == pc {
+			e.lru = t.tick
+			if e.conf < t.cfg.ConfSat {
+				e.conf++
+				if e.conf == t.cfg.ConfSat {
+					t.Promotions++
+				}
+			}
+			return
+		}
+		if !e.valid {
+			victim, oldest = i, -1
+		} else if e.lru < oldest {
+			victim, oldest = i, e.lru
+		}
+	}
+	set[victim] = tableEntry{pc: pc, conf: 1, lru: t.tick, valid: true}
+	t.Inserts++
+}
+
+// IsCritical reports whether pc is currently marked critical.
+func (t *Table) IsCritical(pc uint64) bool {
+	if t.unlimited != nil {
+		e := t.unlimited[pc]
+		return e != nil && e.conf >= t.cfg.ConfSat
+	}
+	set := t.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			return set[i].conf >= t.cfg.ConfSat
+		}
+	}
+	return false
+}
+
+// Relearn resets the confidence of entries that have not reached
+// saturation (invoked every 100K retired instructions, per the paper).
+func (t *Table) Relearn() {
+	t.Resets++
+	if t.unlimited != nil {
+		for _, e := range t.unlimited {
+			if e.conf < t.cfg.ConfSat {
+				e.conf = 0
+			}
+		}
+		return
+	}
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].conf < t.cfg.ConfSat {
+			t.entries[i].conf = 0
+		}
+	}
+}
+
+// CriticalPCs returns the PCs currently marked critical (saturated).
+func (t *Table) CriticalPCs() []uint64 {
+	var out []uint64
+	if t.unlimited != nil {
+		for pc, e := range t.unlimited {
+			if e.conf >= t.cfg.ConfSat {
+				out = append(out, pc)
+			}
+		}
+		return out
+	}
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].conf >= t.cfg.ConfSat {
+			out = append(out, t.entries[i].pc)
+		}
+	}
+	return out
+}
+
+// Len returns the number of valid entries.
+func (t *Table) Len() int {
+	if t.unlimited != nil {
+		return len(t.unlimited)
+	}
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

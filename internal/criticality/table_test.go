@@ -1,0 +1,121 @@
+package criticality
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableConfidencePromotion(t *testing.T) {
+	tb := NewTable(DefaultTableConfig())
+	pc := uint64(0x1000)
+	tb.Record(pc) // conf 1
+	if tb.IsCritical(pc) {
+		t.Fatal("critical after one observation")
+	}
+	tb.Record(pc) // 2
+	tb.Record(pc) // 3 = saturated
+	if !tb.IsCritical(pc) {
+		t.Fatal("not critical after saturation")
+	}
+}
+
+func TestTableRelearnResetsUnsaturated(t *testing.T) {
+	tb := NewTable(DefaultTableConfig())
+	hot, warm := uint64(0x1000), uint64(0x2000)
+	for i := 0; i < 3; i++ {
+		tb.Record(hot)
+	}
+	tb.Record(warm)
+	tb.Record(warm)
+	tb.Relearn()
+	if !tb.IsCritical(hot) {
+		t.Fatal("relearn reset a saturated entry")
+	}
+	tb.Record(warm) // would have saturated without the reset
+	if tb.IsCritical(warm) {
+		t.Fatal("relearn did not reset unsaturated confidence")
+	}
+}
+
+func TestTableLRUWithinSet(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 8, Ways: 8, ConfSat: 3})
+	// Single set of 8: fill 8 PCs, then a 9th evicts the LRU (first).
+	for i := 0; i < 8; i++ {
+		tb.Record(uint64(0x1000 + i*4))
+	}
+	tb.Record(0x1000) // refresh first
+	tb.Record(0x9000) // evicts LRU = 0x1004
+	if tb.Len() != 8 {
+		t.Fatalf("table size %d, want 8", tb.Len())
+	}
+	// 0x1004 must be gone: recording it thrice from scratch saturates;
+	// if it were still present with conf 1 it would need only two.
+	tb.Record(0x1004)
+	if tb.IsCritical(0x1004) {
+		t.Fatal("evicted entry retained confidence")
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	tb := NewTable(DefaultTableConfig())
+	for i := 0; i < 500; i++ {
+		tb.Record(uint64(0x1000 + i*4))
+	}
+	if tb.Len() > 32 {
+		t.Fatalf("32-entry table holds %d", tb.Len())
+	}
+}
+
+func TestTableUnlimited(t *testing.T) {
+	tb := NewTable(TableConfig{Unlimited: true, ConfSat: 3})
+	for i := 0; i < 5000; i++ {
+		pc := uint64(0x1000 + (i%1000)*4)
+		tb.Record(pc)
+	}
+	if tb.Len() != 1000 {
+		t.Fatalf("unlimited table holds %d, want 1000", tb.Len())
+	}
+	if !tb.IsCritical(0x1000) {
+		t.Fatal("unlimited entry not saturated")
+	}
+	tb.Relearn() // must not panic and must keep saturated entries
+	if !tb.IsCritical(0x1000) {
+		t.Fatal("relearn dropped saturated unlimited entry")
+	}
+}
+
+func TestTableCriticalPCs(t *testing.T) {
+	tb := NewTable(DefaultTableConfig())
+	for i := 0; i < 3; i++ {
+		tb.Record(0x1000)
+		tb.Record(0x2000)
+	}
+	tb.Record(0x3000)
+	pcs := tb.CriticalPCs()
+	if len(pcs) != 2 {
+		t.Fatalf("critical PCs = %v", pcs)
+	}
+}
+
+// Property: IsCritical implies the PC was recorded at least ConfSat
+// times (no spurious criticality).
+func TestTableNoSpuriousCriticality(t *testing.T) {
+	f := func(pcs []uint16) bool {
+		tb := NewTable(DefaultTableConfig())
+		count := map[uint64]int{}
+		for _, p := range pcs {
+			pc := uint64(p)*4 + 4
+			tb.Record(pc)
+			count[pc]++
+		}
+		for pc, n := range count {
+			if tb.IsCritical(pc) && n < 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

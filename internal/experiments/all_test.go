@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsQuick smoke-runs every registered experiment driver
+// at a tiny budget: every figure must produce a non-empty, well-formed
+// table without panicking.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every driver")
+	}
+	b := Budget{Insts: 20_000, Warmup: 10_000, Workloads: 6, Mixes: 2}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || tb.Title == "" {
+					t.Fatalf("missing metadata: %+v", tb)
+				}
+				if len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Fatalf("%s: ragged row %v vs headers %v", tb.ID, row, tb.Headers)
+					}
+				}
+				if tb.Print() == "" {
+					t.Fatalf("%s: empty print", tb.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestConfigRegistryComplete(t *testing.T) {
+	for _, name := range ConfigNames() {
+		cfg, ok := ConfigByName(name)
+		if !ok {
+			t.Fatalf("listed config %q not resolvable", name)
+		}
+		if cfg.Name != name {
+			t.Fatalf("config %q reports name %q", name, cfg.Name)
+		}
+	}
+	if _, ok := ConfigByName("bogus"); ok {
+		t.Fatal("bogus config resolved")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := IDs()
+	for _, want := range []string{"fig1", "fig3", "fig4", "fig5", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "table1"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("experiment %s not registered", want)
+		}
+	}
+	if _, err := Run("nope", QuickBudget()); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tb := Table{
+		ID: "x", Title: "demo",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	out := tb.Print()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") || !strings.Contains(out, "note: n") {
+		t.Fatalf("print output wrong:\n%s", out)
+	}
+}
+
+func TestTable1Area(t *testing.T) {
+	tables := Table1(QuickBudget())
+	if len(tables) != 1 || len(tables[0].Rows) != 5 {
+		t.Fatalf("table1 shape wrong: %+v", tables)
+	}
+}
+
+// TestFig10Quick runs the headline experiment on a reduced budget and
+// checks the paper's qualitative result: noL2 loses, CATCH variants of
+// the two-level hierarchy win back most or all of it.
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system experiment")
+	}
+	b := Budget{Insts: 60_000, Warmup: 40_000, Workloads: 12}
+	tables := Fig10(b)
+	tb := tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fig10 rows: %d", len(tb.Rows))
+	}
+	geo := func(row []string) string { return row[len(row)-1] }
+	noL2 := geo(tb.Rows[0])
+	catch2 := geo(tb.Rows[3])
+	if !strings.HasPrefix(noL2, "-") {
+		t.Fatalf("noL2 did not lose performance: %s", noL2)
+	}
+	if strings.HasPrefix(catch2, "-1") || strings.HasPrefix(catch2, "-2") {
+		t.Fatalf("two-level CATCH far below baseline: %s", catch2)
+	}
+}
+
+// TestFig4Quick checks the central criticality claim: converting only
+// non-critical hits costs much less than converting all hits.
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system experiment")
+	}
+	b := Budget{Insts: 60_000, Warmup: 40_000, Workloads: 8}
+	tb := Fig4(b)[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("fig4 rows: %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		all := parsePct(t, row[1])
+		ncr := parsePct(t, row[2])
+		if ncr < all-0.3 {
+			t.Fatalf("%s: non-critical conversion (%.2f%%) hurt more than ALL (%.2f%%)", row[0], ncr, all)
+		}
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}

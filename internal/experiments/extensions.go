@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/criticality"
+	"catch/internal/stats"
+	"catch/internal/workloads"
+)
+
+// ExtTableSize reproduces the paper's §VI-D2 sensitivity study: the
+// size of the critical-load-PC table. The paper found 32 entries to be
+// a sweet spot — larger tables admit loads that are only occasionally
+// critical and thrash the L1 with their prefetches, while povray-like
+// workloads with many critical PCs want more entries (left as future
+// work there; the sweep here quantifies it).
+func ExtTableSize(b Budget) []Table {
+	base := runConfig("baseline-excl", b)
+	t := Table{
+		ID:      "ext-tablesize",
+		Title:   "CATCH gain vs critical-load table size (§VI-D2)",
+		Headers: []string{"entries", "geomean gain", "povray", "hmmer"},
+	}
+	pick := func(rs []core.Result, name string) float64 {
+		for i := range rs {
+			if rs[i].Workload == name {
+				return rs[i].IPC
+			}
+		}
+		return 0
+	}
+	for _, entries := range []int{8, 16, 32, 64, 128} {
+		cfg := config.WithCATCH(config.BaselineExclusive(), fmt.Sprintf("catch-%dpc", entries))
+		cfg.CritTable = criticality.TableConfig{Entries: entries, Ways: 8, ConfSat: 3}
+		cfg.Tact.Targets = entries
+		rs := runSys(cfg, b)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(entries),
+			pct(geomeanIPC(rs, ""), geomeanIPC(base, "")),
+			pct(pick(rs, "povray"), pick(base, "povray")),
+			pct(pick(rs, "hmmer"), pick(base, "hmmer")),
+		})
+	}
+	return []Table{t}
+}
+
+// ExtMSHR is an ablation of the fill-buffer (MSHR) count: the paper's
+// latency arguments assume bounded memory-level parallelism; this sweep
+// shows how the baseline and the two-level CATCH hierarchy respond to
+// more or fewer outstanding demand misses.
+func ExtMSHR(b Budget) []Table {
+	t := Table{
+		ID:      "ext-mshr",
+		Title:   "Sensitivity to demand-miss MSHR count (ablation)",
+		Headers: []string{"MSHRs", "baseline-excl", "nol2-9.5-catch vs that baseline"},
+	}
+	ref := runConfig("baseline-excl", b)
+	for _, n := range []int{4, 10, 16, 32} {
+		base := config.BaselineExclusive()
+		base.MSHRs = n
+		base.Name = fmt.Sprintf("baseline-mshr%d", n)
+		catch, _ := ConfigByName("nol2-9.5-catch")
+		catch.MSHRs = n
+		rb := runSys(base, b)
+		rc := runSys(catch, b)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n),
+			pct(geomeanIPC(rb, ""), geomeanIPC(ref, "")),
+			pct(geomeanIPC(rc, ""), geomeanIPC(rb, "")),
+		})
+	}
+	return []Table{t}
+}
+
+// ExtDeepDistance ablates the TACT deep-self distance cap (paper: 16,
+// balancing timeliness against L1 pollution). The cap matters most on
+// the two-level hierarchy, where prefetches must hide the full LLC
+// latency; hmmer is the paper's showcase deep-self workload.
+func ExtDeepDistance(b Budget) []Table {
+	baseCfg, _ := ConfigByName("nol2-9.5")
+	base := runSys(baseCfg, b)
+	t := Table{
+		ID:      "ext-deepdist",
+		Title:   "Two-level CATCH gain vs deep-self max distance (over noL2+9.5)",
+		Headers: []string{"max distance", "geomean gain", "hmmer"},
+	}
+	pick := func(rs []core.Result, name string) float64 {
+		for i := range rs {
+			if rs[i].Workload == name {
+				return rs[i].IPC
+			}
+		}
+		return 0
+	}
+	for _, d := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := config.WithCATCH(baseCfg, fmt.Sprintf("nol2-catch-deep%d", d))
+		cfg.Tact.MaxDeepDistance = d
+		rs := runSys(cfg, b)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(d),
+			pct(geomeanIPC(rs, ""), geomeanIPC(base, "")),
+			pct(pick(rs, "hmmer"), pick(base, "hmmer"))})
+	}
+	return []Table{t}
+}
+
+// ExtReplacement compares LLC replacement policies under the baseline
+// and under two-level CATCH. The paper argues CATCH is orthogonal to
+// LLC replacement research (§VII); this sweep checks that the CATCH
+// gain survives a change of policy.
+func ExtReplacement(b Budget) []Table {
+	t := Table{
+		ID:      "ext-replacement",
+		Title:   "LLC replacement policy vs CATCH gain (orthogonality check)",
+		Headers: []string{"LLC policy", "baseline-excl", "nol2-9.5-catch vs that baseline"},
+	}
+	ref := runConfig("baseline-excl", b)
+	for _, pol := range []string{"lru", "srrip", "drrip"} {
+		base := config.BaselineExclusive()
+		base.LLCPolicy = pol
+		base.Name = "baseline-" + pol
+		catch, _ := ConfigByName("nol2-9.5-catch")
+		catch.LLCPolicy = pol
+		rb := runSys(base, b)
+		rc := runSys(catch, b)
+		t.Rows = append(t.Rows, []string{
+			pol,
+			pct(geomeanIPC(rb, ""), geomeanIPC(ref, "")),
+			pct(geomeanIPC(rc, ""), geomeanIPC(rb, "")),
+		})
+	}
+	return []Table{t}
+}
+
+// ExtHeuristics drives CATCH with the literature's heuristic
+// criticality predictors instead of the paper's graph detector
+// (§IV-A: heuristics "often flag many more PCs than are truly
+// critical"). Reported: the CATCH gain each source achieves and how
+// many PCs it marks.
+func ExtHeuristics(b Budget) []Table {
+	base := runConfig("baseline-excl", b)
+	t := Table{
+		ID:      "ext-heuristics",
+		Title:   "CATCH driven by graph detector vs heuristic criticality",
+		Headers: []string{"criticality source", "geomean gain", "avg critical PCs"},
+	}
+	for _, src := range []string{"graph", "feedsbranch", "robstall"} {
+		cfg := config.WithCATCH(config.BaselineExclusive(), "catch-"+src)
+		cfg.CritSource = src
+		rs := runSys(cfg, b)
+		t.Rows = append(t.Rows, []string{
+			src,
+			pct(geomeanIPC(rs, ""), geomeanIPC(base, "")),
+			fmt.Sprintf("%.1f", avgOver(rs, "", func(r *core.Result) float64 {
+				return float64(r.CriticalPCs)
+			})),
+		})
+	}
+	return []Table{t}
+}
+
+// ExtBranchPred replaces the trace-encoded misprediction flags with an
+// actual gshare predictor, making branch behaviour emergent. Checks
+// that the CATCH result survives the change of speculation substrate.
+func ExtBranchPred(b Budget) []Table {
+	t := Table{
+		ID:      "ext-branchpred",
+		Title:   "Trace-flagged vs gshare-predicted branches",
+		Headers: []string{"speculation", "baseline-excl IPC (geo)", "catch vs that baseline"},
+	}
+	for _, gbits := range []int{0, 14} {
+		label := "trace flags"
+		if gbits > 0 {
+			label = fmt.Sprintf("gshare 2^%d", gbits)
+		}
+		base := config.BaselineExclusive()
+		base.GsharePredictorBits = gbits
+		catch := config.WithCATCH(base, "catch-bp")
+		rb := runSys(base, b)
+		rc := runSys(catch, b)
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.3f", geomeanIPC(rb, "")),
+			pct(geomeanIPC(rc, ""), geomeanIPC(rb, "")),
+		})
+	}
+	return []Table{t}
+}
+
+// ExtSharedCode quantifies the paper's §II code-replication point on
+// RATE-4 runs: with private L2s, each core replicates the (identical)
+// code; with a shared LLC the lines are shared. Reported: LLC code-line
+// footprint per configuration and the weighted-speedup effect of
+// sharing.
+func ExtSharedCode(b Budget) []Table {
+	mixes := workloads.Mixes()[:4] // first RATE-4 mixes
+	t := Table{
+		ID:      "ext-sharedcode",
+		Title:   "Code replication vs sharing in RATE-4 runs (§II)",
+		Headers: []string{"config", "avg weighted speedup", "LLC code fetch hit rate"},
+	}
+	for _, variant := range []struct {
+		label  string
+		name   string
+		shared bool
+	}{
+		{"baseline, replicated code", "baseline-excl", false},
+		{"baseline, shared code", "baseline-excl", true},
+		{"nol2-9.5-catch, shared code", "nol2-9.5-catch", true},
+	} {
+		cfg := mpConfig(variant.name)
+		cfg.SharedCode = variant.shared
+		var ws []float64
+		var fHit, fAll uint64
+		for i := range mixes {
+			sys := core.NewSystem(cfg)
+			rs := sys.RunMP(mixes[i].Gens(), b.Insts, b.Warmup)
+			sum := 0.0
+			for _, r := range rs {
+				sum += r.IPC
+				fHit += r.Hier.FetchL1 + r.Hier.FetchL2 + r.Hier.FetchLLC
+				fAll += r.Hier.Fetches
+			}
+			ws = append(ws, sum)
+		}
+		t.Rows = append(t.Rows, []string{
+			variant.label,
+			fmt.Sprintf("%.3f", stats.Mean(ws)),
+			pctf(stats.Ratio(fHit, fAll)),
+		})
+	}
+	t.Notes = append(t.Notes, "weighted speedup column is the IPC sum across the 4 cores; code hit rate is on-die (L1I+L2+LLC) fetch coverage")
+	return []Table{t}
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+
+	"catch/internal/cache"
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/criticality"
+	"catch/internal/stats"
+	"catch/internal/workloads"
+)
+
+// runSys runs every study workload on an explicit configuration.
+func runSys(cfg config.SystemConfig, b Budget) []core.Result {
+	wls := b.workloads()
+	out := make([]core.Result, 0, len(wls))
+	for _, w := range wls {
+		sys := core.NewSystem(cfg)
+		out = append(out, sys.RunST(w.NewGen(), b.Insts, b.Warmup))
+	}
+	return out
+}
+
+// Fig1 reproduces Figure 1: performance impact of removing the L2
+// (iso-capacity 6.5MB and iso-area 9.5MB LLCs) versus the exclusive
+// baseline, per category.
+func Fig1(b Budget) []Table {
+	base := runConfig("baseline-excl", b)
+	t := Table{
+		ID:      "fig1",
+		Title:   "Performance impact of removing L2 (paper: -7.8% / -5.1% geomean)",
+		Headers: categoryHeaders("config"),
+	}
+	for _, name := range []string{"nol2-6.5", "nol2-9.5"} {
+		t.Rows = append(t.Rows, speedupRow(name, runConfig(name, b), base))
+	}
+	return []Table{t}
+}
+
+// Fig3 reproduces Figure 3: sensitivity to +1/+2/+3 cycles at each
+// cache level (paper: L1 -2.4/-4.8/-7.2%, L2 -0.5/-0.9/-1.4%,
+// LLC -0.2/-0.4/-0.6%).
+func Fig3(b Budget) []Table {
+	baseCfg := config.BaselineExclusive()
+	base := runSys(baseCfg, b)
+	t := Table{
+		ID:      "fig3",
+		Title:   "Impact of latency increase at L1, L2 and LLC",
+		Headers: []string{"level", "+1 cyc", "+2 cyc", "+3 cyc"},
+	}
+	for _, lvl := range []cache.HitLevel{cache.HitL1, cache.HitL2, cache.HitLLC} {
+		row := []string{lvl.String()}
+		for d := int64(1); d <= 3; d++ {
+			cfg := config.WithLatencyDelta(baseCfg, lvl, d,
+				fmt.Sprintf("%s+%dcyc", lvl, d))
+			rs := runSys(cfg, b)
+			row = append(row, pct(geomeanIPC(rs, ""), geomeanIPC(base, "")))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// Fig4 reproduces Figure 4: converting ALL versus only non-critical
+// hits at one level to the next level's latency, plus the fraction of
+// loads converted (paper: L1→L2 -16.1%/-4.9%, L2→LLC -7.8%/-0.8%,
+// LLC→mem -7.0%/-1.2%).
+func Fig4(b Budget) []Table {
+	baseCfg := config.BaselineExclusive()
+	base := runSys(baseCfg, b)
+	t := Table{
+		ID:      "fig4",
+		Title:   "Impact of increasing (non-)critical load latency",
+		Headers: []string{"conversion", "ALL", "NonCritical", "%loads converted (NonCrit)"},
+	}
+	cases := []struct {
+		name   string
+		from   cache.HitLevel
+		record criticality.LevelMask
+	}{
+		{"L1 hits to L2 lat.", cache.HitL1, criticality.MaskL1},
+		{"L2 hits to LLC lat.", cache.HitL2, criticality.MaskL2},
+		{"LLC hits to Mem lat.", cache.HitLLC, criticality.MaskLLC},
+	}
+	for _, cs := range cases {
+		toLat := nextLevelLat(&baseCfg, cs.from)
+		all := runSys(config.WithConvert(baseCfg,
+			config.ConvertSpec{From: cs.from, ToLat: toLat}, cs.record, "convert-all"), b)
+		ncr := runSys(config.WithConvert(baseCfg,
+			config.ConvertSpec{From: cs.from, ToLat: toLat, OnlyNonCritical: true}, cs.record, "convert-noncrit"), b)
+		from := cs.from
+		t.Rows = append(t.Rows, []string{
+			cs.name,
+			pct(geomeanIPC(all, ""), geomeanIPC(base, "")),
+			pct(geomeanIPC(ncr, ""), geomeanIPC(base, "")),
+			// The paper reports the share of that level's hits that the
+			// detector deems non-critical (e.g. "33% of all LLC hits").
+			pctf(avgOver(ncr, "", func(r *core.Result) float64 {
+				var hits uint64
+				switch from {
+				case cache.HitL1:
+					hits = r.Hier.LoadL1
+				case cache.HitL2:
+					hits = r.Hier.LoadL2
+				default:
+					hits = r.Hier.LoadLLC
+				}
+				if hits == 0 {
+					return 0
+				}
+				return float64(r.ConvertedLoads) / float64(hits)
+			})),
+		})
+	}
+	return []Table{t}
+}
+
+func nextLevelLat(cfg *config.SystemConfig, from cache.HitLevel) int64 {
+	switch from {
+	case cache.HitL1:
+		return cfg.L2Lat
+	case cache.HitL2:
+		return cfg.LLCLat
+	default:
+		return config.MemLatApprox
+	}
+}
+
+// Fig5 reproduces Figure 5: the criticality-aware oracle prefetcher
+// versus the number of tracked critical load PCs (paper: 5.5% at 32
+// PCs rising to 6.6% for ALL, with 14-17% of L1 load misses converted).
+func Fig5(b Budget) []Table {
+	baseCfg := config.BaselineExclusive()
+	// The oracle study disables the hardware prefetchers in both the
+	// baseline and the oracle configurations (paper §III-C).
+	noPf := baseCfg
+	noPf.BaselineStride = false
+	noPf.BaselineStream = false
+	base := runSys(noPf, b)
+
+	t := Table{
+		ID:      "fig5",
+		Title:   "Criticality-aware oracle prefetch vs tracked critical PCs",
+		Headers: []string{"tracked PCs", "perf impact", "% L1 misses converted"},
+	}
+	add := func(label string, cfg config.SystemConfig) {
+		rs := runSys(cfg, b)
+		conv := avgOver(rs, "", func(r *core.Result) float64 {
+			miss := r.Hier.Loads - r.Hier.LoadL1
+			den := float64(miss) + float64(r.Hier.OraclePromotions)
+			if den == 0 {
+				return 0
+			}
+			return float64(r.Hier.OraclePromotions) / den
+		})
+		t.Rows = append(t.Rows, []string{
+			label,
+			pct(geomeanIPC(rs, ""), geomeanIPC(base, "")),
+			pctf(conv),
+		})
+	}
+	for _, n := range []int{32, 64, 128, 1024, 2048} {
+		add(fmt.Sprintf("%d PC", n), config.WithOraclePrefetch(baseCfg, n, "oracle"))
+	}
+	add("All PC", config.WithOraclePrefetch(baseCfg, 0, "oracle-all"))
+	noL2 := config.NoL2(baseCfg, 6656*config.KB, 13, "nol2")
+	add("NoL2 + 2048 PC", config.WithOraclePrefetch(noL2, 2048, "oracle-nol2"))
+	return []Table{t}
+}
+
+// Fig10 reproduces Figure 10: CATCH on the large-L2 exclusive baseline
+// (paper: noL2 -7.8%, noL2+9.5MB -5.1%, noL2+CATCH +4.6%,
+// noL2+9.5+CATCH +7.2%, CATCH +8.4%).
+func Fig10(b Budget) []Table {
+	base := runConfig("baseline-excl", b)
+	t := Table{
+		ID:      "fig10",
+		Title:   "Performance gain on large-L2 exclusive-LLC baseline",
+		Headers: categoryHeaders("config"),
+	}
+	for _, name := range []string{
+		"nol2-6.5", "nol2-9.5", "nol2-6.5-catch", "nol2-9.5-catch", "catch",
+	} {
+		t.Rows = append(t.Rows, speedupRow(name, runConfig(name, b), base))
+	}
+	return []Table{t}
+}
+
+// Fig11 reproduces Figure 11: timeliness of inter-cache TACT
+// prefetching (paper: ~88% of TACT prefetches served by the LLC, >85%
+// of them saving more than 80% of the LLC latency).
+func Fig11(b Budget) []Table {
+	rs := runConfig("catch", b)
+	t := Table{
+		ID:      "fig11",
+		Title:   "Timeliness of inter-cache TACT prefetching (three-level CATCH)",
+		Headers: []string{"category", "% TACT pf from LLC", "<10% lat saved", "10-80%", ">80% lat saved"},
+	}
+	row := func(cat, label string) []string {
+		hist := stats.NewHistogram(0.10, 0.80)
+		var fromLLC, fromAny uint64
+		for i := range rs {
+			r := &rs[i]
+			if cat != "" && r.Category != cat {
+				continue
+			}
+			fromLLC += r.Hier.TactFilledLLC
+			fromAny += r.Hier.TactFilledLLC + r.Hier.TactFilledL2
+			hist.Merge(r.Hier.TactTimeliness)
+		}
+		return []string{
+			label,
+			pctf(stats.Ratio(fromLLC, fromAny)),
+			pctf(hist.Fraction(0)), pctf(hist.Fraction(1)), pctf(hist.Fraction(2)),
+		}
+	}
+	for _, cat := range workloads.Categories {
+		t.Rows = append(t.Rows, row(cat, cat))
+	}
+	t.Rows = append(t.Rows, row("", "ALL"))
+	return []Table{t}
+}
+
+// Fig12 reproduces Figure 12: the per-workload performance ratios of
+// the noL2, two-level-CATCH and three-level-CATCH configurations.
+func Fig12(b Budget) []Table {
+	base := runConfig("baseline-excl", b)
+	noL2 := runConfig("nol2-6.5", b)
+	catch2 := runConfig("nol2-9.5-catch", b)
+	catch3 := runConfig("catch", b)
+	t := Table{
+		ID:      "fig12",
+		Title:   "Per-workload performance ratio vs baseline",
+		Headers: []string{"workload", "category", "NoL2+6.5MB", "NoL2+9.5MB+CATCH", "CATCH"},
+	}
+	for i := range base {
+		t.Rows = append(t.Rows, []string{
+			base[i].Workload, base[i].Category,
+			fmt.Sprintf("%.3f", ratio(noL2[i].IPC, base[i].IPC)),
+			fmt.Sprintf("%.3f", ratio(catch2[i].IPC, base[i].IPC)),
+			fmt.Sprintf("%.3f", ratio(catch3[i].IPC, base[i].IPC)),
+		})
+	}
+	return []Table{t}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Fig13 reproduces Figure 13: the cumulative contribution of each TACT
+// component over the noL2 baseline (paper: Code +0.75%, +Cross +3.7%,
+// +Deep +5.9%, +Feeder +2.7%).
+func Fig13(b Budget) []Table {
+	noL2Cfg, _ := ConfigByName("nol2-6.5")
+	base := runSys(noL2Cfg, b)
+	t := Table{
+		ID:      "fig13",
+		Title:   "Performance gain from each TACT component (over noL2)",
+		Headers: categoryHeaders("components"),
+	}
+	steps := []struct {
+		label                     string
+		code, cross, deep, feeder bool
+	}{
+		{"Code", true, false, false, false},
+		{"+CROSS", true, true, false, false},
+		{"+Deep", true, true, true, false},
+		{"+Feeder", true, true, true, true},
+	}
+	for _, s := range steps {
+		cfg := config.WithCATCH(noL2Cfg, "nol2-catch-"+s.label)
+		cfg.Tact.EnableCode = s.code
+		cfg.Tact.EnableCross = s.cross
+		cfg.Tact.EnableDeep = s.deep
+		cfg.Tact.EnableFeeder = s.feeder
+		rs := runSys(cfg, b)
+		t.Rows = append(t.Rows, speedupRow(s.label, rs, base))
+	}
+	return []Table{t}
+}
+
+// Fig15 reproduces Figure 15: sensitivity of the noL2 and two-level
+// CATCH configurations to +6/+12 cycles of LLC latency.
+func Fig15(b Budget) []Table {
+	base := runConfig("baseline-excl", b)
+	t := Table{
+		ID:      "fig15",
+		Title:   "Sensitivity to LLC hit latency (vs unmodified baseline)",
+		Headers: []string{"config", "base L3 lat", "+6 cyc", "+12 cyc"},
+	}
+	for _, name := range []string{"nol2-6.5", "nol2-9.5-catch"} {
+		cfg, _ := ConfigByName(name)
+		row := []string{name}
+		for _, d := range []int64{0, 6, 12} {
+			c := config.WithLatencyDelta(cfg, cache.HitLLC, d, fmt.Sprintf("%s+%d", name, d))
+			rs := runSys(c, b)
+			row = append(row, pct(geomeanIPC(rs, ""), geomeanIPC(base, "")))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// Fig17 reproduces Figure 17: CATCH on the small-L2 inclusive-LLC
+// baseline (paper: noL2 -5.7%, noL2+CATCH +6.4%, noL2+CATCH+9MB +7.2%,
+// CATCH +10.3%).
+func Fig17(b Budget) []Table {
+	base := runConfig("baseline-incl", b)
+	t := Table{
+		ID:      "fig17",
+		Title:   "Performance gain on inclusive-LLC baseline (256KB L2 + 8MB LLC)",
+		Headers: categoryHeaders("config"),
+	}
+	for _, name := range []string{
+		"nol2-incl", "nol2-incl-catch", "nol2-incl-9mb-catch", "catch-incl",
+	} {
+		t.Rows = append(t.Rows, speedupRow(name, runConfig(name, b), base))
+	}
+	return []Table{t}
+}

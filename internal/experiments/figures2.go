@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/criticality"
+	"catch/internal/power"
+	"catch/internal/stats"
+	"catch/internal/tact"
+	"catch/internal/workloads"
+)
+
+// mpConfig turns an ST configuration into its 4-core variant.
+func mpConfig(name string) config.SystemConfig {
+	cfg, ok := ConfigByName(name)
+	if !ok {
+		panic("experiments: unknown config " + name)
+	}
+	cfg.Cores = 4
+	return cfg
+}
+
+// weightedSpeedup computes Σ IPC_together / IPC_alone for one mix on
+// one configuration. aloneIPC is the fixed reference (each workload
+// alone on the *baseline*), so weighted speedups are comparable across
+// configurations as a throughput metric.
+func weightedSpeedup(cfg, refCfg config.SystemConfig, mix *workloads.Mix, b Budget,
+	aloneIPC map[string]float64) float64 {
+
+	for _, part := range mix.Parts {
+		if _, ok := aloneIPC[part.WName]; !ok {
+			sys := core.NewSystem(refCfg)
+			r := sys.RunST(part.NewGen(), b.Insts, b.Warmup)
+			aloneIPC[part.WName] = r.IPC
+		}
+	}
+	sys := core.NewSystem(cfg)
+	rs := sys.RunMP(mix.Gens(), b.Insts, b.Warmup)
+	ws := 0.0
+	for i, r := range rs {
+		if alone := aloneIPC[mix.Parts[i].WName]; alone > 0 {
+			ws += r.IPC / alone
+		}
+	}
+	return ws
+}
+
+// Fig14 reproduces Figure 14: weighted speedup of 4-way
+// multi-programmed workloads (paper: noL2 -4.1%, noL2+CATCH +8.5%,
+// CATCH +9.0%).
+func Fig14(b Budget) []Table {
+	mixes := workloads.Mixes()
+	if b.Mixes > 0 && b.Mixes < len(mixes) {
+		// Spread the selection over RATE-4 and random mixes.
+		sel := make([]workloads.Mix, 0, b.Mixes)
+		step := float64(len(mixes)) / float64(b.Mixes)
+		for i := 0; i < b.Mixes; i++ {
+			sel = append(sel, mixes[int(float64(i)*step)])
+		}
+		mixes = sel
+	}
+
+	configs := []string{"baseline-excl", "nol2-6.5", "nol2-6.5-catch", "catch"}
+	refCfg := mpConfig("baseline-excl")
+	alone := make(map[string]float64) // fixed baseline reference
+	ws := make(map[string][]float64)
+	for _, name := range configs {
+		cfg := mpConfig(name)
+		for i := range mixes {
+			ws[name] = append(ws[name], weightedSpeedup(cfg, refCfg, &mixes[i], b, alone))
+		}
+	}
+	t := Table{
+		ID:      "fig14",
+		Title:   fmt.Sprintf("4-way multi-programmed weighted speedup (%d mixes)", len(mixes)),
+		Headers: []string{"config", "perf impact vs baseline"},
+	}
+	base := stats.Geomean(ws["baseline-excl"])
+	for _, name := range configs[1:] {
+		t.Rows = append(t.Rows, []string{name, pct(stats.Geomean(ws[name]), base)})
+	}
+	return []Table{t}
+}
+
+// Fig16 reproduces Figure 16: energy savings of the two-level CATCH
+// hierarchy versus the three-level baseline (paper: ~11% average, with
+// lower cache and memory traffic but far more interconnect traffic).
+func Fig16(b Budget) []Table {
+	baseCfg, _ := ConfigByName("baseline-excl")
+	catchCfg, _ := ConfigByName("nol2-9.5-catch")
+	base := runSys(baseCfg, b)
+	two := runSys(catchCfg, b)
+
+	em := power.DefaultEnergyModel()
+	t := Table{
+		ID:      "fig16",
+		Title:   "Energy savings with two-level CATCH (NoL2 + 9.5MB LLC)",
+		Headers: []string{"category", "energy savings", "L2+LLC traffic", "interconnect flits", "DRAM accesses"},
+	}
+	row := func(cat, label string) []string {
+		var eBase, eTwo float64
+		var cB, cT, fB, fT, dB, dT uint64
+		for i := range base {
+			if cat != "" && base[i].Category != cat {
+				continue
+			}
+			bb := em.Energy(&baseCfg, &base[i])
+			bt := em.Energy(&catchCfg, &two[i])
+			eBase += bb.TotalUJ
+			eTwo += bt.TotalUJ
+			cB += base[i].OuterCacheTraffic()
+			cT += two[i].OuterCacheTraffic()
+			fB += bb.RingFlits
+			fT += bt.RingFlits
+			dB += bb.DRAMEvents
+			dT += bt.DRAMEvents
+		}
+		sav := 0.0
+		if eBase > 0 {
+			sav = (1 - eTwo/eBase) * 100
+		}
+		return []string{
+			label,
+			fmt.Sprintf("%.2f%%", sav),
+			deltaPct(cT, cB), deltaPct(fT, fB), deltaPct(dT, dB),
+		}
+	}
+	for _, cat := range workloads.Categories {
+		t.Rows = append(t.Rows, row(cat, cat))
+	}
+	t.Rows = append(t.Rows, row("", "ALL"))
+	am := power.DefaultAreaModel()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cache area: baseline %.1f mm², two-level CATCH %.1f mm² (both 4-core)",
+			am.CacheAreaMM2(fourCore(baseCfg)), am.CacheAreaMM2(fourCore(catchCfg))))
+	return []Table{t}
+}
+
+func fourCore(cfg config.SystemConfig) *config.SystemConfig {
+	cfg.Cores = 4
+	return &cfg
+}
+
+func deltaPct(now, was uint64) string {
+	if was == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (float64(now)/float64(was)-1)*100)
+}
+
+// Table1 reproduces Table I / Fig 9: the hardware budget of the
+// criticality detector graph and the TACT structures.
+func Table1(b Budget) []Table {
+	a := criticality.ComputeArea(224, 2.5, 32)
+	tp := tact.New(tact.DefaultConfig(), nil)
+	t := Table{
+		ID:      "table1",
+		Title:   "Hardware storage budget (paper: ~3KB detector + ~1.2KB TACT)",
+		Headers: []string{"structure", "bytes"},
+		Rows: [][]string{
+			{"DDG graph buffer (2.5×ROB × 38b)", fmt.Sprint(a.GraphBytes)},
+			{"hashed PCs (10b × 2.5×ROB)", fmt.Sprint(a.PCBytes)},
+			{"critical load table (32 entries)", fmt.Sprint(a.TableBytes)},
+			{"criticality total", fmt.Sprint(a.TotalBytes)},
+			{"TACT structures (Fig 9)", fmt.Sprint(tp.AreaBytes())},
+		},
+	}
+	return []Table{t}
+}
+
+// AreaPerf is an extension experiment: the chip-level area/performance
+// trade-off table enabled by CATCH (the paper's §VI-A headline claims:
+// two-level CATCH at ~30% less cache area still outperforms).
+func AreaPerf(b Budget) []Table {
+	am := power.DefaultAreaModel()
+	base := runConfig("baseline-excl", b)
+	t := Table{
+		ID:      "area",
+		Title:   "Chip-level cache area vs performance (4-core area, ST perf)",
+		Headers: []string{"config", "cache area mm²", "area vs baseline", "perf vs baseline"},
+	}
+	baseCfg, _ := ConfigByName("baseline-excl")
+	baseArea := am.CacheAreaMM2(fourCore(baseCfg))
+	for _, name := range []string{"baseline-excl", "nol2-6.5-catch", "nol2-9.5-catch", "catch"} {
+		cfg, _ := ConfigByName(name)
+		area := am.CacheAreaMM2(fourCore(cfg))
+		rs := base
+		if name != "baseline-excl" {
+			rs = runConfig(name, b)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", area),
+			fmt.Sprintf("%+.1f%%", (area/baseArea-1)*100),
+			pct(geomeanIPC(rs, ""), geomeanIPC(base, "")),
+		})
+	}
+	return []Table{t}
+}
+
+// Experiments maps experiment ids to their drivers.
+var Experiments = map[string]func(Budget) []Table{
+	"fig1":   Fig1,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"table1": Table1,
+	"area":   AreaPerf,
+
+	// Extensions beyond the paper's figures.
+	"ext-tablesize":   ExtTableSize,
+	"ext-mshr":        ExtMSHR,
+	"ext-deepdist":    ExtDeepDistance,
+	"ext-replacement": ExtReplacement,
+	"ext-heuristics":  ExtHeuristics,
+	"ext-branchpred":  ExtBranchPred,
+	"ext-sharedcode":  ExtSharedCode,
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, b Budget) ([]Table, error) {
+	f, ok := Experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return f(b), nil
+}

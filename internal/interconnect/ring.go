@@ -1,0 +1,90 @@
+// Package interconnect models the on-die ring connecting cores to LLC
+// slices. It provides per-hop latency and traffic accounting (request,
+// data and write-back message classes) used by the power model: the
+// paper's two-level CATCH hierarchy trades lower cache/memory traffic
+// for substantially more interconnect traffic (§VI-E).
+package interconnect
+
+// MsgClass labels a ring message for traffic/energy accounting.
+type MsgClass uint8
+
+// Message classes.
+const (
+	MsgRequest   MsgClass = iota // address-only request, 1 flit
+	MsgData                      // 64B data response, 4 flits
+	MsgWriteback                 // 64B dirty eviction, 4 flits
+	MsgSnoop                     // coherence probe, 1 flit
+	numClasses
+)
+
+// FlitsPerClass gives the flit cost of each message class (16B flits).
+var FlitsPerClass = [numClasses]uint64{1, 4, 4, 1}
+
+// Stats aggregates ring activity.
+type Stats struct {
+	Messages [numClasses]uint64
+	Flits    uint64
+	HopFlits uint64 // flits × hops traversed (energy proxy)
+}
+
+// Ring is a bidirectional ring with Stops stations (cores + LLC
+// slices). Latency of a traversal is HopLat × hop distance.
+type Ring struct {
+	Stops  int
+	HopLat int64
+	Stats  Stats
+}
+
+// New builds a ring with the given number of stops and per-hop latency.
+func New(stops int, hopLat int64) *Ring {
+	if stops < 2 {
+		stops = 2
+	}
+	if hopLat < 1 {
+		hopLat = 1
+	}
+	return &Ring{Stops: stops, HopLat: hopLat}
+}
+
+// hops returns the shortest-path hop count between two stops.
+func (r *Ring) hops(src, dst int) int {
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if alt := r.Stops - d; alt < d {
+		d = alt
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// Traverse accounts one message from src to dst and returns its
+// latency.
+func (r *Ring) Traverse(src, dst int, class MsgClass) int64 {
+	h := r.hops(src, dst)
+	f := FlitsPerClass[class]
+	r.Stats.Messages[class]++
+	r.Stats.Flits += f
+	r.Stats.HopFlits += f * uint64(h)
+	return int64(h) * r.HopLat
+}
+
+// RoundTrip accounts a request and its data response and returns the
+// combined latency.
+func (r *Ring) RoundTrip(src, dst int) int64 {
+	lat := r.Traverse(src, dst, MsgRequest)
+	lat += r.Traverse(dst, src, MsgData)
+	return lat
+}
+
+// TotalMessages returns the total message count across classes.
+func (r *Ring) TotalMessages() uint64 {
+	var t uint64
+	for _, m := range r.Stats.Messages {
+		t += m
+	}
+	return t
+}

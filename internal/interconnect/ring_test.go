@@ -1,0 +1,58 @@
+package interconnect
+
+import "testing"
+
+func TestHopsShortestPath(t *testing.T) {
+	r := New(8, 2)
+	if h := r.hops(0, 1); h != 1 {
+		t.Fatalf("hops(0,1) = %d", h)
+	}
+	if h := r.hops(0, 7); h != 1 {
+		t.Fatalf("hops(0,7) wraps the ring: got %d", h)
+	}
+	if h := r.hops(0, 4); h != 4 {
+		t.Fatalf("hops(0,4) = %d", h)
+	}
+	if h := r.hops(2, 2); h != 1 {
+		t.Fatalf("same-stop traversal should count one hop, got %d", h)
+	}
+}
+
+func TestTraverseLatencyAndAccounting(t *testing.T) {
+	r := New(8, 3)
+	lat := r.Traverse(0, 2, MsgRequest)
+	if lat != 6 {
+		t.Fatalf("2 hops × 3 = %d", lat)
+	}
+	if r.Stats.Messages[MsgRequest] != 1 || r.Stats.Flits != 1 {
+		t.Fatalf("request accounting wrong: %+v", r.Stats)
+	}
+	r.Traverse(2, 0, MsgData)
+	if r.Stats.Flits != 5 { // 1 + 4 flits
+		t.Fatalf("data flits wrong: %+v", r.Stats)
+	}
+	if r.Stats.HopFlits != 1*2+4*2 {
+		t.Fatalf("hop-flits wrong: %+v", r.Stats)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := New(8, 2)
+	lat := r.RoundTrip(0, 4)
+	if lat != 16 { // 4 hops each way × 2
+		t.Fatalf("round trip latency %d", lat)
+	}
+	if r.TotalMessages() != 2 {
+		t.Fatalf("round trip messages %d", r.TotalMessages())
+	}
+}
+
+func TestDegenerateRing(t *testing.T) {
+	r := New(0, 0)
+	if r.Stops < 2 || r.HopLat < 1 {
+		t.Fatalf("degenerate ring not clamped: %+v", r)
+	}
+	if lat := r.Traverse(0, 1, MsgSnoop); lat <= 0 {
+		t.Fatalf("degenerate traverse latency %d", lat)
+	}
+}

@@ -1,0 +1,191 @@
+// Package memory implements a DDR4-style main-memory timing model:
+// channels, ranks and banks with open-row tracking, tCAS/tRCD/tRP/tRAS
+// timing, data-bus occupancy and batched writes. All times are in core
+// clock cycles.
+package memory
+
+// Config holds DRAM organization and timing parameters, expressed in
+// core cycles.
+type Config struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	RowBytes     uint64
+
+	TCAS, TRCD, TRP, TRAS int64
+	BurstCycles           int64 // data transfer time of one 64B line
+	CtrlOverhead          int64 // controller + queueing fixed cost
+	WriteBatch            int   // writes buffered before a drain burst
+}
+
+// DDR4_2400 returns the paper's memory configuration (two DDR4-2400
+// channels, two ranks per channel, eight banks per rank, 2KB row
+// buffers, 15-15-15-39 timing) converted to 3.2GHz core cycles.
+func DDR4_2400() Config {
+	// One DRAM cycle at 1200MHz is 2.67 core cycles at 3.2GHz.
+	const dclk = 8.0 / 3.0
+	return Config{
+		Channels:     2,
+		RanksPerChan: 2,
+		BanksPerRank: 8,
+		RowBytes:     2048,
+		TCAS:         int64(15 * dclk),
+		TRCD:         int64(15 * dclk),
+		TRP:          int64(15 * dclk),
+		TRAS:         int64(39 * dclk),
+		BurstCycles:  11, // 64B over a 64-bit bus at 2400MT/s
+		CtrlOverhead: 50,
+		WriteBatch:   16,
+	}
+}
+
+// Stats counts DRAM events.
+type Stats struct {
+	Reads, Writes        uint64
+	RowHits, RowMisses   uint64
+	RowConflicts         uint64
+	WriteDrains          uint64
+	TotalReadLat         uint64
+	BusyStallCycles      uint64
+	ChannelBusyConflicts uint64
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	readyAt  int64
+}
+
+type channel struct {
+	busReadyAt int64
+}
+
+// DRAM is the memory device model.
+type DRAM struct {
+	cfg      Config
+	banks    []bank
+	channels []channel
+	pending  int // buffered writes awaiting a drain
+	Stats    Stats
+}
+
+// New constructs a DRAM model from cfg.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.RanksPerChan <= 0 {
+		cfg.RanksPerChan = 1
+	}
+	if cfg.BanksPerRank <= 0 {
+		cfg.BanksPerRank = 1
+	}
+	if cfg.RowBytes < 64 {
+		cfg.RowBytes = 64
+	}
+	if cfg.WriteBatch <= 0 {
+		cfg.WriteBatch = 1
+	}
+	n := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
+	return &DRAM{
+		cfg:      cfg,
+		banks:    make([]bank, n),
+		channels: make([]channel, cfg.Channels),
+	}
+}
+
+// Config returns the device configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// locate maps a physical address to (channel, bank index, row).
+func (d *DRAM) locate(addr uint64) (ch int, bk int, row uint64) {
+	line := addr >> 6
+	ch = int(line % uint64(d.cfg.Channels))
+	line /= uint64(d.cfg.Channels)
+	nb := d.cfg.RanksPerChan * d.cfg.BanksPerRank
+	bk = ch*nb + int(line%uint64(nb))
+	line /= uint64(nb)
+	row = line / (d.cfg.RowBytes / 64)
+	return
+}
+
+// Read returns the latency of a demand read issued at cycle now.
+func (d *DRAM) Read(addr uint64, now int64) int64 {
+	d.Stats.Reads++
+	ch, bk, row := d.locate(addr)
+	b := &d.banks[bk]
+	c := &d.channels[ch]
+
+	start := now + d.cfg.CtrlOverhead
+	if b.readyAt > start {
+		d.Stats.BusyStallCycles += uint64(b.readyAt - start)
+		start = b.readyAt
+	}
+
+	var access int64
+	switch {
+	case b.rowValid && b.openRow == row:
+		d.Stats.RowHits++
+		access = d.cfg.TCAS
+	case b.rowValid:
+		d.Stats.RowConflicts++
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+	default:
+		d.Stats.RowMisses++
+		access = d.cfg.TRCD + d.cfg.TCAS
+	}
+	b.openRow, b.rowValid = row, true
+
+	dataAt := start + access
+	if c.busReadyAt > dataAt {
+		d.Stats.ChannelBusyConflicts++
+		dataAt = c.busReadyAt
+	}
+	done := dataAt + d.cfg.BurstCycles
+	c.busReadyAt = done
+	b.readyAt = start + access // bank can overlap with bus transfer
+
+	lat := done - now
+	d.Stats.TotalReadLat += uint64(lat)
+	return lat
+}
+
+// Write buffers a write-back; when WriteBatch writes have accumulated
+// the batch is drained, occupying banks and buses (modelled as advancing
+// bank/bus ready times round-robin).
+func (d *DRAM) Write(addr uint64, now int64) {
+	d.Stats.Writes++
+	d.pending++
+	if d.pending < d.cfg.WriteBatch {
+		return
+	}
+	d.pending = 0
+	d.Stats.WriteDrains++
+	// Spread the batch across banks; each write costs roughly a row
+	// activation plus burst on its bank.
+	per := (d.cfg.TRCD + d.cfg.TCAS + d.cfg.BurstCycles) / 2
+	for i := range d.banks {
+		b := &d.banks[i]
+		if b.readyAt < now {
+			b.readyAt = now
+		}
+		b.readyAt += per * int64(d.cfg.WriteBatch) / int64(len(d.banks))
+	}
+}
+
+// AvgReadLatency returns the mean observed read latency in cycles.
+func (d *DRAM) AvgReadLatency() float64 {
+	if d.Stats.Reads == 0 {
+		return 0
+	}
+	return float64(d.Stats.TotalReadLat) / float64(d.Stats.Reads)
+}
+
+// RowHitRate returns the fraction of reads that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	t := d.Stats.RowHits + d.Stats.RowMisses + d.Stats.RowConflicts
+	if t == 0 {
+		return 0
+	}
+	return float64(d.Stats.RowHits) / float64(t)
+}

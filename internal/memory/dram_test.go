@@ -1,0 +1,104 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The address mapping interleaves consecutive lines over channels and
+// banks: with 2ch×2rk×8bk and 2KB rows, lines 32 apart share a bank and
+// row, and lines 1024 apart share a bank but not a row.
+const (
+	sameBankSameRow = 32 * 64
+	sameBankNextRow = 1024 * 64
+)
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	d := New(DDR4_2400())
+	first := d.Read(0, 0)
+	hit := d.Read(sameBankSameRow, first+1000)
+	if hit >= first {
+		t.Fatalf("row hit (%d) not faster than opening read (%d)", hit, first)
+	}
+	conflict := d.Read(sameBankNextRow, first+5000)
+	if conflict <= hit {
+		t.Fatalf("row conflict (%d) not slower than row hit (%d)", conflict, hit)
+	}
+}
+
+func TestRowHitRateTracked(t *testing.T) {
+	d := New(DDR4_2400())
+	for i := 0; i < 32; i++ {
+		d.Read(uint64(i*sameBankSameRow), int64(i*500))
+	}
+	if d.RowHitRate() < 0.5 {
+		t.Fatalf("same-row reads row-hit rate %.2f too low", d.RowHitRate())
+	}
+}
+
+func TestBankBusyDelaysBackToBack(t *testing.T) {
+	d := New(DDR4_2400())
+	l1 := d.Read(0, 0)
+	// Immediate second access to the SAME bank, different row, queues.
+	l2 := d.Read(sameBankNextRow, 0)
+	if l2 <= l1 {
+		t.Fatalf("back-to-back same-bank conflict %d not delayed vs %d", l2, l1)
+	}
+}
+
+func TestChannelsAllowParallelism(t *testing.T) {
+	d := New(DDR4_2400())
+	a := d.Read(0, 0)
+	b := d.Read(64*1, 0) // different channel by the address mapping
+	if b > a+d.Config().BurstCycles {
+		t.Fatalf("cross-channel read serialized: %d vs %d", b, a)
+	}
+}
+
+func TestWritesBatched(t *testing.T) {
+	d := New(DDR4_2400())
+	for i := 0; i < d.Config().WriteBatch-1; i++ {
+		d.Write(uint64(i*64), 0)
+	}
+	if d.Stats.WriteDrains != 0 {
+		t.Fatal("drained before batch full")
+	}
+	d.Write(uint64(d.Config().WriteBatch*64), 0)
+	if d.Stats.WriteDrains != 1 {
+		t.Fatal("batch did not drain")
+	}
+	if d.Stats.Writes != uint64(d.Config().WriteBatch) {
+		t.Fatalf("write count %d", d.Stats.Writes)
+	}
+}
+
+func TestAvgReadLatency(t *testing.T) {
+	d := New(DDR4_2400())
+	if d.AvgReadLatency() != 0 {
+		t.Fatal("avg latency nonzero before reads")
+	}
+	d.Read(0, 0)
+	if d.AvgReadLatency() <= 0 {
+		t.Fatal("avg latency not tracked")
+	}
+}
+
+func TestReadLatencyPositiveProperty(t *testing.T) {
+	d := New(DDR4_2400())
+	now := int64(0)
+	f := func(addr uint64) bool {
+		now += 50
+		lat := d.Read(addr%(1<<32), now)
+		return lat > 0 && lat < 100000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateConfig(t *testing.T) {
+	d := New(Config{}) // all zero: must not panic
+	if lat := d.Read(0, 0); lat < 0 {
+		t.Fatalf("degenerate config latency %d", lat)
+	}
+}

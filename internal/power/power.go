@@ -1,0 +1,128 @@
+// Package power models chip energy and area for the evaluated cache
+// hierarchies, in the spirit of the paper's CACTI/Orion/Micron
+// methodology (§VI-E): per-event energies for cache reads/writes that
+// scale with capacity, per-hop-flit ring energy, and DRAM access plus
+// background energy. Only relative comparisons between configurations
+// are meaningful, exactly as in the paper.
+package power
+
+import (
+	"math"
+
+	"catch/internal/config"
+	"catch/internal/core"
+)
+
+// EnergyModel holds the per-event energy constants (picojoules).
+type EnergyModel struct {
+	// CacheReadPJ(sizeBytes) = CacheBasePJ + CacheScalePJ*sqrt(size in KB)
+	CacheBasePJ  float64
+	CacheScalePJ float64
+	WriteFactor  float64 // writes cost reads × this factor
+
+	RingHopFlitPJ float64 // energy per flit per hop
+
+	DRAMAccessPJ     float64 // per 64B read or write burst
+	DRAMBackgroundPW float64 // background power per cycle (pJ/cycle)
+}
+
+// DefaultEnergyModel returns CACTI-class constants for a ~14nm node.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		CacheBasePJ:      4,
+		CacheScalePJ:     0.55,
+		WriteFactor:      1.2,
+		RingHopFlitPJ:    1.6,
+		DRAMAccessPJ:     15000,
+		DRAMBackgroundPW: 35,
+	}
+}
+
+// cacheReadPJ returns the read energy of a cache of the given size.
+func (m *EnergyModel) cacheReadPJ(size uint64) float64 {
+	return m.CacheBasePJ + m.CacheScalePJ*math.Sqrt(float64(size)/1024)
+}
+
+// Breakdown is the energy split of one run, in microjoules.
+type Breakdown struct {
+	CacheUJ float64
+	RingUJ  float64
+	DRAMUJ  float64
+	TotalUJ float64
+
+	CacheEvents uint64
+	RingFlits   uint64
+	DRAMEvents  uint64
+}
+
+// Energy computes the energy consumed by a run on a configuration.
+func (m *EnergyModel) Energy(cfg *config.SystemConfig, r *core.Result) Breakdown {
+	var b Breakdown
+
+	acc := func(size uint64, reads, writes uint64) {
+		e := m.cacheReadPJ(size)
+		b.CacheUJ += (float64(reads)*e + float64(writes)*e*m.WriteFactor) / 1e6
+		b.CacheEvents += reads + writes
+	}
+	acc(cfg.L1DSize, r.L1D.Lookups, r.L1D.Fills+r.L1D.Writes)
+	acc(cfg.L1ISize, r.L1I.Lookups, r.L1I.Fills)
+	if r.HasL2 {
+		acc(cfg.L2Size, r.L2.Lookups, r.L2.Fills+r.L2.Writes)
+	}
+	acc(cfg.LLCSize, r.LLC.Lookups, r.LLC.Fills+r.LLC.Writes)
+
+	b.RingFlits = r.Ring.HopFlits
+	b.RingUJ = float64(r.Ring.HopFlits) * m.RingHopFlitPJ / 1e6
+
+	b.DRAMEvents = r.DRAM.Reads + r.DRAM.Writes
+	b.DRAMUJ = (float64(b.DRAMEvents)*m.DRAMAccessPJ +
+		float64(r.Cycles)*m.DRAMBackgroundPW) / 1e6
+
+	b.TotalUJ = b.CacheUJ + b.RingUJ + b.DRAMUJ
+	return b
+}
+
+// AreaModel estimates die area of the cache hierarchy.
+type AreaModel struct {
+	MM2PerMB     float64 // SRAM density
+	L2Overhead   float64 // per-core L2 control overhead (mm²)
+	SnoopFilter  float64 // exclusive-LLC coherence directory (mm²/core)
+	FixedPerCore float64 // L1s + control (mm²)
+}
+
+// DefaultAreaModel returns representative 14nm-class density numbers.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		MM2PerMB:     1.9,
+		L2Overhead:   0.45,
+		SnoopFilter:  0.25,
+		FixedPerCore: 0.35,
+	}
+}
+
+// CacheAreaMM2 returns the total cache area of a configuration
+// (private caches × cores + shared LLC).
+func (a *AreaModel) CacheAreaMM2(cfg *config.SystemConfig) float64 {
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	mb := func(b uint64) float64 { return float64(b) / (1 << 20) }
+	area := float64(cores) * (a.FixedPerCore + a.MM2PerMB*mb(cfg.L1ISize+cfg.L1DSize))
+	if cfg.HasL2 {
+		area += float64(cores) * (a.L2Overhead + a.MM2PerMB*mb(cfg.L2Size))
+	}
+	area += a.MM2PerMB * mb(cfg.LLCSize)
+	if !cfg.Inclusive {
+		area += float64(cores) * a.SnoopFilter
+	}
+	return area
+}
+
+// SavingsPercent returns the relative energy savings of b versus base.
+func SavingsPercent(base, b Breakdown) float64 {
+	if base.TotalUJ == 0 {
+		return 0
+	}
+	return (1 - b.TotalUJ/base.TotalUJ) * 100
+}

@@ -1,0 +1,95 @@
+package power
+
+import (
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/workloads"
+)
+
+func runFor(t *testing.T, cfg config.SystemConfig) core.Result {
+	t.Helper()
+	w, _ := workloads.ByName("hmmer")
+	return core.NewSystem(cfg).RunST(w.NewGen(), 30_000, 10_000)
+}
+
+func TestEnergyPositiveAndAdditive(t *testing.T) {
+	cfg := config.BaselineExclusive()
+	r := runFor(t, cfg)
+	em := DefaultEnergyModel()
+	b := em.Energy(&cfg, &r)
+	if b.CacheUJ <= 0 || b.DRAMUJ <= 0 {
+		t.Fatalf("energy components non-positive: %+v", b)
+	}
+	sum := b.CacheUJ + b.RingUJ + b.DRAMUJ
+	if b.TotalUJ != sum {
+		t.Fatalf("total %v != sum %v", b.TotalUJ, sum)
+	}
+}
+
+func TestLargerCacheCostsMorePerAccess(t *testing.T) {
+	em := DefaultEnergyModel()
+	small := em.cacheReadPJ(32 * 1024)
+	big := em.cacheReadPJ(8 * 1024 * 1024)
+	if big <= small {
+		t.Fatalf("8MB read (%v pJ) not costlier than 32KB (%v pJ)", big, small)
+	}
+}
+
+func TestTwoLevelTradesRingForCache(t *testing.T) {
+	baseCfg := config.BaselineExclusive()
+	twoCfg := config.WithCATCH(config.NoL2(baseCfg, 9728*config.KB, 19, ""), "two-level")
+	em := DefaultEnergyModel()
+	rb := runFor(t, baseCfg)
+	rt := runFor(t, twoCfg)
+	bb := em.Energy(&baseCfg, &rb)
+	bt := em.Energy(&twoCfg, &rt)
+	// The paper's §VI-E: two-level has much more interconnect traffic.
+	if bt.RingFlits <= bb.RingFlits {
+		t.Fatalf("two-level ring traffic not higher: %d vs %d", bt.RingFlits, bb.RingFlits)
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	am := DefaultAreaModel()
+	base := config.BaselineExclusive()
+	base.Cores = 4
+	noL2 := config.NoL2(config.BaselineExclusive(), 6656*config.KB, 13, "nol2")
+	noL2.Cores = 4
+	aBase := am.CacheAreaMM2(&base)
+	aNoL2 := am.CacheAreaMM2(&noL2)
+	if aNoL2 >= aBase {
+		t.Fatalf("removing 4MB of L2 did not shrink area: %v vs %v", aNoL2, aBase)
+	}
+	// Paper: the noL2+6.5MB configuration is ≈30% smaller cache area.
+	saving := 1 - aNoL2/aBase
+	if saving < 0.15 || saving > 0.45 {
+		t.Fatalf("area saving %.1f%%, want ≈30%%", saving*100)
+	}
+}
+
+func TestIsoAreaConfiguration(t *testing.T) {
+	am := DefaultAreaModel()
+	base := config.BaselineExclusive()
+	base.Cores = 4
+	iso := config.NoL2(config.BaselineExclusive(), 9728*config.KB, 19, "iso")
+	iso.Cores = 4
+	aBase := am.CacheAreaMM2(&base)
+	aIso := am.CacheAreaMM2(&iso)
+	diff := (aIso - aBase) / aBase
+	if diff > 0.10 || diff < -0.15 {
+		t.Fatalf("9.5MB noL2 not ≈iso-area: %+.1f%%", diff*100)
+	}
+}
+
+func TestSavingsPercent(t *testing.T) {
+	a := Breakdown{TotalUJ: 100}
+	b := Breakdown{TotalUJ: 89}
+	if s := SavingsPercent(a, b); s < 10.9 || s > 11.1 {
+		t.Fatalf("savings %v", s)
+	}
+	if SavingsPercent(Breakdown{}, b) != 0 {
+		t.Fatal("zero base not handled")
+	}
+}

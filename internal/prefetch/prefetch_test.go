@@ -1,0 +1,168 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrideLearnsAfterTwoRepeats(t *testing.T) {
+	p := NewStride(64)
+	pc := uint64(0x400)
+	if _, ok := p.OnLoad(pc, 1000); ok {
+		t.Fatal("predicted with no history")
+	}
+	if _, ok := p.OnLoad(pc, 1064); ok {
+		t.Fatal("predicted after first delta")
+	}
+	if _, ok := p.OnLoad(pc, 1128); ok {
+		t.Fatal("predicted before confidence threshold")
+	}
+	addr, ok := p.OnLoad(pc, 1192)
+	if !ok || addr != 1256 {
+		t.Fatalf("prediction = %d,%v want 1256", addr, ok)
+	}
+}
+
+func TestStrideNegative(t *testing.T) {
+	p := NewStride(64)
+	pc := uint64(0x400)
+	for a := int64(10000); a > 9000; a -= 128 {
+		p.OnLoad(pc, uint64(a))
+	}
+	addr, ok := p.OnLoad(pc, 8976)
+	if !ok || addr != 8976-128 {
+		t.Fatalf("negative stride prediction = %d,%v", addr, ok)
+	}
+}
+
+func TestStrideResetOnChange(t *testing.T) {
+	p := NewStride(64)
+	pc := uint64(0x400)
+	for i := 0; i < 8; i++ {
+		p.OnLoad(pc, uint64(1000+i*64))
+	}
+	if _, ok := p.OnLoad(pc, 50000); ok {
+		t.Fatal("predicted on stride break")
+	}
+	if _, ok := p.OnLoad(pc, 50100); ok {
+		t.Fatal("predicted after one instance of new stride")
+	}
+}
+
+func TestStrideZeroDeltaIgnored(t *testing.T) {
+	p := NewStride(64)
+	pc := uint64(0x400)
+	for i := 0; i < 10; i++ {
+		if _, ok := p.OnLoad(pc, 4096); ok {
+			t.Fatal("predicted on repeated identical address")
+		}
+	}
+}
+
+func TestStridePerPC(t *testing.T) {
+	p := NewStride(256)
+	for i := 0; i < 6; i++ {
+		p.OnLoad(0x400, uint64(1000+i*64))
+		p.OnLoad(0x404, uint64(90000+i*8))
+	}
+	s1, ok1 := p.ConfidentStride(0x400)
+	s2, ok2 := p.ConfidentStride(0x404)
+	if !ok1 || s1 != 64 || !ok2 || s2 != 8 {
+		t.Fatalf("per-PC strides wrong: %d,%v %d,%v", s1, ok1, s2, ok2)
+	}
+}
+
+func TestStrideNeverPredictsSameAddress(t *testing.T) {
+	f := func(pc uint64, start uint32, stride uint8) bool {
+		if stride == 0 {
+			return true
+		}
+		p := NewStride(64)
+		a := uint64(start)
+		var last uint64
+		for i := 0; i < 6; i++ {
+			if pa, ok := p.OnLoad(pc, a); ok {
+				last = pa
+				if pa == a {
+					return false
+				}
+			}
+			a += uint64(stride)
+		}
+		_ = last
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDetectsAscending(t *testing.T) {
+	p := NewStream(16, 2)
+	var out []uint64
+	base := uint64(0x100000)
+	for i := 0; i < 8; i++ {
+		out = p.OnAccess(base+uint64(i*64), out[:0])
+	}
+	if len(out) != 2 {
+		t.Fatalf("trained stream issued %d prefetches, want 2", len(out))
+	}
+	if out[0] != base+8*64 || out[1] != base+9*64 {
+		t.Fatalf("prefetch addrs wrong: %#x %#x", out[0], out[1])
+	}
+}
+
+func TestStreamDetectsDescending(t *testing.T) {
+	p := NewStream(16, 1)
+	var out []uint64
+	base := uint64(0x100000) + 63*64
+	for i := 0; i < 8; i++ {
+		out = p.OnAccess(base-uint64(i*64), out[:0])
+	}
+	if len(out) != 1 || out[0] >= base-7*64 {
+		t.Fatalf("descending stream prediction wrong: %v", out)
+	}
+}
+
+func TestStreamTracksMultiple(t *testing.T) {
+	p := NewStream(16, 1)
+	var a, b []uint64
+	for i := 0; i < 8; i++ {
+		a = p.OnAccess(0x100000+uint64(i*64), a[:0])
+		b = p.OnAccess(0x900000+uint64(i*64), b[:0])
+	}
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("concurrent streams not both trained")
+	}
+}
+
+func TestStreamLRUReplacement(t *testing.T) {
+	p := NewStream(2, 1)
+	// Train stream A, then thrash with two more pages, then A needs
+	// retraining (was evicted).
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = p.OnAccess(0x100000+uint64(i*64), out[:0])
+	}
+	if len(out) == 0 {
+		t.Fatal("stream A not trained")
+	}
+	p.OnAccess(0x200000, nil)
+	p.OnAccess(0x300000, nil)
+	out = p.OnAccess(0x100000+6*64, nil)
+	if len(out) != 0 {
+		t.Fatal("evicted stream predicted without retraining")
+	}
+}
+
+func TestStreamRandomNoise(t *testing.T) {
+	p := NewStream(16, 2)
+	preds := 0
+	for i := uint64(0); i < 200; i++ {
+		h := i * 2654435761 % (1 << 22)
+		preds += len(p.OnAccess(h&^63, nil))
+	}
+	if preds > 40 {
+		t.Fatalf("random access pattern produced %d predictions", preds)
+	}
+}

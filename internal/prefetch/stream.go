@@ -1,0 +1,103 @@
+package prefetch
+
+// StreamStats counts stream-prefetcher events.
+type StreamStats struct {
+	Allocations, Trained, Predictions uint64
+}
+
+type stream struct {
+	page     uint64
+	lastLine int64 // line offset within page (0..63)
+	dir      int8
+	conf     uint8
+	lru      int64
+	valid    bool
+}
+
+// StreamPrefetcher detects up to Streams concurrent sequential access
+// streams (by 4KB region) and, once trained, prefetches Degree lines
+// ahead in the detected direction. It models the aggressive baseline
+// multi-stream prefetcher that fills the L2 and LLC.
+type StreamPrefetcher struct {
+	streams []stream
+	Degree  int
+	tick    int64
+	Stats   StreamStats
+}
+
+// NewStream builds a multi-stream prefetcher tracking n streams with
+// the given prefetch degree.
+func NewStream(n, degree int) *StreamPrefetcher {
+	if n < 1 {
+		n = 1
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &StreamPrefetcher{streams: make([]stream, n), Degree: degree}
+}
+
+// OnAccess observes an L1-miss address and appends any prefetch line
+// addresses to out, returning the extended slice.
+func (p *StreamPrefetcher) OnAccess(addr uint64, out []uint64) []uint64 {
+	page := addr >> 12
+	line := int64((addr >> 6) & 63)
+	p.tick++
+
+	var s *stream
+	victim := 0
+	oldest := int64(1<<62 - 1)
+	for i := range p.streams {
+		st := &p.streams[i]
+		if st.valid && st.page == page {
+			s = st
+			break
+		}
+		if !st.valid {
+			oldest = -1
+			victim = i
+		} else if st.lru < oldest {
+			oldest = st.lru
+			victim = i
+		}
+	}
+	if s == nil {
+		p.Stats.Allocations++
+		p.streams[victim] = stream{page: page, lastLine: line, lru: p.tick, valid: true}
+		return out
+	}
+	s.lru = p.tick
+	d := line - s.lastLine
+	if d == 0 {
+		return out
+	}
+	var dir int8 = 1
+	if d < 0 {
+		dir = -1
+	}
+	if dir == s.dir {
+		if s.conf < 3 {
+			s.conf++
+			if s.conf == 2 {
+				p.Stats.Trained++
+			}
+		}
+	} else {
+		s.dir = dir
+		s.conf = 0
+	}
+	s.lastLine = line
+	if s.conf < 2 {
+		return out
+	}
+	base := (page << 12) | uint64(line<<6)
+	for k := 1; k <= p.Degree; k++ {
+		next := int64(base) + int64(dir)*int64(k)*64
+		if next < 0 {
+			break
+		}
+		p.Stats.Predictions++
+		out = append(out, uint64(next))
+	}
+	return out
+}

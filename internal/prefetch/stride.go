@@ -1,0 +1,75 @@
+// Package prefetch implements the baseline hardware prefetchers the
+// paper equips every configuration with: a PC-based stride prefetcher
+// at the L1 [41] and an aggressive multi-stream prefetcher into the
+// L2/LLC [32], [35]. TACT (package tact) sits on top of these.
+package prefetch
+
+// StrideStats counts stride-prefetcher events.
+type StrideStats struct {
+	Trains, Predictions uint64
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+	valid    bool
+}
+
+// StridePrefetcher is a PC-indexed stride table issuing distance-1
+// prefetches into the L1 once a stride has been seen twice.
+type StridePrefetcher struct {
+	entries []strideEntry
+	mask    uint64
+	Stats   StrideStats
+}
+
+// NewStride builds a stride prefetcher with the given table size
+// (rounded up to a power of two).
+func NewStride(size int) *StridePrefetcher {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &StridePrefetcher{entries: make([]strideEntry, n), mask: uint64(n - 1)}
+}
+
+// OnLoad observes a demand load and returns a distance-1 prefetch
+// address when the PC has a confident stride.
+func (p *StridePrefetcher) OnLoad(pc, addr uint64) (uint64, bool) {
+	e := &p.entries[(pc>>2)&p.mask]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return 0, false
+	}
+	d := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if d == 0 {
+		return 0, false
+	}
+	if d == e.stride {
+		if e.conf < 3 {
+			e.conf++
+			p.Stats.Trains++
+		}
+	} else {
+		e.stride = d
+		e.conf = 0
+		return 0, false
+	}
+	if e.conf >= 2 {
+		p.Stats.Predictions++
+		return uint64(int64(addr) + d), true
+	}
+	return 0, false
+}
+
+// ConfidentStride reports the learned stride for pc, if confident.
+func (p *StridePrefetcher) ConfidentStride(pc uint64) (int64, bool) {
+	e := &p.entries[(pc>>2)&p.mask]
+	if e.valid && e.pc == pc && e.conf >= 2 && e.stride != 0 {
+		return e.stride, true
+	}
+	return 0, false
+}

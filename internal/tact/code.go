@@ -1,0 +1,75 @@
+package tact
+
+// CodePrefetcher implements the TACT code run-ahead prefetcher
+// (§IV-B2): while the front end is stalled on a code L1 miss, a
+// shadow next-prefetch instruction pointer (CNPIP) runs ahead through
+// the predicted control flow and prefetches upcoming code lines. The
+// two-way next-line predictor here stands in for re-using the
+// NIP/branch-prediction logic during the stall: it remembers up to two
+// observed successors per code line and explores both.
+type CodePrefetcher struct {
+	Depth int // run-ahead depth in code lines
+
+	next     map[uint64][2]uint64 // line -> observed successors (MRU first)
+	lastLine uint64
+	haveLast bool
+
+	queue []uint64 // scratch for the run-ahead walk
+
+	Learned uint64
+	Issued  uint64
+}
+
+// NewCodePrefetcher builds a code run-ahead prefetcher.
+func NewCodePrefetcher(depth int) *CodePrefetcher {
+	if depth <= 0 {
+		depth = 8
+	}
+	return &CodePrefetcher{Depth: depth, next: make(map[uint64][2]uint64)}
+}
+
+// OnLine observes the front end crossing into a new code line,
+// learning line successors (two-way, most recent first).
+func (c *CodePrefetcher) OnLine(line uint64) {
+	if c.haveLast && c.lastLine != line {
+		s := c.next[c.lastLine]
+		if s[0] != line {
+			if s[0] != 0 && s[1] != line {
+				s[1] = s[0]
+			}
+			s[0] = line
+			c.next[c.lastLine] = s
+			c.Learned++
+		}
+	}
+	c.lastLine = line
+	c.haveLast = true
+}
+
+// RunAhead is invoked when the front end stalls on missLine: the CNPIP
+// walks predicted successors (both ways at each fork) and issues
+// prefetches for up to Depth lines. Returns the number of prefetches
+// issued.
+func (c *CodePrefetcher) RunAhead(missLine uint64, now int64, issue func(addr uint64, now int64)) int {
+	n := 0
+	c.queue = append(c.queue[:0], missLine)
+	seen := missLine
+	for len(c.queue) > 0 && n < c.Depth {
+		l := c.queue[0]
+		c.queue = c.queue[1:]
+		s := c.next[l]
+		for _, nl := range s {
+			if nl == 0 || nl == seen || nl == missLine {
+				continue
+			}
+			c.Issued++
+			n++
+			issue(nl, now)
+			if n >= c.Depth {
+				break
+			}
+			c.queue = append(c.queue, nl)
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package tact
+
+import "testing"
+
+func TestCodePrefetcherLearnsSuccessors(t *testing.T) {
+	c := NewCodePrefetcher(8)
+	lines := []uint64{0x1000, 0x1040, 0x1080, 0x10C0}
+	for r := 0; r < 3; r++ {
+		for _, l := range lines {
+			c.OnLine(l)
+		}
+	}
+	cap := &capture{}
+	n := c.RunAhead(0x1000, 0, cap.issue)
+	if n == 0 {
+		t.Fatal("run-ahead issued nothing")
+	}
+	if !cap.has(0x1040) || !cap.has(0x1080) {
+		t.Fatalf("successor lines not prefetched: %#x", cap.addrs)
+	}
+}
+
+func TestCodePrefetcherTwoWay(t *testing.T) {
+	c := NewCodePrefetcher(8)
+	// Line A alternates successors B and C.
+	for r := 0; r < 4; r++ {
+		c.OnLine(0x1000)
+		c.OnLine(0x2000)
+		c.OnLine(0x1000)
+		c.OnLine(0x3000)
+	}
+	cap := &capture{}
+	c.RunAhead(0x1000, 0, cap.issue)
+	if !cap.has(0x2000) || !cap.has(0x3000) {
+		t.Fatalf("two-way successors not both prefetched: %#x", cap.addrs)
+	}
+}
+
+func TestCodePrefetcherDepthBound(t *testing.T) {
+	c := NewCodePrefetcher(4)
+	for i := uint64(0); i < 20; i++ {
+		c.OnLine(0x1000 + i*64)
+	}
+	cap := &capture{}
+	n := c.RunAhead(0x1000, 0, cap.issue)
+	if n > 4 {
+		t.Fatalf("run-ahead exceeded depth: %d", n)
+	}
+}
+
+func TestCodePrefetcherNoCycles(t *testing.T) {
+	c := NewCodePrefetcher(16)
+	// A two-line loop: run-ahead must terminate.
+	for r := 0; r < 4; r++ {
+		c.OnLine(0x1000)
+		c.OnLine(0x1040)
+	}
+	cap := &capture{}
+	n := c.RunAhead(0x1000, 0, cap.issue)
+	if n > 16 {
+		t.Fatalf("run-ahead did not terminate on a loop: %d", n)
+	}
+}
+
+func TestCodePrefetcherUnknownLine(t *testing.T) {
+	c := NewCodePrefetcher(8)
+	cap := &capture{}
+	if n := c.RunAhead(0x9000, 0, cap.issue); n != 0 {
+		t.Fatalf("unknown line issued %d prefetches", n)
+	}
+}

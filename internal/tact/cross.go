@@ -1,0 +1,171 @@
+package tact
+
+import "catch/internal/trace"
+
+// TriggerCache tracks, for the last 64 4KB pages (8 sets × 8 ways), the
+// first four load PCs that touched each page during its residency
+// (§IV-B1). Critical targets consult it for cross-trigger candidates.
+type TriggerCache struct {
+	entries [64]trigEntry
+	tick    int64
+}
+
+type trigEntry struct {
+	page  uint64
+	pcs   [4]uint64
+	n     uint8
+	lru   int64
+	valid bool
+}
+
+func (tc *TriggerCache) init() { *tc = TriggerCache{} }
+
+func (tc *TriggerCache) set(page uint64) []trigEntry {
+	s := int((page >> 12) % 8)
+	return tc.entries[s*8 : (s+1)*8]
+}
+
+// Touch records pc as a toucher of page (up to the first four).
+func (tc *TriggerCache) Touch(page, pc uint64) {
+	tc.tick++
+	set := tc.set(page)
+	victim, oldest := 0, int64(1<<62-1)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.page == page {
+			e.lru = tc.tick
+			for k := uint8(0); k < e.n; k++ {
+				if e.pcs[k] == pc {
+					return
+				}
+			}
+			if e.n < 4 {
+				e.pcs[e.n] = pc
+				e.n++
+			}
+			return
+		}
+		if !e.valid {
+			victim, oldest = i, -1
+		} else if e.lru < oldest {
+			victim, oldest = i, e.lru
+		}
+	}
+	set[victim] = trigEntry{page: page, lru: tc.tick, valid: true}
+	set[victim].pcs[0] = pc
+	set[victim].n = 1
+}
+
+// Candidates returns the recorded toucher PCs for page.
+func (tc *TriggerCache) Candidates(page uint64) ([4]uint64, int) {
+	set := tc.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			return set[i].pcs, int(set[i].n)
+		}
+	}
+	return [4]uint64{}, 0
+}
+
+// crossState is the per-target TACT-Cross learning state: one current
+// trigger candidate at a time, sixteen instances per trial, up to four
+// wrap-arounds over the candidate list.
+type crossState struct {
+	trigPC  uint64
+	candIdx uint8
+	trials  uint8
+	wraps   uint8
+	delta   int64
+	conf    uint8
+	done    bool
+	gaveUp  bool
+}
+
+func (c *crossState) init() { *c = crossState{} }
+
+const (
+	crossTrialLimit = 16
+	crossWrapLimit  = 4
+	crossConfSat    = 3
+)
+
+// trainCross advances cross-association learning for a dynamic
+// instance of target t at address addr.
+func (p *Prefetchers) trainCross(t *target, addr uint64, now int64) {
+	c := &t.cross
+	if c.done || c.gaveUp {
+		return
+	}
+	page := trace.PageAddr(addr)
+	cands, n := p.trig.Candidates(page)
+	if n == 0 {
+		return
+	}
+
+	// Select/advance the current candidate (oldest toucher first).
+	pick := func(idx uint8) (uint64, bool) {
+		for k := 0; k < n; k++ {
+			cand := cands[(int(idx)+k)%n]
+			if cand != 0 && cand != t.pc {
+				c.candIdx = uint8((int(idx) + k) % n)
+				return cand, true
+			}
+		}
+		return 0, false
+	}
+	if c.trigPC == 0 {
+		cand, ok := pick(0)
+		if !ok {
+			return
+		}
+		c.trigPC = cand
+	}
+
+	trigSt := p.strides[c.trigPC]
+	if trigSt == nil || !trigSt.seen {
+		return
+	}
+	delta := int64(addr) - int64(trigSt.lastAddr)
+	c.trials++
+	if delta > -trace.PageSize && delta < trace.PageSize && delta != 0 && delta == c.delta {
+		c.conf++
+		if c.conf >= crossConfSat {
+			c.done = true
+			p.crossIndex[c.trigPC] = append(p.crossIndex[c.trigPC], t)
+			p.Stats.CrossTrained++
+			return
+		}
+	} else {
+		c.delta = delta
+		c.conf = 0
+	}
+	if c.trials >= crossTrialLimit {
+		c.trials = 0
+		c.conf = 0
+		c.delta = 0
+		cand, ok := pick(c.candIdx + 1)
+		if !ok {
+			c.gaveUp = true
+			p.Stats.CrossGaveUp++
+			return
+		}
+		if cand == c.trigPC || c.candIdx == 0 {
+			c.wraps++
+			if c.wraps >= crossWrapLimit {
+				c.gaveUp = true
+				p.Stats.CrossGaveUp++
+				return
+			}
+		}
+		c.trigPC = cand
+	}
+}
+
+// fireCross issues prefetches for all targets whose trained trigger is
+// pc, predicting target address = trigger address + learned delta.
+func (p *Prefetchers) fireCross(pc, addr uint64, now int64) {
+	for _, t := range p.crossIndex[pc] {
+		p.Stats.CrossIssued++
+		p.issue(uint64(int64(addr)+t.cross.delta), now)
+	}
+}

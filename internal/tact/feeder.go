@@ -1,0 +1,121 @@
+package tact
+
+import "catch/internal/trace"
+
+// feederState is the per-target TACT-Feeder learning state: a candidate
+// feeder PC (the youngest load feeding the target's address registers)
+// with a 2-bit confidence, then per-scale Base learning for the linear
+// relation Address = Scale×Data + Base, Scale ∈ {1,2,4,8}.
+type feederState struct {
+	pc       uint64
+	conf     uint8
+	base     [4]uint64
+	baseConf [4]uint8
+	haveBase [4]bool
+	scaleIdx int8
+	done     bool
+}
+
+func (f *feederState) init() {
+	*f = feederState{scaleIdx: -1}
+}
+
+// feederScales are the hardware-friendly scales (shift-only).
+var feederScales = [4]uint64{1, 2, 4, 8}
+
+const (
+	feederCandSat = 2
+	feederBaseSat = 3
+)
+
+// trainFeeder advances feeder learning for a dynamic instance of a
+// critical target load.
+func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst) {
+	f := &t.feeder
+	if f.done {
+		return
+	}
+	// Candidate: youngest load PC that updated the target's address
+	// source register.
+	var cand uint64
+	if in.Src1 >= 0 {
+		cand = p.regLoadPC[in.Src1]
+	}
+	if cand == 0 || cand == t.pc {
+		return
+	}
+	if cand != f.pc {
+		f.pc = cand
+		f.conf = 0
+		for i := range f.baseConf {
+			f.baseConf[i] = 0
+			f.haveBase[i] = false
+		}
+		return
+	}
+	if f.conf < feederCandSat {
+		f.conf++
+		return
+	}
+
+	// Candidate is stable (conceptually in the Feeder-PC-Table): learn
+	// Scale/Base against the feeder's most recent data value.
+	data, ok := p.lastData[cand]
+	if !ok {
+		return
+	}
+	for i, s := range feederScales {
+		base := in.Addr - s*data
+		if f.haveBase[i] && f.base[i] == base {
+			if f.baseConf[i] < feederBaseSat {
+				f.baseConf[i]++
+			}
+			if f.baseConf[i] >= feederBaseSat {
+				f.scaleIdx = int8(i)
+				f.done = true
+				p.feederIndex[cand] = append(p.feederIndex[cand], t)
+				p.Stats.FeederTrained++
+				return
+			}
+		} else {
+			f.base[i] = base
+			f.haveBase[i] = true
+			f.baseConf[i] = 0
+		}
+	}
+}
+
+// fireFeeder issues prefetches for all targets fed by pc. The feeder's
+// own self-stride provides look-ahead: the hardware prefetches the
+// feeder line FeederDistance iterations ahead and, when that data is
+// available, chains a prefetch of the target's predicted address.
+func (p *Prefetchers) fireFeeder(pc, addr, data uint64, now int64) {
+	targets := p.feederIndex[pc]
+	if len(targets) == 0 {
+		return
+	}
+	st := p.strides[pc]
+	for _, t := range targets {
+		f := &t.feeder
+		if f.scaleIdx < 0 {
+			continue
+		}
+		s := feederScales[f.scaleIdx]
+		base := f.base[f.scaleIdx]
+		// Immediate chain from the demand data.
+		p.Stats.FeederIssued++
+		p.issue(s*data+base, now)
+		// Look-ahead chain via the feeder's self-stride. The feeder
+		// line prefetch is what makes the chained data available; its
+		// value is observed through ValueAt (the simulator's stand-in
+		// for reading the completed prefetch).
+		if st != nil && st.conf >= 2 && st.stride != 0 && p.ValueAt != nil {
+			fa := uint64(int64(addr) + st.stride*int64(p.Cfg.FeederDistance))
+			p.issue(fa, now) // feeder's own deep prefetch
+			if val, ok := p.ValueAt(fa); ok {
+				p.Stats.FeederIssued++
+				p.issue(s*val+base, now)
+			}
+		}
+	}
+}

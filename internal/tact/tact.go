@@ -1,0 +1,368 @@
+// Package tact implements the paper's Timeliness Aware and Criticality
+// Triggered prefetchers (§IV-B): TACT-Cross (trigger-cache learned
+// cross-PC address association), TACT-Deep-Self (deep-distance stride
+// prefetching with safe-length learning), TACT-Feeder (data→address
+// linear relation, Scale ∈ {1,2,4,8}) and the TACT code run-ahead
+// prefetcher. All data prefetchers serve only the small set of critical
+// load PCs identified by the criticality detector, and only move lines
+// from the L2/LLC into the L1.
+package tact
+
+import (
+	"catch/internal/trace"
+)
+
+// Config enables/parameterizes the TACT components.
+type Config struct {
+	Targets         int // tracked critical target PCs (paper: 32)
+	MaxDeepDistance int // deep-self distance cap (paper: 16)
+	FeederDistance  int // feeder look-ahead distance (paper: 4)
+	CodeDepth       int // code run-ahead depth in lines
+
+	EnableCross  bool
+	EnableDeep   bool
+	EnableFeeder bool
+	EnableCode   bool
+}
+
+// DefaultConfig returns the paper's TACT configuration with all
+// components enabled.
+func DefaultConfig() Config {
+	return Config{
+		Targets:         32,
+		MaxDeepDistance: 16,
+		FeederDistance:  4,
+		CodeDepth:       12,
+		EnableCross:     true,
+		EnableDeep:      true,
+		EnableFeeder:    true,
+		EnableCode:      true,
+	}
+}
+
+// Criticality is the view TACT needs of the criticality detector.
+type Criticality interface {
+	IsCritical(pc uint64) bool
+}
+
+// Stats counts TACT activity by component.
+type Stats struct {
+	TargetsAllocated uint64
+	Dist1Issued      uint64
+	DeepIssued       uint64
+	CrossIssued      uint64
+	FeederIssued     uint64
+	CodeIssued       uint64
+	CrossTrained     uint64
+	FeederTrained    uint64
+	CrossGaveUp      uint64
+}
+
+// pcStride is TACT's per-load-PC address tracker (last address, stride
+// and a small confidence), used for deep-self and for feeder trigger
+// look-ahead.
+type pcStride struct {
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+	seen     bool
+}
+
+// target is the per-critical-PC TACT state (one entry of the Critical
+// Target PC Table, Fig 9).
+type target struct {
+	pc  uint64
+	lru int64
+
+	// Deep-self.
+	curLen   uint8 // current run length of the stable stride (cap 32)
+	safeLen  uint8 // learned safe prefetch depth (cap 32, init 4)
+	safeConf uint8 // 2-bit confidence on safeLen
+
+	// Cross.
+	cross crossState
+
+	// Feeder.
+	feeder feederState
+}
+
+// Prefetchers is one core's TACT engine.
+type Prefetchers struct {
+	Cfg  Config
+	Crit Criticality
+
+	// IssueData asks the hierarchy to prefetch a data line into the L1
+	// (dropped unless it is resident in L2/LLC).
+	IssueData func(addr uint64, now int64)
+	// ValueAt exposes program memory contents to the feeder (what the
+	// hardware would read out of a completed feeder prefetch).
+	ValueAt func(addr uint64) (uint64, bool)
+
+	targets map[uint64]*target
+	tick    int64
+
+	strides  map[uint64]*pcStride // per-load-PC address tracker
+	lastData map[uint64]uint64    // last data value per load PC
+
+	trig TriggerCache
+
+	crossIndex  map[uint64][]*target // trained trigger PC → targets
+	feederIndex map[uint64][]*target // trained feeder PC → targets
+
+	regLoadPC [trace.NumArchRegs]uint64 // youngest load PC per register
+
+	Code *CodePrefetcher
+
+	Stats Stats
+}
+
+// New builds a TACT engine.
+func New(cfg Config, crit Criticality) *Prefetchers {
+	if cfg.Targets <= 0 {
+		cfg.Targets = 32
+	}
+	if cfg.MaxDeepDistance <= 0 {
+		cfg.MaxDeepDistance = 16
+	}
+	if cfg.FeederDistance <= 0 {
+		cfg.FeederDistance = 4
+	}
+	if cfg.CodeDepth <= 0 {
+		cfg.CodeDepth = 8
+	}
+	p := &Prefetchers{
+		Cfg:         cfg,
+		Crit:        crit,
+		targets:     make(map[uint64]*target),
+		strides:     make(map[uint64]*pcStride),
+		lastData:    make(map[uint64]uint64),
+		crossIndex:  make(map[uint64][]*target),
+		feederIndex: make(map[uint64][]*target),
+	}
+	p.trig.init()
+	if cfg.EnableCode {
+		p.Code = NewCodePrefetcher(cfg.CodeDepth)
+	}
+	return p
+}
+
+// OnDispatch observes every dispatched instruction: non-loads propagate
+// feeder register lineage; loads update trackers, fire trained
+// triggers, and train their own target entry when critical.
+func (p *Prefetchers) OnDispatch(in *trace.Inst, now int64) {
+	if in.Op != trace.OpLoad {
+		// Propagate "youngest load PC" through register writes
+		// (TACT-Feeder hardware, §IV-B1).
+		if in.Dst >= 0 {
+			var y uint64
+			if in.Src1 >= 0 {
+				y = p.regLoadPC[in.Src1]
+			}
+			if in.Src2 >= 0 && p.regLoadPC[in.Src2] != 0 {
+				y = p.regLoadPC[in.Src2]
+			}
+			p.regLoadPC[in.Dst] = y
+		}
+		return
+	}
+	p.onLoad(in, now)
+}
+
+func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
+	pc, addr := in.PC, in.Addr
+
+	// Track per-PC stride (used by deep-self and feeder look-ahead).
+	st := p.strides[pc]
+	if st == nil {
+		st = &pcStride{}
+		p.strides[pc] = st
+	}
+	prevAddr, seen := st.lastAddr, st.seen
+	if seen {
+		d := int64(addr) - int64(prevAddr)
+		if d != 0 {
+			if d == st.stride {
+				if st.conf < 3 {
+					st.conf++
+				}
+			} else {
+				st.stride = d
+				st.conf = 0
+			}
+		}
+	}
+	st.lastAddr, st.seen = addr, true
+	p.lastData[pc] = in.Data
+
+	// Trigger cache: first four load PCs touching each 4KB page.
+	p.trig.Touch(trace.PageAddr(addr), pc)
+
+	// Feeder register lineage.
+	if in.Dst >= 0 {
+		p.regLoadPC[in.Dst] = pc
+	}
+
+	// Fire trained cross triggers.
+	if p.Cfg.EnableCross {
+		p.fireCross(pc, addr, now)
+	}
+	// Fire trained feeder triggers.
+	if p.Cfg.EnableFeeder {
+		p.fireFeeder(pc, addr, in.Data, now)
+	}
+
+	// Target-side behaviour only for critical PCs.
+	if p.Crit == nil || !p.Crit.IsCritical(pc) {
+		return
+	}
+	t := p.lookupTarget(pc, in)
+	p.tick++
+	t.lru = p.tick
+
+	if p.Cfg.EnableDeep {
+		p.trainDeep(t, st, seen, prevAddr, addr, now)
+	}
+	if p.Cfg.EnableCross {
+		p.trainCross(t, addr, now)
+	}
+	if p.Cfg.EnableFeeder {
+		p.trainFeeder(t, in)
+	}
+}
+
+// lookupTarget finds or allocates the target entry for a critical PC,
+// evicting the LRU entry when the table is full.
+func (p *Prefetchers) lookupTarget(pc uint64, in *trace.Inst) *target {
+	if t := p.targets[pc]; t != nil {
+		return t
+	}
+	if len(p.targets) >= p.Cfg.Targets {
+		var victim *target
+		oldest := int64(1<<62 - 1)
+		for _, t := range p.targets {
+			if t.lru < oldest {
+				oldest, victim = t.lru, t
+			}
+		}
+		if victim != nil {
+			p.dropTarget(victim)
+		}
+	}
+	t := &target{pc: pc, safeLen: 4}
+	t.cross.init()
+	t.feeder.init()
+	p.targets[pc] = t
+	p.Stats.TargetsAllocated++
+	return t
+}
+
+// dropTarget removes a target and its trigger registrations.
+func (p *Prefetchers) dropTarget(t *target) {
+	delete(p.targets, t.pc)
+	if t.cross.done {
+		p.crossIndex[t.cross.trigPC] = removeTarget(p.crossIndex[t.cross.trigPC], t)
+	}
+	if t.feeder.done {
+		p.feederIndex[t.feeder.pc] = removeTarget(p.feederIndex[t.feeder.pc], t)
+	}
+}
+
+func removeTarget(s []*target, t *target) []*target {
+	for i, x := range s {
+		if x == t {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// trainDeep implements TACT-Deep-Self: safe-length learning and
+// distance-1 + deep-distance prefetch issue.
+func (p *Prefetchers) trainDeep(t *target, st *pcStride, seen bool, prevAddr, addr uint64, now int64) {
+	if seen {
+		d := int64(addr) - int64(prevAddr)
+		if d != 0 && d == st.stride && st.conf >= 2 {
+			if t.curLen < 32 {
+				t.curLen++
+			}
+			// A run that has already covered the learned safe length
+			// grows it (and its confidence) without waiting for a
+			// break: unbroken strides converge to the maximum depth.
+			if t.curLen >= t.safeLen {
+				if t.safeLen < 32 {
+					t.safeLen++
+				}
+				if t.safeConf < 3 {
+					t.safeConf++
+				}
+			}
+		} else if d != 0 {
+			// Stride run ended: move safeLen toward the observed run
+			// length and manage its confidence.
+			switch {
+			case t.curLen < t.safeLen:
+				t.safeLen--
+				if t.safeConf > 0 {
+					t.safeConf--
+				}
+			case t.curLen > t.safeLen:
+				if t.safeLen < 32 {
+					t.safeLen++
+				}
+				if t.safeConf < 3 {
+					t.safeConf++
+				}
+			default:
+				if t.safeConf < 3 {
+					t.safeConf++
+				}
+			}
+			t.curLen = 0
+		}
+	}
+	if st.conf < 2 || st.stride == 0 {
+		return
+	}
+	// Distance-1 prefetch always; deep distance when confident and the
+	// current run supports it.
+	base := int64(addr)
+	p.Stats.Dist1Issued++
+	p.issue(uint64(base+st.stride), now)
+	if t.safeConf >= 3 && t.safeLen >= 2 {
+		d := int(t.safeLen)
+		if int(t.curLen) < d {
+			d = int(t.curLen) + 1
+		}
+		if d > p.Cfg.MaxDeepDistance {
+			d = p.Cfg.MaxDeepDistance
+		}
+		if d >= 2 {
+			p.Stats.DeepIssued++
+			p.issue(uint64(base+st.stride*int64(d)), now)
+		}
+	}
+}
+
+func (p *Prefetchers) issue(addr uint64, now int64) {
+	if p.IssueData != nil {
+		p.IssueData(addr, now)
+	}
+}
+
+// AreaBytes reports the storage budget of the TACT structures (Fig 9).
+func (p *Prefetchers) AreaBytes() int {
+	const (
+		targetEntry  = 20 // self(2) + cross(5) + feeder(10.5) + PC tag ≈ 20B
+		feederEntry  = 2
+		regTracking  = 3
+		trigEntry    = 6
+		crossPCEntry = 2
+		codeBytes    = 8
+	)
+	return p.Cfg.Targets*targetEntry +
+		32*feederEntry +
+		trace.NumArchRegs*regTracking +
+		64*trigEntry +
+		32*crossPCEntry +
+		codeBytes
+}

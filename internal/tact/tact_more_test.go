@@ -1,0 +1,141 @@
+package tact
+
+import (
+	"testing"
+
+	"catch/internal/trace"
+)
+
+func TestFeederCandidateSwitch(t *testing.T) {
+	tgtPC := uint64(0x3100)
+	p, _ := newTact(critSet{tgtPC: true})
+	// First a wrong candidate feeds the target's register, then a
+	// stable one: the feeder must re-lock onto the stable candidate.
+	for i := 0; i < 40; i++ {
+		wrong := load(0x3000, 1, 0, uint64(0x500000+i*8), uint64(i*13))
+		p.OnDispatch(&wrong, int64(i*20))
+		tgt := load(tgtPC, 2, 1, uint64(0x800000+i*64), 0) // no relation
+		p.OnDispatch(&tgt, int64(i*20+5))
+	}
+	if p.Stats.FeederTrained != 0 {
+		t.Fatal("trained on an unrelated candidate")
+	}
+	base := uint64(0x900000)
+	for i := 0; i < 40; i++ {
+		data := uint64(i * 7)
+		good := load(0x3004, 1, 0, uint64(0x600000+i*8), data)
+		p.OnDispatch(&good, int64(10000+i*20))
+		tgt := load(tgtPC, 2, 1, base+8*data, 0)
+		p.OnDispatch(&tgt, int64(10000+i*20+5))
+	}
+	if p.Stats.FeederTrained == 0 {
+		t.Fatal("did not re-train on the stable candidate")
+	}
+	tgt := p.targets[tgtPC]
+	if tgt.feeder.pc != 0x3004 {
+		t.Fatalf("locked onto %#x, want 0x3004", tgt.feeder.pc)
+	}
+}
+
+func TestFeederScaleOne(t *testing.T) {
+	feedPC, tgtPC := uint64(0x3000), uint64(0x3100)
+	p, _ := newTact(critSet{tgtPC: true})
+	// Pointer-style: target address equals feeder data (scale 1, base 0).
+	for i := 0; i < 60; i++ {
+		data := uint64(0xA00000 + i*4096)
+		feed := load(feedPC, 1, 0, uint64(0x500000+i*8), data)
+		p.OnDispatch(&feed, int64(i*20))
+		tgt := load(tgtPC, 2, 1, data, 0)
+		p.OnDispatch(&tgt, int64(i*20+5))
+	}
+	tgt := p.targets[tgtPC]
+	if tgt == nil || !tgt.feeder.done {
+		t.Fatal("scale-1 relation not learned")
+	}
+	if feederScales[tgt.feeder.scaleIdx] != 1 || tgt.feeder.base[tgt.feeder.scaleIdx] != 0 {
+		t.Fatalf("learned scale %d base %#x, want 1/0",
+			feederScales[tgt.feeder.scaleIdx], tgt.feeder.base[tgt.feeder.scaleIdx])
+	}
+}
+
+func TestDroppedTargetUnregistersTriggers(t *testing.T) {
+	crit := critSet{}
+	for i := 0; i < 40; i++ {
+		crit[uint64(0x1000+i*16)] = true
+	}
+	trigPC := uint64(0x9000)
+	p, _ := newTact(crit)
+	// Train a cross association for the first critical PC.
+	first := uint64(0x1000)
+	for i := 0; i < 200; i++ {
+		page := uint64(0x400000) + uint64(trace.Hash64(uint64(i))%32)*trace.PageSize
+		trig := load(trigPC, 1, 0, page, 0)
+		p.OnDispatch(&trig, int64(i*20))
+		tgt := load(first, 2, 1, page+512, 0)
+		p.OnDispatch(&tgt, int64(i*20+5))
+	}
+	if len(p.crossIndex[trigPC]) == 0 {
+		t.Fatal("setup: cross not trained")
+	}
+	// Thrash the target table so `first` is evicted.
+	for i := 1; i < 40; i++ {
+		in := load(uint64(0x1000+i*16), 1, 0, uint64(0x100000+i*4096), 0)
+		p.OnDispatch(&in, int64(100000+i))
+	}
+	for _, tg := range p.crossIndex[trigPC] {
+		if tg.pc == first {
+			if _, live := p.targets[first]; !live {
+				t.Fatal("evicted target still registered on its trigger")
+			}
+		}
+	}
+}
+
+func TestOnDispatchIgnoresStoresAndBranches(t *testing.T) {
+	p, cap := newTact(critSet{0x1000: true})
+	st := trace.Inst{PC: 0x2000, Op: trace.OpStore, Dst: trace.NoReg, Src1: 1, Src2: trace.NoReg, Addr: 0x40}
+	br := trace.Inst{PC: 0x2004, Op: trace.OpBranch, Dst: trace.NoReg, Src1: 1, Src2: trace.NoReg}
+	p.OnDispatch(&st, 0)
+	p.OnDispatch(&br, 1)
+	if len(cap.addrs) != 0 {
+		t.Fatal("non-loads triggered prefetches")
+	}
+}
+
+func TestStrideTrackerRelearnAfterBreak(t *testing.T) {
+	p, cap := newTact(critSet{0x1000: true})
+	a := uint64(0x100000)
+	for i := 0; i < 20; i++ {
+		in := load(0x1000, 1, 0, a, 0)
+		p.OnDispatch(&in, int64(i*10))
+		a += 64
+	}
+	cap.addrs = cap.addrs[:0]
+	// Break the stride hard, then re-establish a different one.
+	a = 0x900000
+	for i := 0; i < 20; i++ {
+		in := load(0x1000, 1, 0, a, 0)
+		p.OnDispatch(&in, int64(1000+i*10))
+		a += 128
+	}
+	if !cap.has(a - 128 + 128) {
+		t.Fatal("did not relearn the new stride after a break")
+	}
+}
+
+func TestDefaultConfigValues(t *testing.T) {
+	c := DefaultConfig()
+	if c.Targets != 32 || c.MaxDeepDistance != 16 || c.FeederDistance != 4 {
+		t.Fatalf("paper parameters wrong: %+v", c)
+	}
+	if !c.EnableCross || !c.EnableDeep || !c.EnableFeeder || !c.EnableCode {
+		t.Fatal("components not all enabled by default")
+	}
+}
+
+func TestNewClampsConfig(t *testing.T) {
+	p := New(Config{}, nil)
+	if p.Cfg.Targets != 32 || p.Cfg.MaxDeepDistance != 16 || p.Cfg.FeederDistance != 4 {
+		t.Fatalf("zero config not clamped: %+v", p.Cfg)
+	}
+}

@@ -1,0 +1,284 @@
+package tact
+
+import (
+	"testing"
+
+	"catch/internal/trace"
+)
+
+// critSet marks a fixed set of PCs critical.
+type critSet map[uint64]bool
+
+func (c critSet) IsCritical(pc uint64) bool { return c[pc] }
+
+// capture collects issued prefetch addresses.
+type capture struct {
+	addrs []uint64
+}
+
+func (c *capture) issue(addr uint64, now int64) { c.addrs = append(c.addrs, addr) }
+
+func (c *capture) has(addr uint64) bool {
+	for _, a := range c.addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func newTact(crit Criticality) (*Prefetchers, *capture) {
+	cap := &capture{}
+	p := New(DefaultConfig(), crit)
+	p.IssueData = cap.issue
+	return p, cap
+}
+
+func load(pc uint64, dst, src int8, addr, data uint64) trace.Inst {
+	return trace.Inst{PC: pc, Op: trace.OpLoad, Dst: dst, Src1: src, Src2: trace.NoReg, Addr: addr, Data: data}
+}
+
+func TestDeepSelfIssuesDist1AndDeep(t *testing.T) {
+	target := uint64(0x1000)
+	p, cap := newTact(critSet{target: true})
+	base := uint64(0x100000)
+	// Long stable stride: safe length should saturate and deep
+	// prefetches appear.
+	for i := 0; i < 200; i++ {
+		in := load(target, 1, 0, base+uint64(i)*64, 0)
+		p.OnDispatch(&in, int64(i*10))
+	}
+	if p.Stats.Dist1Issued == 0 {
+		t.Fatal("no distance-1 prefetches")
+	}
+	last := base + 199*64
+	if !cap.has(last + 64) {
+		t.Fatal("distance-1 prefetch for next line missing")
+	}
+	if p.Stats.DeepIssued == 0 {
+		t.Fatal("no deep prefetches despite long stable stride")
+	}
+	// Deep distance is capped at 16 lines.
+	for _, a := range cap.addrs {
+		if a > last+16*64 {
+			t.Fatalf("prefetch beyond max deep distance: %#x (last %#x)", a, last)
+		}
+	}
+}
+
+func TestDeepSelfNotForNonCritical(t *testing.T) {
+	p, cap := newTact(critSet{})
+	for i := 0; i < 100; i++ {
+		in := load(0x1000, 1, 0, uint64(0x100000+i*64), 0)
+		p.OnDispatch(&in, int64(i*10))
+	}
+	if len(cap.addrs) != 0 {
+		t.Fatalf("non-critical PC triggered %d prefetches", len(cap.addrs))
+	}
+}
+
+func TestDeepSelfSafeLengthLearnsShortRuns(t *testing.T) {
+	target := uint64(0x1000)
+	p, _ := newTact(critSet{target: true})
+	// Runs of 4 strided accesses, then a jump: safeLen must stay small.
+	a := uint64(0x100000)
+	tick := int64(0)
+	for r := 0; r < 50; r++ {
+		for i := 0; i < 4; i++ {
+			in := load(target, 1, 0, a, 0)
+			p.OnDispatch(&in, tick)
+			a += 64
+			tick += 10
+		}
+		a += 1 << 20 // run break
+	}
+	tgt := p.targets[target]
+	if tgt == nil {
+		t.Fatal("target entry missing")
+	}
+	if tgt.safeLen > 8 {
+		t.Fatalf("safeLen %d did not adapt to short runs", tgt.safeLen)
+	}
+}
+
+func TestCrossLearnsTriggerAndDelta(t *testing.T) {
+	trigPC, tgtPC := uint64(0x2000), uint64(0x2100)
+	p, cap := newTact(critSet{tgtPC: true})
+	delta := uint64(640)
+	// Pages visited pseudo-randomly; trigger first touches a page, the
+	// critical target follows at a fixed delta.
+	for i := 0; i < 400; i++ {
+		page := uint64(0x400000) + uint64(trace.Hash64(uint64(i))%64)*trace.PageSize
+		trig := load(trigPC, 1, 0, page, 0)
+		p.OnDispatch(&trig, int64(i*20))
+		tgt := load(tgtPC, 2, 1, page+delta, 0)
+		p.OnDispatch(&tgt, int64(i*20+5))
+	}
+	if p.Stats.CrossTrained == 0 {
+		t.Fatal("cross association never trained")
+	}
+	if p.Stats.CrossIssued == 0 {
+		t.Fatal("cross prefetches never issued")
+	}
+	// A final trigger must prefetch its page+delta.
+	cap.addrs = cap.addrs[:0]
+	fresh := uint64(0x900000)
+	trig := load(trigPC, 1, 0, fresh, 0)
+	p.OnDispatch(&trig, 99999)
+	if !cap.has(fresh + delta) {
+		t.Fatalf("trained trigger did not prefetch target: issued %v", cap.addrs)
+	}
+}
+
+func TestCrossGivesUpOnNoise(t *testing.T) {
+	tgtPC := uint64(0x2100)
+	p, _ := newTact(critSet{tgtPC: true})
+	rng := trace.NewRNG(1)
+	// Target addresses with no stable relation to any toucher.
+	for i := 0; i < 3000; i++ {
+		page := uint64(0x400000) + uint64(rng.Intn(64))*trace.PageSize
+		trig := load(0x2000, 1, 0, page+uint64(rng.Intn(50))*64, 0)
+		p.OnDispatch(&trig, int64(i*20))
+		tgt := load(tgtPC, 2, 1, page+uint64(rng.Intn(50))*64, 0)
+		p.OnDispatch(&tgt, int64(i*20+5))
+	}
+	if p.Stats.CrossTrained != 0 {
+		t.Fatal("cross trained on noise")
+	}
+	if p.Stats.CrossGaveUp == 0 {
+		t.Fatal("cross never gave up searching")
+	}
+}
+
+func TestFeederLearnsScaleAndBase(t *testing.T) {
+	feedPC, tgtPC := uint64(0x3000), uint64(0x3100)
+	tgtBase := uint64(0x800000)
+	values := map[uint64]uint64{}
+	p, cap := newTact(critSet{tgtPC: true})
+	p.ValueAt = func(addr uint64) (uint64, bool) {
+		v, ok := values[addr]
+		return v, ok
+	}
+	idxBase := uint64(0x500000)
+	for i := 0; i < 300; i++ {
+		data := uint64(trace.Hash64(uint64(i)) % 10000)
+		fa := idxBase + uint64(i)*8
+		values[fa] = data
+		// Pre-populate future feeder values for look-ahead reads.
+		for d := 1; d <= 8; d++ {
+			values[fa+uint64(d)*8] = uint64(trace.Hash64(uint64(i+d)) % 10000)
+		}
+		feed := load(feedPC, 1, 0, fa, data)
+		p.OnDispatch(&feed, int64(i*20))
+		tgt := load(tgtPC, 2, 1, tgtBase+8*data, 0)
+		p.OnDispatch(&tgt, int64(i*20+5))
+	}
+	if p.Stats.FeederTrained == 0 {
+		t.Fatal("feeder relation never trained")
+	}
+	if p.Stats.FeederIssued == 0 {
+		t.Fatal("feeder prefetches never issued")
+	}
+	// The look-ahead prefetch must target scale*futureData+base.
+	tgt := p.targets[tgtPC]
+	if tgt == nil || !tgt.feeder.done {
+		t.Fatal("feeder state not finalized")
+	}
+	if feederScales[tgt.feeder.scaleIdx] != 8 {
+		t.Fatalf("learned scale %d, want 8", feederScales[tgt.feeder.scaleIdx])
+	}
+	if tgt.feeder.base[tgt.feeder.scaleIdx] != tgtBase {
+		t.Fatalf("learned base %#x, want %#x", tgt.feeder.base[tgt.feeder.scaleIdx], tgtBase)
+	}
+	_ = cap
+}
+
+func TestFeederRegisterLineagePropagates(t *testing.T) {
+	p, _ := newTact(critSet{})
+	ld := load(0x4000, 1, 0, 0x100000, 7)
+	p.OnDispatch(&ld, 0)
+	// ALU moves the loaded value to another register.
+	mv := trace.Inst{PC: 0x4004, Op: trace.OpALU, Dst: 5, Src1: 1, Src2: trace.NoReg}
+	p.OnDispatch(&mv, 1)
+	if p.regLoadPC[5] != 0x4000 {
+		t.Fatalf("lineage not propagated: reg5 <- %#x", p.regLoadPC[5])
+	}
+}
+
+func TestTargetTableLRUEviction(t *testing.T) {
+	crit := critSet{}
+	for i := 0; i < 40; i++ {
+		crit[uint64(0x1000+i*16)] = true
+	}
+	p, _ := newTact(crit)
+	for i := 0; i < 40; i++ {
+		in := load(uint64(0x1000+i*16), 1, 0, uint64(0x100000+i*4096), 0)
+		p.OnDispatch(&in, int64(i))
+	}
+	if len(p.targets) > p.Cfg.Targets {
+		t.Fatalf("target table exceeded capacity: %d", len(p.targets))
+	}
+	if p.Stats.TargetsAllocated != 40 {
+		t.Fatalf("allocations = %d", p.Stats.TargetsAllocated)
+	}
+}
+
+func TestTriggerCacheTracksFirstFour(t *testing.T) {
+	var tc TriggerCache
+	tc.init()
+	page := uint64(0x400000)
+	for i := 0; i < 6; i++ {
+		tc.Touch(page, uint64(0x1000+i*4))
+	}
+	pcs, n := tc.Candidates(page)
+	if n != 4 {
+		t.Fatalf("candidates = %d, want 4", n)
+	}
+	if pcs[0] != 0x1000 || pcs[3] != 0x100C {
+		t.Fatalf("first-four order wrong: %#x", pcs)
+	}
+	// Re-touch by an existing PC must not duplicate.
+	tc.Touch(page, 0x1000)
+	if _, n := tc.Candidates(page); n != 4 {
+		t.Fatal("duplicate touch changed candidate count")
+	}
+}
+
+func TestTriggerCacheEviction(t *testing.T) {
+	var tc TriggerCache
+	tc.init()
+	// 8 ways per set: touch 9 pages mapping to the same set.
+	for i := 0; i < 9; i++ {
+		page := uint64(i*8) << 12 // page>>12 ≡ 0 (mod 8)
+		tc.Touch(page, 0x1000)
+	}
+	if _, n := tc.Candidates(0); n != 0 {
+		t.Fatal("LRU page not evicted")
+	}
+}
+
+func TestAreaBytes(t *testing.T) {
+	p, _ := newTact(critSet{})
+	a := p.AreaBytes()
+	// Paper Fig 9: ≈1.2KB.
+	if a < 1000 || a > 1600 {
+		t.Fatalf("TACT area %dB, want ≈1.2KB", a)
+	}
+}
+
+func TestComponentDisabling(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableDeep = false
+	cfg.EnableCross = false
+	cfg.EnableFeeder = false
+	p := New(cfg, critSet{0x1000: true})
+	cap := &capture{}
+	p.IssueData = cap.issue
+	for i := 0; i < 100; i++ {
+		in := load(0x1000, 1, 0, uint64(0x100000+i*64), 0)
+		p.OnDispatch(&in, int64(i))
+	}
+	if len(cap.addrs) != 0 {
+		t.Fatal("disabled components issued prefetches")
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+// Builder collects the kernels, address space and memory-content
+// functions of one workload while its Build function runs.
+type Builder struct {
+	RNG   *RNG
+	Space *AddrSpace
+
+	kernels []weightedKernel
+	values  []ValueRange
+	prewarm []Region
+}
+
+// MarkPrewarm registers a data region as long-term cache-resident: the
+// simulator pre-populates the LLC with it before measurement, standing
+// in for the steady state a 100M-instruction run would reach.
+func (b *Builder) MarkPrewarm(r Region) {
+	if r.Size > 0 {
+		b.prewarm = append(b.prewarm, r)
+	}
+}
+
+// Prewarmer is implemented by generators whose workloads declare
+// steady-state-resident regions.
+type Prewarmer interface {
+	PrewarmRegions() []Region
+}
+
+type weightedKernel struct {
+	weight int
+	k      Kernel
+}
+
+// Add registers a kernel with a scheduling weight. Each generator
+// refill picks one kernel with probability proportional to its weight.
+func (b *Builder) Add(weight int, k Kernel) {
+	if weight <= 0 {
+		weight = 1
+	}
+	b.kernels = append(b.kernels, weightedKernel{weight: weight, k: k})
+}
+
+// AddValues registers a memory-content function for a data region (used
+// by the TACT-Feeder model to observe prefetched data).
+func (b *Builder) AddValues(v ValueRange) {
+	if v.Fn != nil && v.Size > 0 {
+		b.values = append(b.values, v)
+	}
+}
+
+// BuildFunc constructs a workload's kernels into the builder. It is
+// re-run on every Reset with a freshly seeded RNG, so all kernel state
+// restarts deterministically.
+type BuildFunc func(b *Builder)
+
+// Workload names a deterministic synthetic program.
+type Workload struct {
+	WName     string
+	WCategory string
+	Seed      uint64
+	Build     BuildFunc
+}
+
+// NewGen instantiates a fresh generator for the workload.
+func (w *Workload) NewGen() Generator {
+	g := &workloadGen{w: w}
+	g.Reset()
+	return g
+}
+
+// ValueSource is implemented by generators that can report the
+// program-defined memory contents at an address (see ValueFn).
+type ValueSource interface {
+	ValueAt(addr uint64) (uint64, bool)
+}
+
+type workloadGen struct {
+	w       *Workload
+	rng     *RNG
+	em      *Emitter
+	kernels []weightedKernel
+	totalW  int
+	values  []ValueRange
+	prewarm []Region
+	pos     int
+}
+
+func (g *workloadGen) Name() string     { return g.w.WName }
+func (g *workloadGen) Category() string { return g.w.WCategory }
+
+func (g *workloadGen) Reset() {
+	g.rng = NewRNG(g.w.Seed)
+	g.em = NewEmitter(g.rng)
+	b := &Builder{RNG: g.rng, Space: NewAddrSpace()}
+	g.w.Build(b)
+	if len(b.kernels) == 0 {
+		panic("trace: workload " + g.w.WName + " built no kernels")
+	}
+	g.kernels = b.kernels
+	g.totalW = 0
+	for _, wk := range b.kernels {
+		g.totalW += wk.weight
+	}
+	g.values = b.values
+	g.prewarm = b.prewarm
+	g.pos = 0
+}
+
+// PrewarmRegions returns the workload's steady-state-resident regions.
+func (g *workloadGen) PrewarmRegions() []Region { return g.prewarm }
+
+func (g *workloadGen) Next(i *Inst) bool {
+	for g.pos >= len(g.em.Buf) {
+		g.em.Buf = g.em.Buf[:0]
+		g.pos = 0
+		g.pick().Emit(g.em)
+	}
+	*i = g.em.Buf[g.pos]
+	g.pos++
+	return true
+}
+
+func (g *workloadGen) pick() Kernel {
+	if len(g.kernels) == 1 {
+		return g.kernels[0].k
+	}
+	n := g.rng.Intn(g.totalW)
+	for _, wk := range g.kernels {
+		n -= wk.weight
+		if n < 0 {
+			return wk.k
+		}
+	}
+	return g.kernels[len(g.kernels)-1].k
+}
+
+// ValueAt reports the program-defined memory value at addr, if any
+// registered kernel covers it.
+func (g *workloadGen) ValueAt(addr uint64) (uint64, bool) {
+	for _, v := range g.values {
+		if addr >= v.Base && addr < v.Base+v.Size {
+			return v.Fn(addr), true
+		}
+	}
+	return 0, false
+}

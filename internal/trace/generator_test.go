@@ -1,0 +1,152 @@
+package trace
+
+import "testing"
+
+func testWorkload() *Workload {
+	return &Workload{
+		WName: "test", WCategory: "test", Seed: 123,
+		Build: func(b *Builder) {
+			b.Add(2, &StreamKernel{
+				Code: b.Space.Code(256), Data: b.Space.Data(8192),
+				R: [4]int8{0, 1, 2, 3}, Stride: 64, Block: 8,
+			})
+			g := &IndexedGatherKernel{
+				Code: b.Space.Code(384), Index: b.Space.Data(8192), Target: b.Space.Data(1 << 15),
+				R: [4]int8{4, 5, 6, 7}, Block: 4, Work: 2, SeedVal: 1,
+			}
+			b.AddValues(g.Values())
+			b.MarkPrewarm(g.Target)
+			b.Add(1, g)
+		},
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	w := testWorkload()
+	g1 := w.NewGen()
+	g2 := w.NewGen()
+	var a, b Inst
+	for i := 0; i < 5000; i++ {
+		if !g1.Next(&a) || !g2.Next(&b) {
+			t.Fatal("generator ended unexpectedly")
+		}
+		if a != b {
+			t.Fatalf("instance divergence at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorResetReplays(t *testing.T) {
+	w := testWorkload()
+	g := w.NewGen()
+	first := make([]Inst, 500)
+	for i := range first {
+		g.Next(&first[i])
+	}
+	g.Reset()
+	var in Inst
+	for i := range first {
+		g.Next(&in)
+		if in != first[i] {
+			t.Fatalf("reset did not replay: inst %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorMixesKernels(t *testing.T) {
+	w := testWorkload()
+	g := w.NewGen()
+	var in Inst
+	sawStream, sawGather := false, false
+	for i := 0; i < 5000; i++ {
+		g.Next(&in)
+		if in.Op == OpLoad {
+			if in.Addr < 1<<32+20000 {
+				sawStream = true
+			} else {
+				sawGather = true
+			}
+		}
+	}
+	if !sawStream || !sawGather {
+		t.Fatalf("kernel mix not interleaved: stream=%v gather=%v", sawStream, sawGather)
+	}
+}
+
+func TestGeneratorValueSource(t *testing.T) {
+	w := testWorkload()
+	g := w.NewGen()
+	vs, ok := g.(ValueSource)
+	if !ok {
+		t.Fatal("generator does not implement ValueSource")
+	}
+	// Addresses inside the registered index region resolve; others don't.
+	if _, ok := vs.ValueAt(1); ok {
+		t.Fatal("ValueAt resolved an unregistered address")
+	}
+	var in Inst
+	for i := 0; i < 5000; i++ {
+		g.Next(&in)
+		if in.Op != OpLoad {
+			continue
+		}
+		if v, ok := vs.ValueAt(in.Addr); ok {
+			if v != in.Data {
+				t.Fatalf("ValueAt(%#x) = %d, trace data %d", in.Addr, v, in.Data)
+			}
+			return // verified at least one
+		}
+	}
+	t.Fatal("no load resolved through ValueSource")
+}
+
+func TestGeneratorPrewarm(t *testing.T) {
+	w := testWorkload()
+	g := w.NewGen()
+	pw, ok := g.(Prewarmer)
+	if !ok {
+		t.Fatal("generator does not implement Prewarmer")
+	}
+	regs := pw.PrewarmRegions()
+	if len(regs) != 1 || regs[0].Size != 1<<15 {
+		t.Fatalf("prewarm regions wrong: %+v", regs)
+	}
+}
+
+func TestWorkloadPanicsWithoutKernels(t *testing.T) {
+	w := &Workload{WName: "empty", Build: func(b *Builder) {}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty workload did not panic")
+		}
+	}()
+	w.NewGen()
+}
+
+func TestBuilderWeightsRespected(t *testing.T) {
+	w := &Workload{
+		WName: "weighted", Seed: 5,
+		Build: func(b *Builder) {
+			b.Add(9, &ILPKernel{Code: b.Space.Code(128), R: [4]int8{0, 1, 2, 3}, Block: 4})
+			b.Add(1, &DepChainKernel{Code: b.Space.Code(128), R: [4]int8{4, 5, 6, 7}, Block: 4})
+		},
+	}
+	g := w.NewGen()
+	var in Inst
+	ilp, dep := 0, 0
+	for i := 0; i < 20000; i++ {
+		g.Next(&in)
+		switch in.Op {
+		case OpALU:
+			ilp++
+		case OpIMul:
+			dep++
+		}
+	}
+	if dep == 0 || ilp == 0 {
+		t.Fatal("one kernel never scheduled")
+	}
+	if ilp < dep {
+		t.Fatalf("weights ignored: ilp=%d dep=%d", ilp, dep)
+	}
+}

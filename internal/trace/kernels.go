@@ -1,0 +1,640 @@
+package trace
+
+// A Kernel emits one bounded unit of work (roughly 30-300 dynamic
+// instructions) per call. Workloads are weighted mixes of kernels, each
+// owning disjoint code/data regions and architectural registers so the
+// interleaved streams do not create accidental dependencies.
+type Kernel interface {
+	Emit(e *Emitter)
+}
+
+// ValueFn computes the program-defined memory value at an address.
+// Kernels with data-dependent access patterns expose one so that the
+// TACT-Feeder model can observe the data a prefetch would return,
+// exactly as the hardware would.
+type ValueFn func(addr uint64) uint64
+
+// ValueRange binds a ValueFn to the address range it covers.
+type ValueRange struct {
+	Base, Size uint64
+	Fn         ValueFn
+}
+
+// Hash64 is a splitmix64-style pure hash used to derive deterministic
+// pseudo-random memory contents and access sequences.
+func Hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// StreamKernel: sequential reduction over an array. Loads are trivially
+// stride-prefetchable and feed only a short accumulation, so they are
+// rarely critical. Models the streaming phases of FSPEC/HPC codes.
+type StreamKernel struct {
+	Code   CodeRegion
+	Data   Region
+	R      [4]int8
+	Stride uint64 // bytes between consecutive elements
+	Block  int    // iterations per Emit
+	FP     bool   // accumulate in FP (adds latency to the non-critical chain)
+
+	pos uint64
+}
+
+// Emit appends one block of the stream loop.
+func (k *StreamKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		addr := k.Data.At(k.pos)
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg) // index update
+		e.Load(k.Code.PC(1), r[1], r[0], addr, Hash64(addr))
+		if k.FP {
+			e.FAdd(k.Code.PC(2), r[2], r[2], r[1])
+		} else {
+			e.ALU(k.Code.PC(2), r[2], r[2], r[1])
+		}
+		k.pos += k.Stride
+	}
+	e.Branch(k.Code.PC(3), r[0], true, false) // well-predicted loop branch
+}
+
+// ---------------------------------------------------------------------------
+// WriteStreamKernel: streaming stores (memset/copy style). Generates
+// write-back traffic; never critical.
+type WriteStreamKernel struct {
+	Code   CodeRegion
+	Data   Region
+	R      [4]int8
+	Stride uint64
+	Block  int
+
+	pos uint64
+}
+
+// Emit appends one block of streaming stores.
+func (k *WriteStreamKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		addr := k.Data.At(k.pos)
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		e.Store(k.Code.PC(1), r[1], r[0], addr)
+		k.pos += k.Stride
+	}
+	e.Branch(k.Code.PC(2), r[0], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// PointerChaseKernel: serial traversal of a randomly permuted linked
+// list. Every load's address is the previous load's data, so latency is
+// fully exposed: these loads dominate the critical path. The pattern
+// has no self-stride and the trigger is the target itself, so no TACT
+// prefetcher can cover it (models the paper's namd/gromacs-like
+// workloads with prefetch-resistant critical PCs).
+type PointerChaseKernel struct {
+	Code  CodeRegion
+	Data  Region
+	R     [4]int8
+	Block int   // pointer hops per Emit
+	Work  int   // dependent ALU ops per hop
+	perm  []u32 // next-node permutation
+	cur   uint64
+}
+
+type u32 = uint32
+
+// InitChase builds the traversal permutation (a single cycle over all
+// nodes derived from the kernel's RNG).
+func (k *PointerChaseKernel) InitChase(rng *RNG) {
+	n := int(k.Data.Lines())
+	if n < 2 {
+		n = 2
+	}
+	k.perm = make([]u32, n)
+	order := make([]u32, n)
+	for i := range order {
+		order[i] = u32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	// Link the shuffled order into one cycle: order[i] -> order[i+1].
+	for i := 0; i < n; i++ {
+		k.perm[order[i]] = order[(i+1)%n]
+	}
+	k.cur = uint64(order[0])
+}
+
+// NodeAddr returns the address of node i.
+func (k *PointerChaseKernel) NodeAddr(i uint64) uint64 {
+	return k.Data.Base + (i%uint64(len(k.perm)))*CacheLineSize
+}
+
+// Values returns the kernel's memory-content function (each node holds
+// the address of its successor).
+func (k *PointerChaseKernel) Values() ValueRange {
+	return ValueRange{Base: k.Data.Base, Size: k.Data.Size, Fn: func(addr uint64) uint64 {
+		i := (addr - k.Data.Base) / CacheLineSize
+		if int(i) >= len(k.perm) {
+			return 0
+		}
+		return k.NodeAddr(uint64(k.perm[i]))
+	}}
+}
+
+// Emit appends Block dependent pointer hops.
+func (k *PointerChaseKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		addr := k.NodeAddr(k.cur)
+		next := uint64(k.perm[k.cur%uint64(len(k.perm))])
+		e.Load(k.Code.PC(0), r[1], r[1], addr, k.NodeAddr(next))
+		for w := 0; w < k.Work; w++ {
+			e.ALU(k.Code.PC(1+w), r[2], r[2], r[1])
+		}
+		k.cur = next
+	}
+	e.Branch(k.Code.PC(20), r[2], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// IndexedGatherKernel: a[idx[i]] gather. The index array is read with a
+// perfect stride (the feeder), the gather target is irregular but its
+// address is a linear function of the feeder's data
+// (addr = base + 8*data), so TACT-Feeder can cover it while plain
+// stride prefetching cannot. Models mcf-like behaviour.
+type IndexedGatherKernel struct {
+	Code     CodeRegion
+	Index    Region // sequential index array, 8B entries
+	Target   Region // gathered data
+	R        [4]int8
+	Block    int
+	Work     int     // dependent ALU ops after the gather
+	MispredP float64 // gathered value conditions a hard-to-predict branch
+	SeedVal  uint64
+
+	pos uint64
+}
+
+// idxVal is the content of index entry i: a line-spread target offset
+// pre-scaled so that target address = Target.Base + 8*idxVal.
+func (k *IndexedGatherKernel) idxVal(i uint64) uint64 {
+	lines := k.Target.Lines()
+	if lines == 0 {
+		lines = 1
+	}
+	return (Hash64(k.SeedVal+i) % lines) * (CacheLineSize / 8)
+}
+
+// Values exposes the index array contents to the feeder model.
+func (k *IndexedGatherKernel) Values() ValueRange {
+	return ValueRange{Base: k.Index.Base, Size: k.Index.Size, Fn: func(addr uint64) uint64 {
+		return k.idxVal((addr - k.Index.Base) / 8)
+	}}
+}
+
+// Emit appends one block of gather iterations.
+func (k *IndexedGatherKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		iAddr := k.Index.Base + (k.pos*8)%k.Index.Size
+		idx := k.idxVal((iAddr - k.Index.Base) / 8)
+		tAddr := k.Target.Base + idx*8
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)                 // i++
+		e.Load(k.Code.PC(1), r[1], r[0], iAddr, idx)           // feeder
+		e.Load(k.Code.PC(2), r[2], r[1], tAddr, Hash64(tAddr)) // target
+		for w := 0; w < k.Work; w++ {
+			e.ALU(k.Code.PC(3+w), r[3], r[3], r[2])
+		}
+		if k.MispredP > 0 {
+			// Gathered data steers control flow (mcf-style): a
+			// misprediction stalls the front end until the gather
+			// resolves, putting its full latency on the critical path.
+			e.Branch(k.Code.PC(30), r[2], e.RNG.Bool(0.5), e.RNG.Bool(k.MispredP))
+		}
+		k.pos++
+	}
+	e.Branch(k.Code.PC(31), r[0], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// CrossPairKernel: visits 4KB pages in a pseudo-random order; each
+// visit reads a header field (trigger) and, after some independent
+// work, a payload field at a fixed intra-page delta (target) that feeds
+// a dependent chain. Neither load has a usable self-stride, but the
+// target's address is trigger+delta: exactly the TACT-Cross pattern.
+type CrossPairKernel struct {
+	Code  CodeRegion
+	Data  Region
+	R     [4]int8
+	Delta uint64 // intra-page offset between trigger and target
+	Gap   int    // independent ops between trigger and target
+	Work  int    // dependent ops after the target
+	Block int
+	Seed  uint64
+
+	t uint64
+}
+
+// Emit appends Block page visits. The intra-page offset of the trigger
+// varies per visit (so neither load has a usable stride and the touched
+// working set spans the whole region), while the trigger→target delta
+// stays fixed.
+func (k *CrossPairKernel) Emit(e *Emitter) {
+	r := k.R
+	pages := k.Data.Size / PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	span := (PageSize - k.Delta - 64) &^ 63
+	if span == 0 || span > PageSize {
+		span = 64
+	}
+	for b := 0; b < k.Block; b++ {
+		h := Hash64(k.Seed + k.t)
+		base := k.Data.Base + (h%pages)*PageSize + (h>>32)%span&^63
+		// The trigger's address is produced by an independent op each
+		// visit, so the OOO can issue the trigger early and hide much
+		// of its latency; only the dependent target is truly critical.
+		e.ALU(k.Code.PC(0), r[0], NoReg, NoReg)
+		e.Load(k.Code.PC(2), r[1], r[0], base, Hash64(base)) // trigger
+		for g := 0; g < k.Gap; g++ {
+			e.ALU(k.Code.PC(3+g), r[2], r[2], NoReg) // independent filler
+		}
+		tgt := base + k.Delta
+		e.Load(k.Code.PC(40), r[3], r[1], tgt, Hash64(tgt)) // target
+		for w := 0; w < k.Work; w++ {
+			e.ALU(k.Code.PC(41+w), r[3], r[3], NoReg)
+		}
+		// The consumed value conditions a branch: mispredictions expose
+		// the target load's latency on the critical path.
+		e.Branch(k.Code.PC(60), r[3], e.RNG.Bool(0.5), e.RNG.Bool(0.06))
+		k.t++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HashProbeKernel: computes a hash of a counter and probes a table; the
+// probed value conditions a poorly predicted branch and a dependent
+// chain. The access pattern is unpredictable by any prefetcher; with an
+// LLC-resident table this stresses memory-level criticality.
+type HashProbeKernel struct {
+	Code       CodeRegion
+	Data       Region
+	R          [4]int8
+	Block      int
+	Work       int
+	MispredP   float64 // probability the dependent branch mispredicts
+	BranchFrac float64 // fraction of probes followed by the branch
+	Seed       uint64
+
+	t uint64
+}
+
+// Emit appends Block probes.
+func (k *HashProbeKernel) Emit(e *Emitter) {
+	r := k.R
+	lines := k.Data.Lines()
+	if lines == 0 {
+		lines = 1
+	}
+	for b := 0; b < k.Block; b++ {
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		e.IMul(k.Code.PC(1), r[1], r[0], NoReg)
+		e.ALU(k.Code.PC(2), r[1], r[1], NoReg)
+		addr := k.Data.Base + (Hash64(k.Seed+k.t)%lines)*CacheLineSize
+		e.Load(k.Code.PC(3), r[2], r[1], addr, Hash64(addr))
+		// Per-probe dependent work (chain restarts each probe, so only
+		// mispredicted branches expose the probe latency).
+		e.ALU(k.Code.PC(4), r[3], r[2], NoReg)
+		for w := 1; w < k.Work; w++ {
+			e.ALU(k.Code.PC(4+w), r[3], r[3], NoReg)
+		}
+		if e.RNG.Bool(k.BranchFrac) {
+			e.Branch(k.Code.PC(20), r[2], e.RNG.Bool(0.5), e.RNG.Bool(k.MispredP))
+		}
+		k.t++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// StencilKernel: multi-stream relaxation (a[i-1], a[i], a[i+1], b[i] ->
+// c[i]) with an FP pipeline. All streams are stride-prefetchable; the
+// FP chain is mostly ROB-absorbed. Models HPC stencil/CFD codes.
+type StencilKernel struct {
+	Code    CodeRegion
+	A, B, C Region
+	R       [4]int8
+	Block   int
+
+	i uint64
+}
+
+// Emit appends Block stencil points.
+func (k *StencilKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		off := k.i * 8
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		e.Load(k.Code.PC(1), r[1], r[0], k.A.At(off), Hash64(off))
+		e.Load(k.Code.PC(2), r[2], r[0], k.A.At(off+8), Hash64(off+8))
+		e.FAdd(k.Code.PC(3), r[1], r[1], r[2])
+		e.Load(k.Code.PC(4), r[2], r[0], k.A.At(off+16), Hash64(off+16))
+		e.FAdd(k.Code.PC(5), r[1], r[1], r[2])
+		e.Load(k.Code.PC(6), r[2], r[0], k.B.At(off), Hash64(off+3))
+		e.FMul(k.Code.PC(7), r[1], r[1], r[2])
+		e.Store(k.Code.PC(8), r[1], r[0], k.C.At(off))
+		k.i++
+	}
+	e.Branch(k.Code.PC(9), r[0], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// GEMMKernel: blocked matrix-multiply inner loops over an L1-resident
+// tile. Compute-bound with high ILP; cache latency barely matters.
+type GEMMKernel struct {
+	Code  CodeRegion
+	A, B  Region
+	R     [4]int8
+	Block int
+
+	i uint64
+}
+
+// Emit appends Block FMA groups.
+func (k *GEMMKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		off := (k.i * 8) % k.A.Size
+		e.Load(k.Code.PC(0), r[0], NoReg, k.A.At(off), Hash64(off))
+		e.Load(k.Code.PC(1), r[1], NoReg, k.B.At(off*3), Hash64(off*3))
+		e.FMul(k.Code.PC(2), r[2], r[0], r[1])
+		e.FAdd(k.Code.PC(3), r[3], r[3], r[2])
+		// A second independent accumulation exposes ILP.
+		e.Load(k.Code.PC(4), r[0], NoReg, k.A.At(off+8), Hash64(off+8))
+		e.Load(k.Code.PC(5), r[1], NoReg, k.B.At(off*3+8), Hash64(off*3+8))
+		e.FMul(k.Code.PC(6), r[2], r[0], r[1])
+		e.FAdd(k.Code.PC(7), r[3], r[3], r[2])
+		k.i++
+	}
+	e.Branch(k.Code.PC(8), r[3], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// BTreeKernel: dependent descent through tree levels with growing
+// working sets (root levels cache-resident, leaves spilling outward).
+// Each node's data encodes the child's address (no self-stride, so only
+// criticality-aware scheduling — not prefetching — can help).
+type BTreeKernel struct {
+	Code   CodeRegion
+	Levels []Region // level working sets, root first
+	R      [4]int8
+	Block  int
+	Work   int
+	Seed   uint64
+
+	t uint64
+}
+
+// childAddr derives the node visited at the given level for lookup t.
+func (k *BTreeKernel) childAddr(level int, t uint64) uint64 {
+	reg := k.Levels[level]
+	lines := reg.Lines()
+	if lines == 0 {
+		lines = 1
+	}
+	return reg.Base + (Hash64(k.Seed^(uint64(level)<<32)^t)%lines)*CacheLineSize
+}
+
+// Values exposes node contents: each node stores the address of the
+// next level's node for the current lookup sequence. (The hardware only
+// ever observes these through demand loads.)
+func (k *BTreeKernel) Values() ValueRange {
+	if len(k.Levels) == 0 {
+		return ValueRange{}
+	}
+	first := k.Levels[0]
+	last := k.Levels[len(k.Levels)-1]
+	return ValueRange{Base: first.Base, Size: last.Base + last.Size - first.Base, Fn: Hash64}
+}
+
+// Emit appends Block root-to-leaf lookups.
+func (k *BTreeKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		for lvl := range k.Levels {
+			addr := k.childAddr(lvl, k.t)
+			src := r[1]
+			if lvl == 0 {
+				src = r[0]
+			}
+			e.Load(k.Code.PC(1+lvl), r[1], src, addr, Hash64(addr))
+		}
+		for w := 0; w < k.Work; w++ {
+			e.ALU(k.Code.PC(10+w), r[2], r[2], r[1])
+		}
+		e.Branch(k.Code.PC(30), r[1], e.RNG.Bool(0.5), e.RNG.Bool(0.04))
+		k.t++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CodeFootprintKernel: walks a Markov chain over many synthetic
+// "functions", each owning its own slice of a large code region.
+// Exercises the front end: code misses stall fetch; the TACT code
+// run-ahead prefetcher learns line successors. Models server codes.
+type CodeFootprintKernel struct {
+	Code     CodeRegion // total code footprint
+	Locals   Region     // small, L1-resident data
+	R        [4]int8
+	Funcs    int // number of synthetic functions
+	FuncLen  int // dynamic instructions per function body
+	Succs    int // successor fan-out of the call graph
+	LoadFrac float64
+	Seed     uint64
+
+	cur uint64
+}
+
+// funcBase returns the starting site offset of function f.
+func (k *CodeFootprintKernel) funcBase(f uint64) int {
+	span := int(k.Code.Size) / 4 // total static sites
+	per := span / k.Funcs
+	if per < 4 {
+		per = 4
+	}
+	return int(f) * per
+}
+
+// Emit appends one function body and advances to a successor.
+func (k *CodeFootprintKernel) Emit(e *Emitter) {
+	r := k.R
+	base := k.funcBase(k.cur)
+	for j := 0; j < k.FuncLen; j++ {
+		pc := k.Code.PC(base + j)
+		switch {
+		case e.RNG.Bool(k.LoadFrac):
+			addr := k.Locals.At(uint64(e.RNG.Intn(int(k.Locals.Size))))
+			e.Load(pc, r[1], r[0], addr, Hash64(addr))
+		case e.RNG.Bool(0.15):
+			e.Branch(pc, r[1], e.RNG.Bool(0.6), e.RNG.Bool(0.02))
+		default:
+			e.ALU(pc, r[2], r[2], r[1])
+		}
+	}
+	// Choose a successor function (learnable, small fan-out).
+	s := Hash64(k.Seed+k.cur*uint64(k.Succs)+uint64(e.RNG.Intn(k.Succs))) % uint64(k.Funcs)
+	e.Branch(k.Code.PC(base+k.FuncLen), r[2], true, e.RNG.Bool(0.01))
+	k.cur = s
+}
+
+// ---------------------------------------------------------------------------
+// BranchyKernel: data-dependent control flow. Loads feed branch
+// conditions, so mispredictions put the loads on the critical path
+// (E-D edges in the DDG).
+type BranchyKernel struct {
+	Code     CodeRegion
+	Data     Region
+	R        [4]int8
+	Block    int
+	MispredP float64
+	Seed     uint64
+
+	t uint64
+}
+
+// Emit appends Block condition evaluations.
+func (k *BranchyKernel) Emit(e *Emitter) {
+	r := k.R
+	lines := k.Data.Lines()
+	if lines == 0 {
+		lines = 1
+	}
+	for b := 0; b < k.Block; b++ {
+		addr := k.Data.Base + (Hash64(k.Seed+k.t)%lines)*CacheLineSize
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		e.Load(k.Code.PC(1), r[1], r[0], addr, Hash64(addr))
+		e.ALU(k.Code.PC(2), r[2], r[1], NoReg)
+		e.Branch(k.Code.PC(3), r[2], e.RNG.Bool(0.5), e.RNG.Bool(k.MispredP))
+		e.ALU(k.Code.PC(4), r[3], r[3], NoReg)
+		k.t++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ScratchKernel: short-lived store-then-load reuse on an L1-resident
+// scratch area (spill/fill behaviour; exercises store→load memory
+// dependencies).
+type ScratchKernel struct {
+	Code  CodeRegion
+	Data  Region
+	R     [4]int8
+	Block int
+
+	t uint64
+}
+
+// Emit appends Block spill/fill pairs.
+func (k *ScratchKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		addr := k.Data.At(k.t * 8)
+		e.ALU(k.Code.PC(0), r[1], r[1], NoReg)
+		e.Store(k.Code.PC(1), r[1], r[0], addr)
+		e.ALU(k.Code.PC(2), r[2], r[2], NoReg)
+		e.Load(k.Code.PC(3), r[3], r[0], addr, Hash64(addr))
+		e.ALU(k.Code.PC(4), r[2], r[2], r[3])
+		k.t++
+	}
+	e.Branch(k.Code.PC(5), r[2], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// DepChainKernel: a pure serial ALU/FP dependency chain (compute-bound,
+// latency-limited, insensitive to the cache hierarchy).
+type DepChainKernel struct {
+	Code  CodeRegion
+	R     [4]int8
+	Block int
+	FP    bool
+}
+
+// Emit appends Block chain links.
+func (k *DepChainKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		if k.FP {
+			e.FMul(k.Code.PC(0), r[0], r[0], NoReg)
+			e.FAdd(k.Code.PC(1), r[0], r[0], NoReg)
+		} else {
+			e.IMul(k.Code.PC(0), r[0], r[0], NoReg)
+			e.ALU(k.Code.PC(1), r[0], r[0], NoReg)
+		}
+	}
+	e.Branch(k.Code.PC(2), r[0], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// ILPKernel: wide independent ALU work (front-end/width bound).
+type ILPKernel struct {
+	Code  CodeRegion
+	R     [4]int8
+	Block int
+}
+
+// Emit appends Block groups of four independent ops.
+func (k *ILPKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		e.ALU(k.Code.PC(1), r[1], r[1], NoReg)
+		e.ALU(k.Code.PC(2), r[2], r[2], NoReg)
+		e.ALU(k.Code.PC(3), r[3], r[3], NoReg)
+	}
+	e.Branch(k.Code.PC(4), r[0], true, false)
+}
+
+// ---------------------------------------------------------------------------
+// StridedHotKernel: a tight loop re-walking a mid-size working set with
+// a constant stride. With the set sized between L1 and L2 the loads hit
+// L2 every iteration; the short loop body makes distance-1 prefetching
+// untimely, which is precisely the TACT-Deep-Self case.
+type StridedHotKernel struct {
+	Code   CodeRegion
+	Data   Region
+	R      [4]int8
+	Stride uint64
+	Block  int
+	Work   int // dependent work per load (keeps the loop short but critical)
+	// Serial makes the next address computation consume the carried
+	// accumulator, so iterations cannot run ahead of the loads: the
+	// load latency is fully exposed on the critical path (the regime
+	// where prefetch *distance*, not just stride detection, decides
+	// performance).
+	Serial bool
+
+	pos uint64
+}
+
+// Emit appends Block strided iterations.
+func (k *StridedHotKernel) Emit(e *Emitter) {
+	r := k.R
+	for b := 0; b < k.Block; b++ {
+		addr := k.Data.At(k.pos)
+		if k.Serial {
+			e.ALU(k.Code.PC(0), r[0], r[0], r[2])
+		} else {
+			e.ALU(k.Code.PC(0), r[0], r[0], NoReg)
+		}
+		e.Load(k.Code.PC(1), r[1], r[0], addr, Hash64(addr))
+		for w := 0; w < k.Work; w++ {
+			e.ALU(k.Code.PC(2+w), r[2], r[2], r[1])
+		}
+		k.pos += k.Stride
+	}
+	e.Branch(k.Code.PC(10), r[2], true, false)
+}

@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"testing"
+)
+
+func emitN(k Kernel, n int) []Inst {
+	e := NewEmitter(NewRNG(99))
+	for len(e.Buf) < n {
+		k.Emit(e)
+	}
+	return e.Buf
+}
+
+func checkInstValid(t *testing.T, insts []Inst, name string) {
+	t.Helper()
+	for i, in := range insts {
+		if in.Op >= Op(NumOps) {
+			t.Fatalf("%s inst %d: bad op %d", name, i, in.Op)
+		}
+		if in.Dst >= NumArchRegs || in.Src1 >= NumArchRegs || in.Src2 >= NumArchRegs {
+			t.Fatalf("%s inst %d: register out of range: %+v", name, i, in)
+		}
+		if in.IsMem() && in.Addr == 0 {
+			t.Fatalf("%s inst %d: memory op with zero address", name, i)
+		}
+		if in.PC == 0 {
+			t.Fatalf("%s inst %d: zero PC", name, i)
+		}
+	}
+}
+
+func TestStreamKernelSequential(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &StreamKernel{
+		Code: sp.Code(256), Data: sp.Data(1 << 16),
+		R: [4]int8{0, 1, 2, 3}, Stride: 8, Block: 8,
+	}
+	insts := emitN(k, 100)
+	checkInstValid(t, insts, "stream")
+	var last uint64
+	seen := false
+	for _, in := range insts {
+		if in.Op != OpLoad {
+			continue
+		}
+		if seen && in.Addr != last+8 && in.Addr != k.Data.Base {
+			t.Fatalf("stream load not sequential: %#x after %#x", in.Addr, last)
+		}
+		last, seen = in.Addr, true
+	}
+}
+
+func TestStreamKernelStaysInRegion(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &StreamKernel{Code: sp.Code(256), Data: sp.Data(4096),
+		R: [4]int8{0, 1, 2, 3}, Stride: 64, Block: 8}
+	for _, in := range emitN(k, 500) {
+		if in.Op == OpLoad && (in.Addr < k.Data.Base || in.Addr >= k.Data.Base+k.Data.Size) {
+			t.Fatalf("load escaped region: %#x", in.Addr)
+		}
+	}
+}
+
+func TestPointerChaseIsPermutation(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &PointerChaseKernel{Code: sp.Code(256), Data: sp.Data(64 * 64),
+		R: [4]int8{0, 1, 2, 3}, Block: 4, Work: 2}
+	k.InitChase(NewRNG(5))
+	// The next pointers must form one cycle over all 64 nodes.
+	seen := make(map[uint64]bool)
+	cur := uint64(0)
+	for i := 0; i < 64; i++ {
+		if seen[cur] {
+			t.Fatalf("chase cycle shorter than node count: revisited %d at step %d", cur, i)
+		}
+		seen[cur] = true
+		cur = uint64(k.perm[cur])
+	}
+	if cur != 0 {
+		t.Fatalf("chase does not close the cycle: ended at %d", cur)
+	}
+}
+
+func TestPointerChaseLoadsFollowData(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &PointerChaseKernel{Code: sp.Code(256), Data: sp.Data(32 * 64),
+		R: [4]int8{0, 1, 2, 3}, Block: 4, Work: 1}
+	k.InitChase(NewRNG(5))
+	insts := emitN(k, 60)
+	checkInstValid(t, insts, "chase")
+	var prev *Inst
+	for i := range insts {
+		in := &insts[i]
+		if in.Op != OpLoad {
+			continue
+		}
+		if prev != nil && in.Addr != prev.Data {
+			t.Fatalf("chase broke: load addr %#x != previous data %#x", in.Addr, prev.Data)
+		}
+		prev = in
+	}
+}
+
+func TestPointerChaseValuesMatchTrace(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &PointerChaseKernel{Code: sp.Code(256), Data: sp.Data(32 * 64),
+		R: [4]int8{0, 1, 2, 3}, Block: 4, Work: 0}
+	k.InitChase(NewRNG(5))
+	vr := k.Values()
+	for _, in := range emitN(k, 40) {
+		if in.Op != OpLoad {
+			continue
+		}
+		if got := vr.Fn(in.Addr); got != in.Data {
+			t.Fatalf("ValueFn(%#x) = %#x, trace data %#x", in.Addr, got, in.Data)
+		}
+	}
+}
+
+func TestIndexedGatherFeederRelation(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &IndexedGatherKernel{
+		Code: sp.Code(384), Index: sp.Data(1 << 14), Target: sp.Data(1 << 16),
+		R: [4]int8{0, 1, 2, 3}, Block: 8, Work: 2, SeedVal: 7,
+	}
+	insts := emitN(k, 200)
+	checkInstValid(t, insts, "gather")
+	// Every target load's address must be Target.Base + 8*feederData.
+	var feeder *Inst
+	for i := range insts {
+		in := &insts[i]
+		if in.Op != OpLoad {
+			continue
+		}
+		if in.Addr >= k.Index.Base && in.Addr < k.Index.Base+k.Index.Size {
+			feeder = in
+			continue
+		}
+		if feeder == nil {
+			t.Fatal("target load before any feeder load")
+		}
+		want := k.Target.Base + feeder.Data*8
+		if in.Addr != want {
+			t.Fatalf("gather target addr %#x, want %#x (feeder data %d)", in.Addr, want, feeder.Data)
+		}
+	}
+	// And the value function must agree with the feeder's traced data.
+	vr := k.Values()
+	if got := vr.Fn(k.Index.Base); got != k.idxVal(0) {
+		t.Fatalf("index ValueFn mismatch: %d vs %d", got, k.idxVal(0))
+	}
+}
+
+func TestIndexedGatherTargetInRegion(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &IndexedGatherKernel{
+		Code: sp.Code(384), Index: sp.Data(1 << 13), Target: sp.Data(1 << 15),
+		R: [4]int8{0, 1, 2, 3}, Block: 8, Work: 1, SeedVal: 3,
+	}
+	for _, in := range emitN(k, 300) {
+		if in.Op == OpLoad && in.Addr >= k.Target.Base {
+			if in.Addr >= k.Target.Base+k.Target.Size {
+				t.Fatalf("gather target out of region: %#x", in.Addr)
+			}
+		}
+	}
+}
+
+func TestCrossPairDeltaStable(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &CrossPairKernel{
+		Code: sp.Code(512), Data: sp.Data(64 * PageSize),
+		R: [4]int8{0, 1, 2, 3}, Delta: 640, Gap: 4, Work: 2, Block: 4, Seed: 11,
+	}
+	insts := emitN(k, 300)
+	checkInstValid(t, insts, "cross")
+	var trigger *Inst
+	pairs := 0
+	for i := range insts {
+		in := &insts[i]
+		if in.Op != OpLoad {
+			continue
+		}
+		if trigger == nil {
+			trigger = in
+			continue
+		}
+		if in.Addr != trigger.Addr+k.Delta {
+			t.Fatalf("cross target at %#x, want trigger %#x + %d", in.Addr, trigger.Addr, k.Delta)
+		}
+		if PageAddr(in.Addr) != PageAddr(trigger.Addr) {
+			t.Fatalf("cross pair spans pages: %#x vs %#x", in.Addr, trigger.Addr)
+		}
+		pairs++
+		trigger = nil
+	}
+	if pairs < 10 {
+		t.Fatalf("too few cross pairs observed: %d", pairs)
+	}
+}
+
+func TestBTreeDescends(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &BTreeKernel{Code: sp.Code(512), R: [4]int8{0, 1, 2, 3},
+		Block: 2, Work: 2, Seed: 1}
+	for _, sz := range []uint64{4096, 1 << 15, 1 << 17} {
+		k.Levels = append(k.Levels, sp.Data(sz))
+	}
+	insts := emitN(k, 200)
+	checkInstValid(t, insts, "btree")
+	// Loads must visit levels in order.
+	lvl := 0
+	for _, in := range insts {
+		if in.Op != OpLoad {
+			continue
+		}
+		want := k.Levels[lvl]
+		if in.Addr < want.Base || in.Addr >= want.Base+want.Size {
+			t.Fatalf("btree load %#x outside level %d %+v", in.Addr, lvl, want)
+		}
+		lvl = (lvl + 1) % len(k.Levels)
+	}
+}
+
+func TestCodeFootprintSpansManyLines(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &CodeFootprintKernel{
+		Code: sp.Code(128 * 1024), Locals: sp.Data(4096),
+		R: [4]int8{0, 1, 2, 3}, Funcs: 40, FuncLen: 96, Succs: 2,
+		LoadFrac: 0.2, Seed: 5,
+	}
+	insts := emitN(k, 4000)
+	checkInstValid(t, insts, "code")
+	lines := make(map[uint64]bool)
+	for _, in := range insts {
+		lines[in.PC&^63] = true
+	}
+	if len(lines) < 50 {
+		t.Fatalf("code footprint too small: %d lines", len(lines))
+	}
+}
+
+func TestStridedHotSerialDependency(t *testing.T) {
+	sp := NewAddrSpace()
+	k := &StridedHotKernel{Code: sp.Code(256), Data: sp.Data(1 << 16),
+		R: [4]int8{0, 1, 2, 3}, Stride: 64, Block: 4, Work: 2, Serial: true}
+	insts := emitN(k, 50)
+	// The address-producing ALU must consume the accumulator register.
+	found := false
+	for _, in := range insts {
+		if in.Op == OpALU && in.Dst == 0 && in.Src2 == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("serial mode did not couple the address chain to the accumulator")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("Hash64 collision on trivially different inputs")
+	}
+}
+
+func TestKernelsEmitBoundedBatches(t *testing.T) {
+	sp := NewAddrSpace()
+	rng := NewRNG(3)
+	chase := &PointerChaseKernel{Code: sp.Code(256), Data: sp.Data(64 * 64), R: [4]int8{0, 1, 2, 3}, Block: 4, Work: 2}
+	chase.InitChase(rng)
+	kernels := []Kernel{
+		&StreamKernel{Code: sp.Code(256), Data: sp.Data(4096), R: [4]int8{0, 1, 2, 3}, Stride: 64, Block: 8},
+		&WriteStreamKernel{Code: sp.Code(256), Data: sp.Data(4096), R: [4]int8{0, 1, 2, 3}, Stride: 64, Block: 8},
+		chase,
+		&HashProbeKernel{Code: sp.Code(256), Data: sp.Data(1 << 14), R: [4]int8{0, 1, 2, 3}, Block: 4, Work: 2, MispredP: 0.1, BranchFrac: 0.5},
+		&StencilKernel{Code: sp.Code(256), A: sp.Data(4096), B: sp.Data(4096), C: sp.Data(4096), R: [4]int8{0, 1, 2, 3}, Block: 4},
+		&GEMMKernel{Code: sp.Code(256), A: sp.Data(4096), B: sp.Data(12288), R: [4]int8{0, 1, 2, 3}, Block: 4},
+		&BranchyKernel{Code: sp.Code(256), Data: sp.Data(4096), R: [4]int8{0, 1, 2, 3}, Block: 4, MispredP: 0.1},
+		&ScratchKernel{Code: sp.Code(256), Data: sp.Data(4096), R: [4]int8{0, 1, 2, 3}, Block: 4},
+		&DepChainKernel{Code: sp.Code(256), R: [4]int8{0, 1, 2, 3}, Block: 8},
+		&ILPKernel{Code: sp.Code(256), R: [4]int8{0, 1, 2, 3}, Block: 8},
+		&StridedHotKernel{Code: sp.Code(256), Data: sp.Data(4096), R: [4]int8{0, 1, 2, 3}, Stride: 64, Block: 4, Work: 2},
+	}
+	for _, k := range kernels {
+		e := NewEmitter(NewRNG(9))
+		k.Emit(e)
+		if len(e.Buf) == 0 {
+			t.Fatalf("%T emitted nothing", k)
+		}
+		if len(e.Buf) > 1000 {
+			t.Fatalf("%T emitted unbounded batch: %d", k, len(e.Buf))
+		}
+		checkInstValid(t, e.Buf, "batch")
+	}
+}

@@ -1,0 +1,341 @@
+// Package workloads defines the 70 single-thread workloads of the
+// paper's Table II as synthetic analogues, plus the 60 four-way
+// multi-programmed mixes (§V). Each workload is a deterministic
+// weighted mix of trace kernels whose working sets are sized against
+// the paper's cache hierarchy (32KB L1, 1MB L2, 5.5MB LLC) so that the
+// hit-rate and criticality structure lands in the regimes the paper
+// reports.
+package workloads
+
+import "catch/internal/trace"
+
+// Register banks: kernels within one workload get disjoint
+// architectural registers so interleaving creates no false
+// dependencies.
+var regBank = [4][4]int8{
+	{0, 1, 2, 3},
+	{4, 5, 6, 7},
+	{8, 9, 10, 11},
+	{12, 13, 14, 15},
+}
+
+const (
+	kb = 1024
+	mb = 1024 * kb
+)
+
+func seedOf(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func wl(name, cat string, build trace.BuildFunc) trace.Workload {
+	return trace.Workload{WName: name, WCategory: cat, Seed: seedOf(name), Build: build}
+}
+
+// --- kernel constructors -------------------------------------------------
+
+func addStream(b *trace.Builder, bank int, w int, ws, stride uint64, fp bool) {
+	b.Add(w, &trace.StreamKernel{
+		Code: b.Space.Code(256), Data: b.Space.Data(ws),
+		R: regBank[bank], Stride: stride, Block: 24, FP: fp,
+	})
+}
+
+func addWriteStream(b *trace.Builder, bank int, w int, ws uint64) {
+	b.Add(w, &trace.WriteStreamKernel{
+		Code: b.Space.Code(192), Data: b.Space.Data(ws),
+		R: regBank[bank], Stride: 64, Block: 16,
+	})
+}
+
+func addChase(b *trace.Builder, bank int, w int, ws uint64, work int) {
+	k := &trace.PointerChaseKernel{
+		Code: b.Space.Code(256), Data: b.Space.Data(ws),
+		R: regBank[bank], Block: 4, Work: work,
+	}
+	k.InitChase(b.RNG)
+	b.AddValues(k.Values())
+	b.MarkPrewarm(k.Data)
+	b.Add(w, k)
+}
+
+func addGather(b *trace.Builder, bank int, w int, idxWS, tgtWS uint64, work int, mispred float64) {
+	k := &trace.IndexedGatherKernel{
+		Code: b.Space.Code(384), Index: b.Space.Data(idxWS), Target: b.Space.Data(tgtWS),
+		R: regBank[bank], Block: 12, Work: work, MispredP: mispred, SeedVal: b.RNG.Uint64(),
+	}
+	b.AddValues(k.Values())
+	b.MarkPrewarm(k.Index)
+	b.MarkPrewarm(k.Target)
+	b.Add(w, k)
+}
+
+func addCross(b *trace.Builder, bank int, w int, ws, delta uint64, gap, work int) {
+	k := &trace.CrossPairKernel{
+		Code: b.Space.Code(512), Data: b.Space.Data(ws),
+		R: regBank[bank], Delta: delta, Gap: gap, Work: work, Block: 3,
+		Seed: b.RNG.Uint64(),
+	}
+	b.MarkPrewarm(k.Data)
+	b.Add(w, k)
+}
+
+func addHash(b *trace.Builder, bank int, w int, ws uint64, work int, mispred float64) {
+	k := &trace.HashProbeKernel{
+		Code: b.Space.Code(256), Data: b.Space.Data(ws),
+		R: regBank[bank], Block: 10, Work: work,
+		MispredP: mispred, BranchFrac: 0.5, Seed: b.RNG.Uint64(),
+	}
+	b.MarkPrewarm(k.Data)
+	b.Add(w, k)
+}
+
+func addStencil(b *trace.Builder, bank int, w int, ws uint64) {
+	k := &trace.StencilKernel{
+		Code: b.Space.Code(256),
+		A:    b.Space.Data(ws), B: b.Space.Data(ws), C: b.Space.Data(ws),
+		R: regBank[bank], Block: 12,
+	}
+	b.MarkPrewarm(k.A)
+	b.MarkPrewarm(k.B)
+	b.Add(w, k)
+}
+
+func addGEMM(b *trace.Builder, bank int, w int, tile uint64) {
+	b.Add(w, &trace.GEMMKernel{
+		Code: b.Space.Code(256), A: b.Space.Data(tile), B: b.Space.Data(tile * 3),
+		R: regBank[bank], Block: 12,
+	})
+}
+
+func addBTree(b *trace.Builder, bank int, w int, levels []uint64, work int) {
+	k := &trace.BTreeKernel{
+		Code: b.Space.Code(512), R: regBank[bank],
+		Block: 2, Work: work, Seed: b.RNG.Uint64(),
+	}
+	for _, sz := range levels {
+		reg := b.Space.Data(sz)
+		k.Levels = append(k.Levels, reg)
+		b.MarkPrewarm(reg)
+	}
+	b.AddValues(k.Values())
+	b.Add(w, k)
+}
+
+func addCode(b *trace.Builder, bank int, w int, codeKB uint64, funcs, funcLen int) {
+	b.Add(w, &trace.CodeFootprintKernel{
+		Code: b.Space.Code(codeKB * kb), Locals: b.Space.Data(6 * kb),
+		R: regBank[bank], Funcs: funcs, FuncLen: funcLen, Succs: 2,
+		LoadFrac: 0.2, Seed: b.RNG.Uint64(),
+	})
+}
+
+func addBranchy(b *trace.Builder, bank int, w int, ws uint64, mispred float64) {
+	b.Add(w, &trace.BranchyKernel{
+		Code: b.Space.Code(256), Data: b.Space.Data(ws),
+		R: regBank[bank], Block: 12, MispredP: mispred, Seed: b.RNG.Uint64(),
+	})
+}
+
+func addScratch(b *trace.Builder, bank int, w int) {
+	b.Add(w, &trace.ScratchKernel{
+		Code: b.Space.Code(192), Data: b.Space.Data(4 * kb),
+		R: regBank[bank], Block: 12,
+	})
+}
+
+func addDepChain(b *trace.Builder, bank int, w int, fp bool) {
+	b.Add(w, &trace.DepChainKernel{
+		Code: b.Space.Code(128), R: regBank[bank], Block: 24, FP: fp,
+	})
+}
+
+func addILP(b *trace.Builder, bank int, w int) {
+	b.Add(w, &trace.ILPKernel{Code: b.Space.Code(128), R: regBank[bank], Block: 16})
+}
+
+// addHotSmallBlock adds a serial L2/LLC-resident strided walk with a
+// short block, so its exposed-latency chain is a bounded fraction of
+// the workload's critical path.
+func addHotSmallBlock(b *trace.Builder, bank int, w int, ws uint64, work int) {
+	k := &trace.StridedHotKernel{
+		Code: b.Space.Code(256), Data: b.Space.Data(ws),
+		R: regBank[bank], Stride: 64, Block: 2, Work: work, Serial: true,
+	}
+	b.MarkPrewarm(k.Data)
+	b.Add(w, k)
+}
+
+func addHot(b *trace.Builder, bank int, w int, ws, stride uint64, work int, serial bool) {
+	k := &trace.StridedHotKernel{
+		Code: b.Space.Code(256), Data: b.Space.Data(ws),
+		R: regBank[bank], Stride: stride, Block: 16, Work: work, Serial: serial,
+	}
+	b.MarkPrewarm(k.Data)
+	b.Add(w, k)
+}
+
+// --- archetype builders ---------------------------------------------------
+
+// hotL2 is dominated by a strided walk over an L2-resident set whose
+// loads feed dependent work: critical L2 hits, deep-self coverable.
+// This is the paper's hmmer-like big noL2 loser that CATCH recovers.
+func hotL2(ws uint64, work int) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addHot(b, 0, 5, ws, 64, work, true)
+		addILP(b, 1, 2)
+		addScratch(b, 3, 1)
+		addBranchy(b, 2, 1, 6*kb, 0.03)
+	}
+}
+
+// gatherCritical is an index-driven gather over a large set: the
+// classic feeder pattern (mcf-like).
+func gatherCritical(idxWS, tgtWS uint64, work int) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addGather(b, 0, 5, idxWS, tgtWS, work, 0.12)
+		addStream(b, 1, 1, 256*kb, 64, false)
+		addBranchy(b, 2, 1, 6*kb, 0.05)
+		addDepChain(b, 3, 1, false)
+	}
+}
+
+// chaseCritical is pointer-chase dominated: critical loads no
+// prefetcher covers (namd/gromacs-like behaviour under CATCH).
+func chaseCritical(ws uint64, work int, fp bool) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addChase(b, 0, 1, ws, work)
+		if fp {
+			addDepChain(b, 1, 3, true)
+			addStencil(b, 2, 2, 128*kb)
+			addGEMM(b, 3, 2, 6*kb)
+		} else {
+			addILP(b, 1, 3)
+			addStream(b, 2, 2, 128*kb, 64, false)
+			addHot(b, 3, 2, 8*kb, 64, 2, true)
+		}
+	}
+}
+
+// crossStruct visits structs spread over pages: header then payload at
+// a fixed delta (TACT-Cross pattern).
+func crossStruct(ws, delta uint64, gap, work int) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addCross(b, 0, 2, ws, delta, gap, work)
+		addHot(b, 1, 2, 8*kb, 64, 2, true)
+		addDepChain(b, 2, 3, false)
+		addStream(b, 3, 1, 128*kb, 64, false)
+	}
+}
+
+// streamHeavy is bandwidth-style streaming with little criticality in
+// the on-die hierarchy (libquantum/lbm-like).
+func streamHeavy(ws uint64, fp bool) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addStream(b, 0, 5, ws, 64, fp)
+		addWriteStream(b, 1, 2, ws/2)
+		addDepChain(b, 2, 1, fp)
+	}
+}
+
+// stencilFP is an HPC stencil sweep with FP pipelines.
+func stencilFP(ws uint64) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addStencil(b, 0, 5, ws)
+		addStream(b, 1, 2, ws, 64, true)
+		addGEMM(b, 2, 1, 6*kb)
+	}
+}
+
+// computeFP is L1-resident FP compute (gamess/calculix-like).
+func computeFP() trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addGEMM(b, 0, 4, 6*kb)
+		addDepChain(b, 1, 2, true)
+		addHotSmallBlock(b, 2, 1, 192*kb, 3)
+		addScratch(b, 3, 1)
+	}
+}
+
+// computeInt is integer compute with moderate branches and an L2-ish
+// working set (bzip2/gobmk/sjeng-like).
+func computeInt(ws uint64, mispred float64) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addDepChain(b, 0, 3, false)
+		addBranchy(b, 1, 3, 6*kb, mispred)
+		addHot(b, 2, 3, 8*kb, 64, 3, true) // L1-resident inner loop
+		addHotSmallBlock(b, 3, 1, ws, 3)   // occasional L2 excursions
+	}
+}
+
+// hashLLC probes an LLC-resident table with unpredictable addresses.
+func hashLLC(ws uint64, work int, mispred float64) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addHash(b, 0, 4, ws, work, mispred)
+		addStream(b, 1, 2, 512*kb, 64, false)
+		addILP(b, 2, 1)
+	}
+}
+
+// serverMix has a big code footprint, a B-tree descent and branches:
+// front-end stalls plus L2/LLC-critical loads (tpcc/specjbb-like).
+func serverMix(codeKB uint64, btreeTop, btreeLeaf uint64, mispred float64) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addCode(b, 0, 5, codeKB, int(codeKB/3), 96)
+		addBTree(b, 1, 1, []uint64{4 * kb, btreeTop, btreeLeaf}, 4)
+		addBranchy(b, 2, 4, 6*kb, mispred+0.02)
+		addCross(b, 3, 1, 384*kb, 640, 10, 6)
+	}
+}
+
+// clientMix is a media/productivity blend: streaming, struct access,
+// moderate code, some branches.
+func clientMix(ws uint64, codeKB uint64) trace.BuildFunc {
+	return func(b *trace.Builder) {
+		addStream(b, 0, 3, 8*mb, 64, false) // memory streaming phase
+		addCross(b, 1, 2, ws, 512, 8, 4)
+		addCode(b, 2, 2, codeKB, int(codeKB/3), 96)
+		addBranchy(b, 3, 2, 6*kb, 0.04)
+	}
+}
+
+// manyCritical spreads critical strided loads across many distinct
+// static PCs so the 32-entry critical-load table is insufficient
+// (povray-like: the paper calls out povray as limited by table
+// capacity and leaves better table management as future work).
+func manyCritical() trace.BuildFunc {
+	return func(b *trace.Builder) {
+		// A rotor of 48 serial strided walkers, each with its own load
+		// PC and working set: up to 48 PCs compete for table entries.
+		var walkers []trace.Kernel
+		for i := 0; i < 48; i++ {
+			k := &trace.StridedHotKernel{
+				Code: b.Space.Code(256), Data: b.Space.Data(uint64(64+8*i) * kb),
+				R: regBank[i%3], Stride: 64, Block: 2, Work: 3, Serial: true,
+			}
+			b.MarkPrewarm(k.Data)
+			walkers = append(walkers, k)
+		}
+		b.Add(6, &rotorKernel{kernels: walkers})
+		addILP(b, 3, 2)
+		addBranchy(b, 3, 1, 6*kb, 0.05)
+	}
+}
+
+// rotorKernel cycles through a set of kernels, one per emit, so each
+// contributes a distinct hot PC at a low individual frequency.
+type rotorKernel struct {
+	kernels []trace.Kernel
+	next    int
+}
+
+// Emit delegates to the next kernel in the rotor.
+func (r *rotorKernel) Emit(e *trace.Emitter) {
+	r.kernels[r.next].Emit(e)
+	r.next = (r.next + 1) % len(r.kernels)
+}

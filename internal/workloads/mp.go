@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"fmt"
+
+	"catch/internal/trace"
+)
+
+// Mix is a four-way multi-programmed workload.
+type Mix struct {
+	Name  string
+	Parts [4]trace.Workload
+}
+
+// Gens instantiates fresh generators for the mix.
+func (m *Mix) Gens() []trace.Generator {
+	out := make([]trace.Generator, 4)
+	for i := range m.Parts {
+		out[i] = m.Parts[i].NewGen()
+	}
+	return out
+}
+
+// Mixes returns the 60 four-way MP workloads: 30 RATE-4 style (four
+// copies of one application) and 30 pseudo-random mixes drawn from the
+// ST study list (§V).
+func Mixes() []Mix {
+	all := All()
+	var out []Mix
+
+	// RATE-4: every other workload from the study list, 30 total.
+	for i := 0; len(out) < 30 && i < len(all); i += 2 {
+		w := all[i]
+		var m Mix
+		m.Name = "rate4-" + w.WName
+		for k := 0; k < 4; k++ {
+			m.Parts[k] = w
+		}
+		out = append(out, m)
+	}
+
+	// Random mixes: deterministic draws from the full list.
+	rng := trace.NewRNG(0xC0FFEE)
+	for j := 0; j < 30; j++ {
+		var m Mix
+		m.Name = fmt.Sprintf("mix-%02d", j)
+		used := map[int]bool{}
+		for k := 0; k < 4; k++ {
+			idx := rng.Intn(len(all))
+			for used[idx] {
+				idx = rng.Intn(len(all))
+			}
+			used[idx] = true
+			m.Parts[k] = all[idx]
+		}
+		out = append(out, m)
+	}
+	return out
+}
