@@ -1,0 +1,81 @@
+// Command catchd serves simulations over HTTP: single jobs, grid
+// sweeps and cached results, backed by the parallel execution engine
+// and its content-addressed result cache.
+//
+// Usage:
+//
+//	catchd -addr :8080 -parallel 8 -cache /tmp/catch-cache
+//
+// Endpoints:
+//
+//	POST /v1/run           {"config":"catch","workload":"mcf","insts":300000,"warmup":150000}
+//	POST /v1/sweep         {"configs":["baseline-excl","catch"],"workloads":["mcf","hmmer"]}
+//	GET  /v1/results/{key} cached result by content address
+//	GET  /healthz          liveness and counters
+//
+// Duplicate concurrent requests for the same job are coalesced onto
+// one simulation; identical jobs after that are served from the cache.
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"catch/internal/experiments"
+	"catch/internal/runner"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		parallel = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
+		inflight = flag.Int("max-inflight", 0, "max concurrently served run/sweep requests (0 = 2x workers)")
+		timeout  = flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+		retries  = flag.Int("retries", 1, "extra attempts for a failed or timed-out job")
+	)
+	flag.Parse()
+
+	eng := runner.New(runner.Options{
+		Workers: *parallel,
+		Cache:   runner.NewCache(*cacheDir),
+		Timeout: *timeout,
+		Retries: *retries,
+	})
+	srv := &runner.Server{
+		Engine:      eng,
+		Resolve:     experiments.ConfigByName,
+		MaxInflight: *inflight,
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "catchd: listening on %s (%d workers, cache %q)\n",
+		*addr, eng.Workers(), *cacheDir)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "catchd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "catchd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "catchd: drained, bye")
+}

@@ -5,25 +5,41 @@
 //	catchexp -exp fig10                 # one experiment
 //	catchexp -exp all                   # the full evaluation
 //	catchexp -exp fig1 -insts 500000    # custom budget
+//	catchexp -exp fig13 -parallel 8     # shard the sweep over 8 workers
+//	catchexp -exp all -cache /tmp/catch # persist results across runs
+//	catchexp -exp fig10 -json           # machine-readable tables
 //	catchexp -list
+//
+// Simulations run through the parallel execution engine: jobs shard
+// across -parallel workers and identical jobs (the shared baseline
+// runs, or anything already in the -cache directory) are served from
+// the content-addressed result cache. Wall-clock and cache counters
+// are reported on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"catch/internal/experiments"
+	"catch/internal/runner"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig10", "experiment id, or 'all'")
-		insts  = flag.Int64("insts", 300_000, "measured instructions per workload")
-		warmup = flag.Int64("warmup", 150_000, "warmup instructions per workload")
-		nwl    = flag.Int("workloads", 0, "restrict to N workloads (0 = all 70)")
-		mixes  = flag.Int("mixes", 16, "number of MP mixes for fig14 (0 = all 60)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "fig10", "experiment id, or 'all'")
+		insts    = flag.Int64("insts", 300_000, "measured instructions per workload")
+		warmup   = flag.Int64("warmup", 150_000, "warmup instructions per workload")
+		nwl      = flag.Int("workloads", 0, "restrict to N workloads (0 = all 70)")
+		mixes    = flag.Int("mixes", 16, "number of MP mixes for fig14 (0 = all 60)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker goroutines")
+		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
+		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -34,19 +50,42 @@ func main() {
 		return
 	}
 
+	eng := runner.New(runner.Options{
+		Workers: *parallel,
+		Cache:   runner.NewCache(*cacheDir),
+	})
+	experiments.UseEngine(eng)
+
 	b := experiments.Budget{Insts: *insts, Warmup: *warmup, Workloads: *nwl, Mixes: *mixes}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	start := time.Now()
+	var all []experiments.Table
 	for _, id := range ids {
 		tables, err := experiments.Run(id, b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			all = append(all, tables...)
+			continue
+		}
 		for _, t := range tables {
 			fmt.Println(t.Print())
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "catchexp: %v elapsed, %d workers, %d simulations, cache: %s\n",
+		time.Since(start).Round(time.Millisecond), eng.Workers(), eng.Executed(),
+		eng.Cache().Stats())
 }

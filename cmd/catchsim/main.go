@@ -1,31 +1,46 @@
-// Command catchsim runs one workload on one system configuration and
-// prints detailed statistics.
+// Command catchsim runs workloads on system configurations and prints
+// detailed statistics.
 //
 // Usage:
 //
 //	catchsim -workload mcf -config catch -n 300000 -warmup 50000
+//	catchsim -workload mcf,hmmer -config catch,baseline-excl -parallel 4
+//	catchsim -workload mcf -config catch -json
 //	catchsim -list            # list workloads
 //	catchsim -configs         # list configurations
+//
+// Comma-separated workload/config lists expand into a grid that runs
+// through the parallel execution engine; -json emits the engine's
+// JobResult records (content-address key, timing, full Result structs)
+// instead of the human-readable report.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 
+	"catch/internal/config"
 	"catch/internal/core"
 	"catch/internal/experiments"
+	"catch/internal/runner"
 	"catch/internal/stats"
 	"catch/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "mcf", "workload name (see -list)")
-		cfgName  = flag.String("config", "baseline-excl", "configuration name (see -configs)")
+		workload = flag.String("workload", "mcf", "workload name(s), comma-separated (see -list)")
+		cfgName  = flag.String("config", "baseline-excl", "configuration name(s), comma-separated (see -configs)")
 		n        = flag.Int64("n", 300_000, "instructions to measure")
 		warmup   = flag.Int64("warmup", 60_000, "warmup instructions")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker goroutines")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON results")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		configs  = flag.Bool("configs", false, "list configurations and exit")
 	)
@@ -53,20 +68,50 @@ func main() {
 		return
 	}
 
-	w, ok := workloads.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
-		os.Exit(1)
+	var cfgs []config.SystemConfig
+	for _, name := range strings.Split(*cfgName, ",") {
+		cfg, ok := experiments.ConfigByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown config %q (try -configs)\n", name)
+			os.Exit(1)
+		}
+		cfgs = append(cfgs, cfg)
 	}
-	cfg, ok := experiments.ConfigByName(*cfgName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown config %q (try -configs)\n", *cfgName)
+	var wls []string
+	for _, name := range strings.Split(*workload, ",") {
+		name = strings.TrimSpace(name)
+		if _, ok := workloads.ByName(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", name)
+			os.Exit(1)
+		}
+		wls = append(wls, name)
+	}
+
+	grid := runner.Grid{Configs: cfgs, Workloads: wls, Insts: *n, Warmup: *warmup}
+	eng := runner.New(runner.Options{Workers: *parallel, Cache: runner.NewCache("")})
+	jrs := eng.Run(context.Background(), grid.Jobs())
+	if err := runner.FirstError(jrs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	sys := core.NewSystem(cfg)
-	res := sys.RunST(w.NewGen(), *n, *warmup)
-	printResult(&res)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jrs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for i := range jrs {
+		if i > 0 {
+			fmt.Println()
+		}
+		for j := range jrs[i].Results {
+			printResult(&jrs[i].Results[j])
+		}
+	}
 }
 
 func printResult(r *core.Result) {

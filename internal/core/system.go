@@ -345,6 +345,7 @@ func (s *System) RunMP(gens []trace.Generator, insts, warmup int64) []Result {
 	}
 	var in trace.Inst
 	active := n
+	warming := n
 	for active > 0 {
 		// Advance the core furthest behind in time.
 		best, bestC := -1, int64(1<<62-1)
@@ -365,6 +366,15 @@ func (s *System) RunMP(gens []trace.Generator, insts, warmup int64) []Result {
 				st[best].warm = true
 				st[best].cycles0 = c.CPU.Cycles()
 				c.resetStats()
+				// The shared LLC/DRAM/ring counters can only be reset
+				// once; do it when the last core crosses its warmup
+				// boundary so no core's measurement window includes
+				// another core's warmup traffic (mirrors RunST).
+				if warming--; warming == 0 {
+					s.LLC.ResetStats()
+					s.Mem.Stats = memory.Stats{}
+					s.Ring.Stats = interconnect.Stats{}
+				}
 			}
 			if st[best].warm && c.CPU.Insts >= insts {
 				st[best].done = true

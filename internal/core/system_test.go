@@ -183,6 +183,39 @@ func TestRunMPProducesPerCoreResults(t *testing.T) {
 	}
 }
 
+func TestRunMPResetsSharedStatsAtWarmup(t *testing.T) {
+	// Two runs over the identical instruction stream: one measures all
+	// W+N instructions, the other warms up for W and measures N. The
+	// shared LLC/DRAM/ring counters of the warmed run must exclude the
+	// warmup traffic, so they come out strictly smaller (they used to
+	// be equal — shared stats were never reset at the warmup boundary).
+	const w, n = 12_000, 20_000
+	mix := workloads.Mixes()[0]
+	cfg := config.BaselineExclusive()
+	cfg.Cores = 4
+
+	full := NewSystem(cfg).RunMP(mix.Gens(), w+n, 0)
+	warmed := NewSystem(cfg).RunMP(mix.Gens(), n, w)
+
+	if warmed[0].LLC.Lookups == 0 {
+		t.Fatal("no LLC activity in measurement window")
+	}
+	if warmed[0].LLC.Lookups >= full[0].LLC.Lookups {
+		t.Fatalf("warmup traffic still in shared LLC stats: warmed %d >= full %d",
+			warmed[0].LLC.Lookups, full[0].LLC.Lookups)
+	}
+	if warmed[0].Ring.Flits >= full[0].Ring.Flits {
+		t.Fatalf("warmup traffic still in ring stats: warmed %d >= full %d",
+			warmed[0].Ring.Flits, full[0].Ring.Flits)
+	}
+	// All cores snapshot the same shared counters.
+	for i := 1; i < 4; i++ {
+		if warmed[i].LLC != warmed[0].LLC {
+			t.Fatalf("core %d reports different shared LLC stats", i)
+		}
+	}
+}
+
 func TestMPCoresDoNotAlias(t *testing.T) {
 	cfg := config.BaselineExclusive()
 	cfg.Cores = 2

@@ -213,9 +213,7 @@ func ExtSharedCode(b Budget) []Table {
 		cfg.SharedCode = variant.shared
 		var ws []float64
 		var fHit, fAll uint64
-		for i := range mixes {
-			sys := core.NewSystem(cfg)
-			rs := sys.RunMP(mixes[i].Gens(), b.Insts, b.Warmup)
+		for _, rs := range runMixes(cfg, mixes, b) {
 			sum := 0.0
 			for _, r := range rs {
 				sum += r.IPC

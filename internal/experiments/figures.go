@@ -11,17 +11,6 @@ import (
 	"catch/internal/workloads"
 )
 
-// runSys runs every study workload on an explicit configuration.
-func runSys(cfg config.SystemConfig, b Budget) []core.Result {
-	wls := b.workloads()
-	out := make([]core.Result, 0, len(wls))
-	for _, w := range wls {
-		sys := core.NewSystem(cfg)
-		out = append(out, sys.RunST(w.NewGen(), b.Insts, b.Warmup))
-	}
-	return out
-}
-
 // Fig1 reproduces Figure 1: performance impact of removing the L2
 // (iso-capacity 6.5MB and iso-area 9.5MB LLCs) versus the exclusive
 // baseline, per category.

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"catch/internal/config"
-	"catch/internal/core"
 	"catch/internal/criticality"
 	"catch/internal/power"
 	"catch/internal/stats"
@@ -23,34 +22,11 @@ func mpConfig(name string) config.SystemConfig {
 	return cfg
 }
 
-// weightedSpeedup computes Σ IPC_together / IPC_alone for one mix on
-// one configuration. aloneIPC is the fixed reference (each workload
-// alone on the *baseline*), so weighted speedups are comparable across
-// configurations as a throughput metric.
-func weightedSpeedup(cfg, refCfg config.SystemConfig, mix *workloads.Mix, b Budget,
-	aloneIPC map[string]float64) float64 {
-
-	for _, part := range mix.Parts {
-		if _, ok := aloneIPC[part.WName]; !ok {
-			sys := core.NewSystem(refCfg)
-			r := sys.RunST(part.NewGen(), b.Insts, b.Warmup)
-			aloneIPC[part.WName] = r.IPC
-		}
-	}
-	sys := core.NewSystem(cfg)
-	rs := sys.RunMP(mix.Gens(), b.Insts, b.Warmup)
-	ws := 0.0
-	for i, r := range rs {
-		if alone := aloneIPC[mix.Parts[i].WName]; alone > 0 {
-			ws += r.IPC / alone
-		}
-	}
-	return ws
-}
-
 // Fig14 reproduces Figure 14: weighted speedup of 4-way
 // multi-programmed workloads (paper: noL2 -4.1%, noL2+CATCH +8.5%,
-// CATCH +9.0%).
+// CATCH +9.0%). The weighted speedup of a mix is Σ IPC_together /
+// IPC_alone with each workload's alone-IPC measured on the *baseline*,
+// so the metric is comparable across configurations.
 func Fig14(b Budget) []Table {
 	mixes := workloads.Mixes()
 	if b.Mixes > 0 && b.Mixes < len(mixes) {
@@ -64,13 +40,31 @@ func Fig14(b Budget) []Table {
 	}
 
 	configs := []string{"baseline-excl", "nol2-6.5", "nol2-6.5-catch", "catch"}
-	refCfg := mpConfig("baseline-excl")
-	alone := make(map[string]float64) // fixed baseline reference
+
+	// Fixed baseline reference: each distinct workload alone, batched
+	// through the engine.
+	var parts []string
+	seen := map[string]bool{}
+	for i := range mixes {
+		for _, name := range mixNames(&mixes[i]) {
+			if !seen[name] {
+				seen[name] = true
+				parts = append(parts, name)
+			}
+		}
+	}
+	alone := runAloneIPC(mpConfig("baseline-excl"), parts, b)
+
 	ws := make(map[string][]float64)
 	for _, name := range configs {
-		cfg := mpConfig(name)
-		for i := range mixes {
-			ws[name] = append(ws[name], weightedSpeedup(cfg, refCfg, &mixes[i], b, alone))
+		for i, rs := range runMixes(mpConfig(name), mixes, b) {
+			sum := 0.0
+			for k, r := range rs {
+				if a := alone[mixes[i].Parts[k].WName]; a > 0 {
+					sum += r.IPC / a
+				}
+			}
+			ws[name] = append(ws[name], sum)
 		}
 	}
 	t := Table{

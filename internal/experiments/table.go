@@ -77,21 +77,6 @@ func (b Budget) workloads() []trace.Workload {
 	return workloads.StudyList(b.Workloads)
 }
 
-// runConfig runs every study workload on one configuration.
-func runConfig(cfgName string, b Budget) []core.Result {
-	cfg, ok := ConfigByName(cfgName)
-	if !ok {
-		panic("experiments: unknown config " + cfgName)
-	}
-	wls := b.workloads()
-	out := make([]core.Result, 0, len(wls))
-	for _, w := range wls {
-		sys := core.NewSystem(cfg)
-		out = append(out, sys.RunST(w.NewGen(), b.Insts, b.Warmup))
-	}
-	return out
-}
-
 // geomeanIPC returns the geometric-mean IPC of results, overall or per
 // category.
 func geomeanIPC(rs []core.Result, category string) float64 {

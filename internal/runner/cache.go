@@ -1,0 +1,208 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"catch/internal/core"
+	"catch/internal/stats"
+)
+
+// CacheStats counts cache traffic. Coalesced requests waited on an
+// identical in-flight computation instead of starting their own.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	DiskHits  uint64 `json:"diskHits"`
+	BadDisk   uint64 `json:"badDisk"` // corrupted on-disk entries treated as misses
+}
+
+// Cache is a content-addressed memo of job results keyed by Job.Key.
+// Entries live in memory and, when a directory is configured, as one
+// JSON file per key so a later process can reuse them. Duplicate
+// concurrent requests for one key are coalesced onto a single
+// computation.
+type Cache struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[string][]core.Result
+	inflight map[string]*flight
+
+	hits      stats.AtomicCounter
+	misses    stats.AtomicCounter
+	coalesced stats.AtomicCounter
+	diskHits  stats.AtomicCounter
+	badDisk   stats.AtomicCounter
+}
+
+type flight struct {
+	done chan struct{}
+	res  []core.Result
+	err  error
+}
+
+// NewCache builds a cache. dir may be empty for a memory-only cache;
+// otherwise it is created on first persist.
+func NewCache(dir string) *Cache {
+	return &Cache{
+		dir:      dir,
+		mem:      make(map[string][]core.Result),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		DiskHits:  c.diskHits.Value(),
+		BadDisk:   c.badDisk.Value(),
+	}
+}
+
+// HitRate returns hits+coalesced over all requests.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	return stats.Ratio(s.Hits+s.Coalesced, total)
+}
+
+// Get returns the cached results for key (memory first, then disk)
+// without computing anything.
+func (c *Cache) Get(key string) ([]core.Result, bool) {
+	c.mu.Lock()
+	if rs, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		return rs, true
+	}
+	c.mu.Unlock()
+	if rs, ok := c.loadDisk(key); ok {
+		c.mu.Lock()
+		c.mem[key] = rs
+		c.mu.Unlock()
+		return rs, true
+	}
+	return nil, false
+}
+
+// Do returns the results for key, computing them at most once across
+// all concurrent callers. cached reports whether the result came from
+// the cache (or from another caller's in-flight computation) rather
+// than from this caller's compute. Errors are not cached.
+func (c *Cache) Do(key string, compute func() ([]core.Result, error)) (rs []core.Result, cached bool, err error) {
+	c.mu.Lock()
+	if rs, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		c.hits.Inc()
+		return rs, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		<-f.done
+		return f.res, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	if rs, ok := c.loadDisk(key); ok {
+		c.hits.Inc()
+		c.diskHits.Inc()
+		c.settle(key, f, rs, nil)
+		return rs, true, nil
+	}
+
+	c.misses.Inc()
+	rs, err = compute()
+	c.settle(key, f, rs, err)
+	if err == nil {
+		c.storeDisk(key, rs)
+	}
+	return rs, false, err
+}
+
+// settle publishes a flight's outcome and caches successes in memory.
+func (c *Cache) settle(key string, f *flight, rs []core.Result, err error) {
+	f.res, f.err = rs, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.mem[key] = rs
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{16,64}$`)
+
+// path maps a key to its on-disk file, rejecting anything that is not
+// a plain hex key (the HTTP layer passes client-supplied keys through).
+func (c *Cache) path(key string) (string, bool) {
+	if c.dir == "" || !keyPattern.MatchString(key) {
+		return "", false
+	}
+	return filepath.Join(c.dir, key+".json"), true
+}
+
+func (c *Cache) loadDisk(key string) ([]core.Result, bool) {
+	p, ok := c.path(key)
+	if !ok {
+		return nil, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var rs []core.Result
+	// A corrupted or empty entry is a miss, never a failure: the job
+	// simply recomputes and overwrites it.
+	if err := json.Unmarshal(raw, &rs); err != nil || len(rs) == 0 {
+		c.badDisk.Inc()
+		return nil, false
+	}
+	return rs, true
+}
+
+// storeDisk persists an entry via temp-file rename so readers never
+// observe a half-written file. Persistence failures are deliberately
+// silent: the disk layer is an optimization, not a correctness need.
+func (c *Cache) storeDisk(key string, rs []core.Result) {
+	p, ok := c.path(key)
+	if !ok {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	raw, err := json.Marshal(rs)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+key+"-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// String renders the counters for human-readable summaries.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits %d (disk %d)  misses %d  coalesced %d  corrupt %d  hit-rate %.1f%%",
+		s.Hits, s.DiskHits, s.Misses, s.Coalesced, s.BadDisk, 100*s.HitRate())
+}

@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"catch/internal/core"
+	"catch/internal/stats"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the worker pool; <=0 means GOMAXPROCS.
+	Workers int
+	// Cache memoizes and coalesces jobs; nil runs every job fresh.
+	Cache *Cache
+	// Timeout bounds one execution attempt; 0 means no limit.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after a failed or
+	// timed-out execution.
+	Retries int
+}
+
+// Engine shards jobs across a bounded worker pool. Each execution
+// builds a private core.System (System is not goroutine-safe and warm
+// state must not leak between jobs), so results are independent of the
+// worker count.
+type Engine struct {
+	opts Options
+	// simulate is the job executor; tests substitute it to count or
+	// delay executions.
+	simulate func(*Job) ([]core.Result, error)
+
+	executed stats.AtomicCounter
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Results/Err
+// is meaningful; a failed job never aborts the rest of the sweep.
+type JobResult struct {
+	Job     Job           `json:"job"`
+	Key     string        `json:"key"`
+	Results []core.Result `json:"results,omitempty"`
+	Err     string        `json:"error,omitempty"`
+	Cached  bool          `json:"cached"`
+	Elapsed time.Duration `json:"elapsedNs"`
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{opts: opts}
+	e.simulate = func(j *Job) ([]core.Result, error) { return j.Execute() }
+	return e
+}
+
+// Workers returns the configured pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Cache returns the engine's cache (nil when uncached).
+func (e *Engine) Cache() *Cache { return e.opts.Cache }
+
+// Run executes jobs and returns one JobResult per job, in job order
+// regardless of scheduling. Individual failures are reported in the
+// corresponding JobResult; Run itself only stops early if ctx is
+// cancelled (pending jobs then carry the context error).
+func (e *Engine) Run(ctx context.Context, jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	workers := e.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.runOne(ctx, jobs[i])
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for i := range out {
+		if out[i].Key == "" { // never scheduled
+			out[i] = JobResult{Job: jobs[i], Key: jobs[i].Key(), Err: ctx.Err().Error()}
+		}
+	}
+	return out
+}
+
+// runOne resolves a single job through the cache (when present) with
+// timeout and retry handling around the actual simulation.
+func (e *Engine) runOne(ctx context.Context, j Job) JobResult {
+	start := time.Now()
+	key := j.Key()
+	jr := JobResult{Job: j, Key: key}
+	compute := func() ([]core.Result, error) { return e.attempts(ctx, &j) }
+
+	var rs []core.Result
+	var err error
+	if e.opts.Cache != nil {
+		rs, jr.Cached, err = e.opts.Cache.Do(key, compute)
+	} else {
+		rs, err = compute()
+	}
+	if err != nil {
+		jr.Err = err.Error()
+	}
+	jr.Results = rs
+	jr.Elapsed = time.Since(start)
+	return jr
+}
+
+// attempts runs the simulation up to 1+Retries times, bounding each
+// attempt by the per-job timeout.
+func (e *Engine) attempts(ctx context.Context, j *Job) ([]core.Result, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err // structural errors do not retry
+	}
+	var last error
+	for try := 0; try <= e.opts.Retries; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rs, err := e.attempt(ctx, j)
+		if err == nil {
+			return rs, nil
+		}
+		last = fmt.Errorf("attempt %d/%d: %w", try+1, e.opts.Retries+1, err)
+	}
+	return nil, last
+}
+
+// attempt runs one bounded execution. The simulation itself is pure CPU
+// and cannot be interrupted mid-run, so on timeout the goroutine is
+// abandoned to finish (and be discarded) while the job is reported as
+// timed out — the bounded retry/error path keeps a straggler from
+// wedging the whole sweep.
+func (e *Engine) attempt(ctx context.Context, j *Job) ([]core.Result, error) {
+	if e.opts.Timeout <= 0 && ctx.Done() == nil {
+		e.executed.Inc()
+		return e.simulate(j)
+	}
+	type outcome struct {
+		rs  []core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	e.executed.Inc()
+	go func() {
+		rs, err := e.simulate(j)
+		ch <- outcome{rs, err}
+	}()
+	var timeout <-chan time.Time
+	if e.opts.Timeout > 0 {
+		t := time.NewTimer(e.opts.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.rs, o.err
+	case <-timeout:
+		return nil, fmt.Errorf("timed out after %v", e.opts.Timeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Executed returns how many simulations the engine actually started
+// (cache hits and coalesced waits do not count).
+func (e *Engine) Executed() uint64 { return e.executed.Value() }
+
+// FirstError returns the first failed job's error, or nil.
+func FirstError(rs []JobResult) error {
+	for i := range rs {
+		if rs[i].Err != "" {
+			return fmt.Errorf("job %s (%s on %v): %s",
+				rs[i].Key[:12], rs[i].Job.Config.Name, rs[i].Job.Workloads, rs[i].Err)
+		}
+	}
+	return nil
+}
+
+// Flatten concatenates the per-job results in job order, returning the
+// first error encountered instead if any job failed.
+func Flatten(rs []JobResult) ([]core.Result, error) {
+	if err := FirstError(rs); err != nil {
+		return nil, err
+	}
+	var out []core.Result
+	for i := range rs {
+		out = append(out, rs[i].Results...)
+	}
+	return out, nil
+}

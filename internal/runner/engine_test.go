@@ -1,0 +1,168 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"catch/internal/config"
+	"catch/internal/core"
+)
+
+const (
+	tInsts  = 10_000
+	tWarmup = 4_000
+)
+
+func testJobs() []Job {
+	g := Grid{
+		Configs: []config.SystemConfig{
+			config.BaselineExclusive(),
+			config.WithCATCH(config.NoL2(config.BaselineExclusive(), 6656*config.KB, 13, "nol2"), "nol2-catch"),
+		},
+		Workloads: []string{"hmmer", "mcf", "tpcc"},
+		Insts:     tInsts,
+		Warmup:    tWarmup,
+	}
+	return g.Jobs()
+}
+
+func resultJSON(t *testing.T, rs []JobResult) []string {
+	t.Helper()
+	out := make([]string, len(rs))
+	for i := range rs {
+		if rs[i].Err != "" {
+			t.Fatalf("job %d failed: %s", i, rs[i].Err)
+		}
+		b, err := json.Marshal(rs[i].Results)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestDeterministicAcrossWorkerCounts is the guard against shared
+// mutable state: the same grid must produce byte-identical Result JSON
+// at 1, 2 and 8 workers, and across repeated runs.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := testJobs()
+	ref := resultJSON(t, New(Options{Workers: 1}).Run(context.Background(), jobs))
+	for _, workers := range []int{1, 2, 8} {
+		got := resultJSON(t, New(Options{Workers: workers}).Run(context.Background(), jobs))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d job %d (%s on %v) diverged from sequential run",
+					workers, i, jobs[i].Config.Name, jobs[i].Workloads)
+			}
+		}
+	}
+}
+
+func TestResultsStayInJobOrder(t *testing.T) {
+	jobs := testJobs()
+	rs := New(Options{Workers: 4}).Run(context.Background(), jobs)
+	for i := range rs {
+		if rs[i].Job.Config.Name != jobs[i].Config.Name ||
+			rs[i].Results[0].Workload != jobs[i].Workloads[0] {
+			t.Fatalf("job %d result out of order: got %s/%s", i,
+				rs[i].Job.Config.Name, rs[i].Results[0].Workload)
+		}
+	}
+}
+
+func TestUnknownWorkloadFailsWithoutAbortingSweep(t *testing.T) {
+	jobs := []Job{
+		STJob(config.BaselineExclusive(), "no-such-workload", tInsts, tWarmup),
+		STJob(config.BaselineExclusive(), "hmmer", tInsts, tWarmup),
+	}
+	rs := New(Options{Workers: 2}).Run(context.Background(), jobs)
+	if rs[0].Err == "" || !strings.Contains(rs[0].Err, "no-such-workload") {
+		t.Fatalf("bad job error = %q", rs[0].Err)
+	}
+	if rs[1].Err != "" || len(rs[1].Results) != 1 {
+		t.Fatalf("good job was dragged down: %+v", rs[1])
+	}
+	if err := FirstError(rs); err == nil {
+		t.Fatal("FirstError missed the failure")
+	}
+}
+
+func TestTimeoutAndRetries(t *testing.T) {
+	e := New(Options{Workers: 1, Timeout: 10 * time.Millisecond, Retries: 2})
+	var calls atomic.Int32
+	block := make(chan struct{})
+	e.simulate = func(*Job) ([]core.Result, error) {
+		calls.Add(1)
+		<-block
+		return []core.Result{{}}, nil
+	}
+	rs := e.Run(context.Background(), []Job{STJob(config.BaselineExclusive(), "hmmer", tInsts, tWarmup)})
+	close(block)
+	if rs[0].Err == "" || !strings.Contains(rs[0].Err, "timed out") {
+		t.Fatalf("err = %q, want timeout", rs[0].Err)
+	}
+	if !strings.Contains(rs[0].Err, "attempt 3/3") {
+		t.Fatalf("err = %q, want exhausted retries", rs[0].Err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("simulate called %d times, want 3", n)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailure(t *testing.T) {
+	e := New(Options{Workers: 1, Retries: 1})
+	var calls int
+	e.simulate = func(*Job) ([]core.Result, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return []core.Result{{Workload: "ok"}}, nil
+	}
+	rs := e.Run(context.Background(), []Job{STJob(config.BaselineExclusive(), "hmmer", tInsts, tWarmup)})
+	if rs[0].Err != "" || rs[0].Results[0].Workload != "ok" {
+		t.Fatalf("retry did not recover: %+v", rs[0])
+	}
+}
+
+func TestCancelledContextStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := New(Options{Workers: 2}).Run(ctx, testJobs())
+	for i := range rs {
+		if rs[i].Err == "" {
+			t.Fatalf("job %d ran under a cancelled context", i)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	jobs := testJobs()[:2]
+	rs, err := Flatten(New(Options{Workers: 2}).Run(context.Background(), jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Workload != "hmmer" || rs[1].Workload != "mcf" {
+		t.Fatalf("flatten order wrong: %v", rs)
+	}
+}
+
+func TestMPJobRunsOnePerCore(t *testing.T) {
+	cfg := config.BaselineExclusive()
+	cfg.Cores = 2
+	job := MPJob(cfg, []string{"hmmer", "mcf"}, tInsts, tWarmup)
+	rs := New(Options{Workers: 1}).Run(context.Background(), []Job{job})
+	if rs[0].Err != "" {
+		t.Fatal(rs[0].Err)
+	}
+	if len(rs[0].Results) != 2 ||
+		rs[0].Results[0].Workload != "hmmer" || rs[0].Results[1].Workload != "mcf" {
+		t.Fatalf("MP job results wrong: %+v", rs[0].Results)
+	}
+}

@@ -1,0 +1,206 @@
+// Package runner is the experiment-execution engine: it expands
+// (config × workload) grids into deterministic jobs, shards them across
+// a bounded worker pool, memoizes results in a content-addressed cache
+// with singleflight coalescing, and serves the whole thing over HTTP
+// (cmd/catchd).
+//
+// A simulation is a pure function of (config, workloads, insts,
+// warmup), so a job's identity is a stable hash of exactly those
+// inputs and results are safe to cache and to share between duplicate
+// in-flight requests.
+package runner
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/trace"
+	"catch/internal/workloads"
+)
+
+// Job is one unit of simulation work: a full system configuration plus
+// one workload (single-thread run) or several (one per core,
+// multi-programmed run).
+type Job struct {
+	Config    config.SystemConfig `json:"config"`
+	Workloads []string            `json:"workloads"`
+	Insts     int64               `json:"insts"`
+	Warmup    int64               `json:"warmup"`
+}
+
+// STJob builds a single-thread job.
+func STJob(cfg config.SystemConfig, workload string, insts, warmup int64) Job {
+	return Job{Config: cfg, Workloads: []string{workload}, Insts: insts, Warmup: warmup}
+}
+
+// MPJob builds a multi-programmed job (one workload per core).
+func MPJob(cfg config.SystemConfig, names []string, insts, warmup int64) Job {
+	return Job{Config: cfg, Workloads: append([]string(nil), names...), Insts: insts, Warmup: warmup}
+}
+
+// Key returns the job's content address: a hex SHA-256 over the
+// canonical JSON encoding of (config name+params, workloads, insts,
+// warmup). Canonicalization sorts object keys recursively, so the key
+// is stable across struct field reordering and across processes.
+func (j Job) Key() string {
+	raw, err := json.Marshal(&j)
+	if err != nil {
+		// SystemConfig and the scalar fields are plain data; this
+		// cannot fail for a well-formed job.
+		panic("runner: job not encodable: " + err.Error())
+	}
+	canon, err := CanonicalJSON(raw)
+	if err != nil {
+		panic("runner: job not canonicalizable: " + err.Error())
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:])
+}
+
+// Validate checks that every workload name resolves and that the
+// budgets are sane, without running anything.
+func (j *Job) Validate() error {
+	if len(j.Workloads) == 0 {
+		return fmt.Errorf("job has no workloads")
+	}
+	if j.Insts <= 0 {
+		return fmt.Errorf("job insts must be positive, got %d", j.Insts)
+	}
+	if j.Warmup < 0 {
+		return fmt.Errorf("job warmup must be non-negative, got %d", j.Warmup)
+	}
+	for _, name := range j.Workloads {
+		if _, ok := workloads.ByName(name); !ok {
+			return fmt.Errorf("unknown workload %q", name)
+		}
+	}
+	return nil
+}
+
+// gens resolves the job's workload names to fresh generators.
+func (j *Job) gens() ([]trace.Generator, error) {
+	out := make([]trace.Generator, 0, len(j.Workloads))
+	for _, name := range j.Workloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		out = append(out, w.NewGen())
+	}
+	return out, nil
+}
+
+// Execute runs the job on a fresh private core.System and returns one
+// Result per workload. A fresh system per job keeps results
+// deterministic (no warm state leaks between jobs) and keeps the
+// non-goroutine-safe System private to the calling worker.
+func (j *Job) Execute() (rs []core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rs, err = nil, fmt.Errorf("job panicked: %v", p)
+		}
+	}()
+	gens, err := j.gens()
+	if err != nil {
+		return nil, err
+	}
+	cfg := j.Config
+	if len(gens) > 1 && cfg.Cores < len(gens) {
+		cfg.Cores = len(gens)
+	}
+	sys := core.NewSystem(cfg)
+	if len(gens) == 1 {
+		return []core.Result{sys.RunST(gens[0], j.Insts, j.Warmup)}, nil
+	}
+	return sys.RunMP(gens, j.Insts, j.Warmup), nil
+}
+
+// Grid is a (config × workload) experiment sweep.
+type Grid struct {
+	Configs   []config.SystemConfig
+	Workloads []string
+	Insts     int64
+	Warmup    int64
+}
+
+// Jobs expands the grid into jobs in deterministic order (configs
+// outer, workloads inner).
+func (g *Grid) Jobs() []Job {
+	jobs := make([]Job, 0, len(g.Configs)*len(g.Workloads))
+	for _, cfg := range g.Configs {
+		for _, w := range g.Workloads {
+			jobs = append(jobs, STJob(cfg, w, g.Insts, g.Warmup))
+		}
+	}
+	return jobs
+}
+
+// CanonicalJSON re-encodes a JSON document with object keys sorted
+// recursively and numbers preserved verbatim, so that two encodings of
+// the same value hash identically regardless of field order.
+func CanonicalJSON(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case json.Number:
+		buf.WriteString(x.String())
+	default:
+		b, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	return nil
+}

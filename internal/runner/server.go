@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"catch/internal/config"
+	"catch/internal/workloads"
+)
+
+// ConfigResolver maps a configuration name to a SystemConfig. The
+// server takes it as a dependency so the runner package does not need
+// to import the experiment registry.
+type ConfigResolver func(name string) (config.SystemConfig, bool)
+
+// Server exposes the engine over HTTP:
+//
+//	POST /v1/run          run one job
+//	POST /v1/sweep        run a (configs × workloads) grid
+//	GET  /v1/results/{key} fetch a cached result by content address
+//	GET  /healthz         liveness + cache/engine counters
+type Server struct {
+	Engine  *Engine
+	Resolve ConfigResolver
+	// MaxInflight bounds concurrently served run/sweep requests
+	// (beyond it, requests queue until a slot frees or the client
+	// gives up); <=0 means 2× the engine's worker count.
+	MaxInflight int
+
+	sem chan struct{}
+}
+
+// RunRequest is the body of POST /v1/run. Workload names a
+// single-thread run; Workloads (one per core) a multi-programmed one.
+type RunRequest struct {
+	Config    string   `json:"config"`
+	Workload  string   `json:"workload,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Insts     int64    `json:"insts,omitempty"`
+	Warmup    int64    `json:"warmup,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep. Empty Workloads means
+// the full 70-workload study list.
+type SweepRequest struct {
+	Configs   []string `json:"configs"`
+	Workloads []string `json:"workloads,omitempty"`
+	Insts     int64    `json:"insts,omitempty"`
+	Warmup    int64    `json:"warmup,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	n := s.MaxInflight
+	if n <= 0 {
+		n = 2 * s.Engine.Workers()
+	}
+	s.sem = make(chan struct{}, n)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.limited(s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.limited(s.handleSweep))
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// limited applies the concurrency limiter: requests beyond MaxInflight
+// wait for a slot (or for the client to hang up) before running.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{"client gave up waiting for a slot"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad request body: " + err.Error()})
+		return
+	}
+	job, err := s.jobFrom(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	rs := s.Engine.Run(r.Context(), []Job{job})
+	if rs[0].Err != "" {
+		writeJSON(w, http.StatusInternalServerError, rs[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, rs[0])
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"sweep needs at least one config"})
+		return
+	}
+	wls := req.Workloads
+	if len(wls) == 0 {
+		for _, wl := range workloads.All() {
+			wls = append(wls, wl.WName)
+		}
+	}
+	grid := Grid{Insts: defInsts(req.Insts), Warmup: defWarmup(req.Warmup), Workloads: wls}
+	for _, name := range req.Configs {
+		cfg, ok := s.Resolve(name)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("unknown config %q", name)})
+			return
+		}
+		grid.Configs = append(grid.Configs, cfg)
+	}
+	start := time.Now()
+	out := s.Engine.Run(r.Context(), grid.Jobs())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":      out,
+		"elapsedMs": time.Since(start).Milliseconds(),
+		"cache":     s.cacheStats(),
+	})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	cache := s.Engine.Cache()
+	if cache == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{"server runs without a result cache"})
+		return
+	}
+	rs, ok := cache.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"no cached result for key " + key})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "results": rs})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"workers":   s.Engine.Workers(),
+		"executed":  s.Engine.Executed(),
+		"cache":     s.cacheStats(),
+		"inflight":  len(s.sem),
+		"maxInflight": cap(s.sem),
+	})
+}
+
+func (s *Server) cacheStats() any {
+	if c := s.Engine.Cache(); c != nil {
+		return c.Stats()
+	}
+	return nil
+}
+
+// jobFrom validates and converts an API request into a Job.
+func (s *Server) jobFrom(req *RunRequest) (Job, error) {
+	cfg, ok := s.Resolve(req.Config)
+	if !ok {
+		return Job{}, fmt.Errorf("unknown config %q", req.Config)
+	}
+	names := req.Workloads
+	if req.Workload != "" {
+		if len(names) > 0 {
+			return Job{}, fmt.Errorf("set either workload or workloads, not both")
+		}
+		names = []string{req.Workload}
+	}
+	job := MPJob(cfg, names, defInsts(req.Insts), defWarmup(req.Warmup))
+	if err := job.Validate(); err != nil {
+		return Job{}, err
+	}
+	return job, nil
+}
+
+func defInsts(n int64) int64 {
+	if n <= 0 {
+		return 300_000
+	}
+	return n
+}
+
+func defWarmup(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	if n == 0 {
+		return 150_000
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,273 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"catch/internal/config"
+	"catch/internal/core"
+)
+
+func testResolve(name string) (config.SystemConfig, bool) {
+	switch name {
+	case "baseline-excl":
+		return config.BaselineExclusive(), true
+	case "catch":
+		return config.WithCATCH(config.BaselineExclusive(), "catch"), true
+	}
+	return config.SystemConfig{}, false
+}
+
+func newTestServer(e *Engine) *httptest.Server {
+	s := &Server{Engine: e, Resolve: testResolve}
+	return httptest.NewServer(s.Handler())
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(New(Options{Workers: 2, Cache: NewCache("")}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		OK      bool `json:"ok"`
+		Workers int  `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !body.OK || body.Workers != 2 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, body)
+	}
+}
+
+func TestRunEndpointEndToEnd(t *testing.T) {
+	ts := newTestServer(New(Options{Workers: 2, Cache: NewCache("")}))
+	defer ts.Close()
+	resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Config: "baseline-excl", Workload: "hmmer", Insts: 8_000, Warmup: 3_000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var jr JobResult
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Results) != 1 || jr.Results[0].Workload != "hmmer" || jr.Results[0].IPC <= 0 {
+		t.Fatalf("bad result: %s", raw)
+	}
+
+	// The result is now addressable by its key.
+	resp2, raw2 := getURL(t, ts.URL+"/v1/results/"+jr.Key)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("results/%s = %d: %s", jr.Key, resp2.StatusCode, raw2)
+	}
+	// And an unknown key is a 404.
+	resp3, _ := getURL(t, ts.URL+"/v1/results/deadbeefdeadbeefdeadbeef")
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus key = %d", resp3.StatusCode)
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp, raw
+}
+
+func TestRunEndpointRejectsUnknowns(t *testing.T) {
+	ts := newTestServer(New(Options{Workers: 1, Cache: NewCache("")}))
+	defer ts.Close()
+	for _, req := range []RunRequest{
+		{Config: "no-such-config", Workload: "hmmer"},
+		{Config: "baseline-excl", Workload: "no-such-workload"},
+		{Config: "baseline-excl"},
+		{Config: "baseline-excl", Workload: "hmmer", Workloads: []string{"mcf"}},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d (%s)", req, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestRunCoalescesDuplicateConcurrentRequests is the acceptance check:
+// N concurrent identical requests cause exactly one underlying
+// simulation.
+func TestRunCoalescesDuplicateConcurrentRequests(t *testing.T) {
+	e := New(Options{Workers: 4, Cache: NewCache("")})
+	var sims atomic.Int32
+	e.simulate = func(j *Job) ([]core.Result, error) {
+		sims.Add(1)
+		time.Sleep(100 * time.Millisecond) // hold the flight open so requests overlap
+		return []core.Result{{Workload: j.Workloads[0], Config: j.Config.Name, IPC: 1}}, nil
+	}
+	ts := newTestServer(e)
+	defer ts.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postJSON(t, ts.URL+"/v1/run", RunRequest{
+				Config: "catch", Workload: "mcf", Insts: 10_000, Warmup: 5_000,
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var jr JobResult
+			if err := json.Unmarshal(raw, &jr); err != nil {
+				errs[i] = err
+				return
+			}
+			if len(jr.Results) != 1 || jr.Results[0].Workload != "mcf" {
+				errs[i] = fmt.Errorf("bad body: %s", raw)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := sims.Load(); got != 1 {
+		t.Fatalf("%d simulations for %d identical concurrent requests, want 1", got, n)
+	}
+	s := e.Cache().Stats()
+	if s.Misses != 1 || s.Hits+s.Coalesced != n-1 {
+		t.Fatalf("cache stats = %+v", s)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(New(Options{Workers: 4, Cache: NewCache("")}))
+	defer ts.Close()
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Configs: []string{"baseline-excl", "catch"}, Workloads: []string{"hmmer", "mcf"},
+		Insts: 6_000, Warmup: 2_000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var body struct {
+		Jobs  []JobResult `json:"jobs"`
+		Cache CacheStats  `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Jobs) != 4 {
+		t.Fatalf("got %d jobs", len(body.Jobs))
+	}
+	for i, jr := range body.Jobs {
+		if jr.Err != "" || len(jr.Results) != 1 {
+			t.Fatalf("job %d: %+v", i, jr)
+		}
+	}
+	if body.Jobs[0].Job.Config.Name != "baseline-excl" || body.Jobs[0].Results[0].Workload != "hmmer" {
+		t.Fatalf("sweep order wrong: %+v", body.Jobs[0].Job)
+	}
+}
+
+func TestConcurrencyLimiterBounds(t *testing.T) {
+	e := New(Options{Workers: 1, Cache: NewCache("")})
+	var inflight, peak atomic.Int32
+	e.simulate = func(j *Job) ([]core.Result, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		return []core.Result{{Workload: j.Workloads[0]}}, nil
+	}
+	s := &Server{Engine: e, Resolve: testResolve, MaxInflight: 2}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	workloadNames := []string{"hmmer", "mcf", "tpcc", "povray", "lbm", "sjeng"}
+	var wg sync.WaitGroup
+	for _, name := range workloadNames {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/v1/run", RunRequest{Config: "catch", Workload: name, Insts: 1000, Warmup: 100})
+		}(name)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("inflight peaked at %d with limiter 2", p)
+	}
+}
+
+// TestServerShutsDownCleanly drains an idle server the way catchd's
+// SIGINT handler does.
+func TestServerShutsDownCleanly(t *testing.T) {
+	e := New(Options{Workers: 1, Cache: NewCache("")})
+	s := &Server{Engine: e, Resolve: testResolve}
+	hs := &http.Server{Handler: s.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go hs.Serve(ln)
+	// Confirm it serves, then shut down.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}

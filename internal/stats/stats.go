@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Counter is a simple monotonically increasing event counter.
@@ -19,6 +20,22 @@ func (c *Counter) Add(n uint64) { *c += Counter(n) }
 
 // Value returns the current count.
 func (c Counter) Value() uint64 { return uint64(c) }
+
+// AtomicCounter is a monotonically increasing event counter safe for
+// concurrent use (the runner's cache and engine count from many
+// goroutines at once).
+type AtomicCounter struct {
+	v atomic.Uint64
+}
+
+// Inc increments the counter by one.
+func (c *AtomicCounter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by n.
+func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() uint64 { return c.v.Load() }
 
 // Ratio returns c divided by total, or 0 when total is zero.
 func Ratio(c, total uint64) float64 {
