@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench benchcmp benchall
 
 check: build vet race
 
@@ -16,5 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench re-records the committed simulator-throughput baseline.
 bench:
+	$(GO) run ./cmd/catchbench -out BENCH_sim.json
+
+# benchcmp runs the Sim* benchmarks fresh and fails if any throughput
+# dropped more than 10% against the committed baseline.
+benchcmp:
+	$(GO) run ./cmd/catchbench -compare BENCH_sim.json
+
+# benchall regenerates every table/figure benchmark (slow).
+benchall:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,123 @@
+// Command catchbench runs the simulator throughput benchmarks and
+// maintains the committed benchmark baseline.
+//
+// Usage:
+//
+//	catchbench -out BENCH_sim.json              # record a new baseline
+//	catchbench -compare BENCH_sim.json          # gate: fail on regression
+//	catchbench -compare BENCH_sim.json -tol 0.2 # looser gate
+//	catchbench -bench 'SimCATCH' -out /tmp/b.json
+//
+// It shells out to `go test -bench -benchmem` for the Sim* benchmarks
+// (bench_test.go at the repo root), parses the output into a
+// machine-readable report, and either writes it (-out) or compares it
+// against a committed baseline (-compare), exiting non-zero when any
+// benchmark's throughput dropped by more than -tol. `make bench` and
+// `make benchcmp` wrap the two modes.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"catch/internal/perf"
+)
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", "Sim(Baseline|CATCH|MP)$", "benchmark regexp passed to go test -bench")
+		benchTime = flag.String("benchtime", "2s", "go test -benchtime")
+		count     = flag.Int("count", 1, "go test -count")
+		out       = flag.String("out", "", "write the parsed report as JSON to this path")
+		compare   = flag.String("compare", "", "baseline JSON to compare the fresh run against")
+		tol       = flag.Float64("tol", 0.10, "tolerated fractional throughput drop before failing")
+		verbose   = flag.Bool("v", false, "echo raw go test output")
+	)
+	flag.Parse()
+	if *out == "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "catchbench: need -out and/or -compare")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := run(*benchRe, *benchTime, *count, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catchbench:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "catchbench: no benchmarks matched %q\n", *benchRe)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		if r.InstrsPerSec > 0 {
+			fmt.Printf("%-24s %12.0f ns/op %12.0f instrs/s %8.0f allocs/op\n",
+				r.Name, r.NsPerOp, r.InstrsPerSec, r.AllocsPerOp)
+		} else {
+			fmt.Printf("%-24s %12.0f ns/op %8.0f allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catchbench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *compare != "" {
+		base, err := perf.Load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catchbench:", err)
+			os.Exit(1)
+		}
+		regs := perf.Compare(base, rep, *tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "catchbench: %d throughput regression(s) beyond %.0f%% vs %s:\n",
+				len(regs), *tol*100, *compare)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok: no throughput regression beyond %.0f%% vs %s\n", *tol*100, *compare)
+	}
+}
+
+// run executes the benchmarks in the current module and parses the
+// output. Stdout is captured for parsing; with -v it is also echoed.
+func run(benchRe, benchTime string, count int, verbose bool) (perf.Report, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", benchRe,
+		"-benchmem",
+		"-benchtime", benchTime,
+		"-count", fmt.Sprint(count),
+		".",
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	if verbose {
+		cmd.Stdout = io.MultiWriter(&buf, os.Stdout)
+	} else {
+		cmd.Stdout = &buf
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return perf.Report{}, fmt.Errorf("go %v: %w", args, err)
+	}
+	return perf.Parse(&buf)
+}

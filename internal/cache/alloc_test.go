@@ -1,0 +1,41 @@
+package cache
+
+import "testing"
+
+// TestLookupFillAllocFree guards the cache hot path: once a cache is
+// built, Lookup (hit and miss), Fill (with and without eviction),
+// Probe and MarkDirty perform zero heap allocations.
+func TestLookupFillAllocFree(t *testing.T) {
+	c := New(Config{Name: "L1D", Size: 32 << 10, Ways: 8, HitLat: 5})
+	for a := uint64(0); a < 64<<10; a += 64 {
+		c.Fill(a, 0, 5, false, PfNone)
+	}
+	addr := uint64(0)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Lookup(addr)                              // one hit or miss
+		c.Lookup(addr + (1 << 30))                  // guaranteed miss
+		c.Fill(addr+(2<<20), 0, 5, false, PfStride) // eviction path
+		c.Probe(addr)
+		c.MarkDirty(addr)
+		addr += 64
+	}); allocs != 0 {
+		t.Errorf("cache hot path: %v allocs per op batch, want 0", allocs)
+	}
+}
+
+// TestLookupAllocFreeNonPow2Sets covers the modulo set-index fallback
+// (e.g. the 6.5MB iso-area LLC), which must be just as allocation-free.
+func TestLookupAllocFreeNonPow2Sets(t *testing.T) {
+	c := New(Config{Name: "LLC", Size: 6656 * 1024, Ways: 16, HitLat: 44})
+	if c.Sets&(c.Sets-1) == 0 {
+		t.Fatalf("test wants a non-power-of-two set count, got %d", c.Sets)
+	}
+	addr := uint64(0)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Fill(addr, 0, 44, false, PfNone)
+		c.Lookup(addr)
+		addr += 64
+	}); allocs != 0 {
+		t.Errorf("non-pow2 cache hot path: %v allocs, want 0", allocs)
+	}
+}

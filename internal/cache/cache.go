@@ -58,7 +58,12 @@ type Cache struct {
 	lines  []Line
 	tick   int64
 	policy Policy // nil = built-in LRU
-	Stats  Stats
+	// setMask is Sets-1 when Sets is a power of two (the common case):
+	// the per-access set index is then a mask instead of a modulo. A
+	// zero mask with Sets > 1 selects the modulo fallback (e.g. the
+	// 6.5MB LLC of the iso-area studies).
+	setMask uint64
+	Stats   Stats
 }
 
 // SetPolicy installs a replacement policy by name ("lru", "srrip",
@@ -84,18 +89,31 @@ func New(cfg Config) *Cache {
 	if sets <= 0 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		Cfg:   cfg,
 		Sets:  sets,
 		lines: make([]Line, sets*cfg.Ways),
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+	}
+	return c
 }
 
 // lineTag converts an address to the line-granular tag used internally.
 func lineTag(addr uint64) uint64 { return addr >> 6 }
 
+// setIndex maps a tag to its set (mask when the set count is a power
+// of two, modulo otherwise — both give tag mod Sets).
+func (c *Cache) setIndex(tag uint64) int {
+	if c.setMask != 0 || c.Sets == 1 {
+		return int(tag & c.setMask)
+	}
+	return int(tag % uint64(c.Sets))
+}
+
 func (c *Cache) set(tag uint64) []Line {
-	s := int(tag % uint64(c.Sets))
+	s := c.setIndex(tag)
 	return c.lines[s*c.Cfg.Ways : (s+1)*c.Cfg.Ways]
 }
 
@@ -145,41 +163,42 @@ type Victim struct {
 // what the fill cost (for timeliness accounting of prefetches).
 func (c *Cache) Fill(addr uint64, fillTime int64, originLat int64, dirty bool, pf PrefetchID) Victim {
 	tag := lineTag(addr)
-	set := c.set(tag)
+	setIdx := c.setIndex(tag)
+	set := c.lines[setIdx*c.Cfg.Ways : (setIdx+1)*c.Cfg.Ways]
 	c.Stats.Fills++
 	if pf != PfNone {
 		c.Stats.PrefetchFills++
 	}
 
-	// Re-fill in place if already present (e.g. writeback merging).
-	victimIdx := -1
+	// One pass finds a re-fill match (e.g. writeback merging), the first
+	// invalid way, and the built-in LRU victim; the policy is consulted
+	// only when every way is valid and none matches.
+	victimIdx, invalidIdx, lruIdx := -1, -1, 0
+	lru := int64(1<<62 - 1)
 	for i := range set {
-		if set[i].Valid && set[i].Tag == tag {
+		l := &set[i]
+		if l.Valid && l.Tag == tag {
 			victimIdx = i
 			break
 		}
-	}
-	if victimIdx < 0 {
-		// Prefer an invalid way, else consult the policy (default LRU).
-		for i := range set {
-			if !set[i].Valid {
-				victimIdx = i
-				break
+		if !l.Valid {
+			if invalidIdx < 0 {
+				invalidIdx = i
 			}
+			continue
+		}
+		if l.LastUse < lru {
+			lru, lruIdx = l.LastUse, i
 		}
 	}
-	setIdx := int(tag % uint64(c.Sets))
+	if victimIdx < 0 {
+		victimIdx = invalidIdx
+	}
 	if victimIdx < 0 {
 		if c.policy != nil {
 			victimIdx = c.policy.Victim(set, setIdx)
 		} else {
-			lru := int64(1<<62 - 1)
-			for i := range set {
-				if set[i].LastUse < lru {
-					lru = set[i].LastUse
-					victimIdx = i
-				}
-			}
+			victimIdx = lruIdx
 		}
 	}
 

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/trace"
+	"catch/internal/workloads"
+)
+
+// stepN drives n instructions through core 0 of sys, exactly as the
+// RunST inner loop does.
+func stepN(sys *System, gen trace.Generator, in *trace.Inst, n int) {
+	c := sys.Sims[0]
+	for i := 0; i < n; i++ {
+		gen.Next(in)
+		c.CPU.Step(in)
+	}
+}
+
+// steadyStateAllocs warms a system up on a workload, then measures heap
+// allocations across further simulation batches.
+func steadyStateAllocs(t *testing.T, cfg config.SystemConfig, workload string) float64 {
+	t.Helper()
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		t.Fatalf("workload %s", workload)
+	}
+	sys := NewSystem(cfg)
+	gen := w.NewGen()
+	sys.Sims[0].SetWorkload(gen)
+	var in trace.Inst
+	// Warm up long enough for every learned structure (detector buffer,
+	// TACT tables, MSHRs, stream trackers) to reach its steady footprint.
+	stepN(sys, gen, &in, 60_000)
+	return testing.AllocsPerRun(5, func() {
+		stepN(sys, gen, &in, 10_000)
+	})
+}
+
+// TestRunSTSteadyStateAllocsBaseline guards the headline property of
+// the allocation-free kernel: once warm, simulating an instruction on
+// the baseline configuration performs zero heap allocations.
+func TestRunSTSteadyStateAllocsBaseline(t *testing.T) {
+	if allocs := steadyStateAllocs(t, config.BaselineExclusive(), "hmmer"); allocs != 0 {
+		t.Errorf("baseline steady-state RunST: %v allocs per 10k-inst batch, want 0", allocs)
+	}
+}
+
+// TestRunSTSteadyStateAllocsCATCH is the same guard with the
+// criticality detector and all TACT prefetchers active.
+func TestRunSTSteadyStateAllocsCATCH(t *testing.T) {
+	cfg := config.WithCATCH(config.BaselineExclusive(), "catch")
+	if allocs := steadyStateAllocs(t, cfg, "hmmer"); allocs != 0 {
+		t.Errorf("CATCH steady-state RunST: %v allocs per 10k-inst batch, want 0", allocs)
+	}
+}
+
+// TestRunSTSteadyStateAllocsAcrossWorkloads sweeps a few archetypes so
+// the guard is not an artifact of one access pattern.
+func TestRunSTSteadyStateAllocsAcrossWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := config.WithCATCH(config.BaselineExclusive(), "catch")
+	for _, w := range []string{"mcf", "omnetpp", "xalancbmk"} {
+		if _, ok := workloads.ByName(w); !ok {
+			continue
+		}
+		if allocs := steadyStateAllocs(t, cfg, w); allocs != 0 {
+			t.Errorf("%s: %v allocs per 10k-inst batch, want 0", w, allocs)
+		}
+	}
+}

@@ -249,7 +249,14 @@ func (c *CoreSim) SetWorkload(gen trace.Generator) {
 // resetStats zeroes measurement counters after warmup (timing and
 // learned state are preserved).
 func (c *CoreSim) resetStats() {
-	c.Hier.Stats = cache.HierStats{}
+	// The timeliness histogram is reused rather than re-allocated so the
+	// post-warmup measurement loop stays allocation-free (an empty
+	// histogram merges identically to a nil one).
+	hist := c.Hier.Stats.TactTimeliness
+	if hist != nil {
+		hist.Reset()
+	}
+	c.Hier.Stats = cache.HierStats{TactTimeliness: hist}
 	c.Hier.L1D.ResetStats()
 	c.Hier.L1I.ResetStats()
 	if c.Hier.L2 != nil {

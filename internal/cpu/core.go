@@ -39,7 +39,8 @@ type Ports struct {
 	// (drives TACT training and trigger prefetches).
 	OnDispatch func(in *trace.Inst, dispatch int64, seq int64)
 	// OnRetire fires in order at commit (drives the criticality
-	// detector).
+	// detector). The pointed-to Retired is scratch reused for the next
+	// instruction: consumers must copy anything they keep.
 	OnRetire func(r *Retired)
 }
 
@@ -64,6 +65,8 @@ type Core struct {
 	dRing      []int64 // D of the last Width instructions
 	cRingROB   []int64 // C of the last ROB instructions
 	cRingW     []int64 // C of the last Width instructions
+	wIdx       int     // rolling index into the Width rings (seq % Width)
+	rIdx       int     // rolling index into the ROB ring (seq % ROB)
 	lastD      int64
 	lastC      int64
 	fetchReady int64
@@ -74,6 +77,12 @@ type Core struct {
 	regSeq   [trace.NumArchRegs]int64
 
 	stores [storeSetSize]storeSlot
+
+	// retired is the per-instruction scratch handed to Ports.OnRetire.
+	// Reusing it keeps Step allocation-free: a stack-local struct would
+	// escape through the hook and cost one heap allocation per
+	// simulated instruction.
+	retired Retired
 
 	// Stats
 	Insts       int64
@@ -96,6 +105,7 @@ func (c *Core) Reset() {
 	c.dRing = make([]int64, c.P.Width)
 	c.cRingROB = make([]int64, c.P.ROB)
 	c.cRingW = make([]int64, c.P.Width)
+	c.wIdx, c.rIdx = 0, 0
 	c.lastD, c.lastC = 0, 0
 	c.fetchReady, c.redirectAt = 0, 0
 	c.curLine = ^uint64(0)
@@ -145,9 +155,15 @@ func (c *Core) Step(in *trace.Inst) {
 		}
 	}
 
-	// ----- D node: in-order allocation.
-	wIdx := int(seq) % c.P.Width
-	rIdx := int(seq % int64(c.P.ROB))
+	// ----- D node: in-order allocation. The ring cursors advance by one
+	// each instruction (cheaper than a modulo per instruction).
+	wIdx, rIdx := c.wIdx, c.rIdx
+	if c.wIdx++; c.wIdx == c.P.Width {
+		c.wIdx = 0
+	}
+	if c.rIdx++; c.rIdx == c.P.ROB {
+		c.rIdx = 0
+	}
 	D := c.dRing[wIdx] + 1 // D[i-W] + 1 cycle (width constraint)
 	if D < c.lastD {
 		D = c.lastD // in-order allocation
@@ -253,11 +269,10 @@ func (c *Core) Step(in *trace.Inst) {
 	c.lastC = C
 
 	if c.Ports.OnRetire != nil {
-		r := Retired{
-			Inst: *in, Seq: seq,
-			D: D, E: E, W: W, C: C,
-			Lat: lat, HitLevel: lvl, Dep: dep,
-		}
-		c.Ports.OnRetire(&r)
+		r := &c.retired
+		r.Inst, r.Seq = *in, seq
+		r.D, r.E, r.W, r.C = D, E, W, C
+		r.Lat, r.HitLevel, r.Dep = lat, lvl, dep
+		c.Ports.OnRetire(r)
 	}
 }

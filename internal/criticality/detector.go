@@ -177,13 +177,14 @@ func (d *Detector) OnRetire(r *cpu.Retired) {
 	}
 	d.buf = d.buf[:i+1]
 	g := &d.buf[i]
-	*g = gnode{
-		pc:      r.Inst.PC,
-		isLoad:  r.Inst.Op == trace.OpLoad,
-		level:   r.HitLevel,
-		mispred: r.Inst.Op == trace.OpBranch && r.Inst.Mispred,
-		qlat:    quantize(r.Lat),
-	}
+	// Assign fields directly instead of writing a struct literal: every
+	// other field is (re)computed by addCosts below, and skipping the
+	// implied zeroing measurably speeds up this per-instruction path.
+	g.pc = r.Inst.PC
+	g.isLoad = r.Inst.Op == trace.OpLoad
+	g.level = r.HitLevel
+	g.mispred = r.Inst.Op == trace.OpBranch && r.Inst.Mispred
+	g.qlat = quantize(r.Lat)
 	for k, s := range r.Dep {
 		g.dep[k] = -1
 		if s >= 0 {

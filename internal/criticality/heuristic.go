@@ -1,7 +1,6 @@
 package criticality
 
 import (
-	"catch/internal/cache"
 	"catch/internal/cpu"
 	"catch/internal/trace"
 )
@@ -51,15 +50,8 @@ type Heuristic struct {
 	// feeds-branch state: the most recent load PC writing each
 	// register lineage (as TACT's feeder tracker does).
 	regLoadPC [trace.NumArchRegs]uint64
-	// recent load history by sequence for dependency lookups.
-	recent map[int64]recentLoad
 
 	Stats Stats
-}
-
-type recentLoad struct {
-	pc  uint64
-	lvl cache.HitLevel
 }
 
 // NewHeuristic builds a heuristic source with the paper's table shape.
@@ -71,7 +63,6 @@ func NewHeuristic(kind HeuristicKind, table TableConfig, record LevelMask) *Heur
 		Kind:   kind,
 		Table:  NewTable(table),
 		record: record,
-		recent: make(map[int64]recentLoad),
 	}
 }
 

@@ -35,6 +35,7 @@ type tableEntry struct {
 type Table struct {
 	cfg     TableConfig
 	sets    int
+	setMask uint64 // sets-1 when sets is a power of two, else 0
 	entries []tableEntry
 	tick    int64
 
@@ -65,11 +66,22 @@ func NewTable(cfg TableConfig) *Table {
 		t.sets = 1
 	}
 	t.entries = make([]tableEntry, t.sets*cfg.Ways)
+	if t.sets&(t.sets-1) == 0 {
+		t.setMask = uint64(t.sets - 1)
+	}
 	return t
 }
 
+// set selects the entry group for pc. IsCritical runs once per load on
+// the simulator's hottest path, so the power-of-two case (the paper's
+// 4-set table) avoids the modulo.
 func (t *Table) set(pc uint64) []tableEntry {
-	s := int((pc >> 2) % uint64(t.sets))
+	var s int
+	if t.setMask != 0 || t.sets == 1 {
+		s = int((pc >> 2) & t.setMask)
+	} else {
+		s = int((pc >> 2) % uint64(t.sets))
+	}
 	return t.entries[s*t.cfg.Ways : (s+1)*t.cfg.Ways]
 }
 

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFig13 pins the rendered fig13 table at a small budget to a
+// committed hash. The simulator is fully deterministic, so any change
+// to instruction timing, cache behaviour, criticality detection or
+// TACT issue order shows up here as a hash mismatch. Performance work
+// on the hot path must keep this byte-identical; if an intentional
+// model change moves the output, re-record the hash with the command
+// in the failure message.
+func TestGoldenFig13(t *testing.T) {
+	const want = "dfdd0ed304d33a0285f989c7ae3a6a65991ef14e59c63d0e15e129fc1ce70d43"
+	b := Budget{Insts: 30_000, Warmup: 15_000, Workloads: 8}
+	tables, err := Run("fig13", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.Print())
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("fig13 output hash changed:\n got %s\nwant %s\n"+
+			"output was:\n%s\n"+
+			"If the simulation model intentionally changed, update the hash in golden_test.go.",
+			got, want, sb.String())
+	}
+}

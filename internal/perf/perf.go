@@ -1,0 +1,211 @@
+// Package perf is the benchmark-regression harness: it parses the
+// output of `go test -bench -benchmem`, renders it as a
+// machine-readable report (BENCH_sim.json at the repo root), and
+// compares a fresh run against a committed baseline so that simulator
+// throughput regressions fail `make benchcmp` instead of landing
+// silently.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name         string  `json:"name"`
+	Runs         int     `json:"runs"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Report is a full benchmark run: environment header plus results.
+type Report struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench -benchmem` output. Lines it does not
+// recognize (test logs, PASS/ok trailers) are ignored, so the raw
+// stream from the go tool can be piped in unfiltered.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine decodes one result line, e.g.
+//
+//	BenchmarkSimCATCH  196  12249358 ns/op  8163700 instrs/s  3676927 B/op  74 allocs/op
+//
+// The name may carry a -N GOMAXPROCS suffix; value/unit pairs may come
+// in any order and any subset.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the GOMAXPROCS suffix (Benchmark... "-8") if present.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Runs: runs}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "instrs/s":
+			res.InstrsPerSec = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			continue // unknown custom metric: skip
+		}
+		seen = true
+	}
+	if !seen {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// WriteJSON renders the report as stable, indented JSON (results
+// sorted by name so reruns diff cleanly).
+func (rep Report) WriteJSON(w io.Writer) error {
+	sort.Slice(rep.Results, func(i, j int) bool {
+		return rep.Results[i].Name < rep.Results[j].Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Load reads a report previously written with WriteJSON.
+func Load(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Regression describes one benchmark that got worse than tolerated.
+type Regression struct {
+	Name   string
+	Metric string  // "throughput" or "allocs/op"
+	Old    float64 // baseline value
+	New    float64 // current value
+}
+
+func (r Regression) String() string {
+	switch r.Metric {
+	case "throughput":
+		return fmt.Sprintf("%s: throughput %.0f -> %.0f (%.1f%%)",
+			r.Name, r.Old, r.New, (r.New/r.Old-1)*100)
+	default:
+		return fmt.Sprintf("%s: %s %.0f -> %.0f", r.Name, r.Metric, r.Old, r.New)
+	}
+}
+
+// Compare checks current against baseline and returns the benchmarks
+// whose throughput dropped by more than tol (e.g. 0.10 for 10%).
+// Throughput is instrs/s when reported, else 1/ns-per-op. Benchmarks
+// present in only one report are skipped: the gate protects tracked
+// metrics, it does not pin the benchmark set. Steady-state allocation
+// counts are guarded separately by testing.AllocsPerRun tests, so
+// wall-clock noise in B/op is deliberately not gated here.
+func Compare(baseline, current Report, tol float64) []Regression {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	for _, cur := range current.Results {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		oldT, okOld := throughput(old)
+		curT, okCur := throughput(cur)
+		if !okOld || !okCur {
+			continue
+		}
+		if curT < oldT*(1-tol) {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "throughput", Old: oldT, New: curT,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// throughput extracts a bigger-is-better rate from a result.
+func throughput(r Result) (float64, bool) {
+	if r.InstrsPerSec > 0 {
+		return r.InstrsPerSec, true
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp, true
+	}
+	return 0, false
+}

@@ -1,0 +1,124 @@
+package perf
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: catch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimBaseline 	     334	   7325909 ns/op	  13650196 instrs/s	 3599922 B/op	      49 allocs/op
+BenchmarkSimCATCH-8  	     196	  12249358 ns/op	   8163700 instrs/s	 3676927 B/op	      74 allocs/op
+BenchmarkSimMP       	      10	 102030405 ns/op	 5000000 B/op	     120 allocs/op
+--- BENCH: BenchmarkSimBaseline
+    bench_test.go:30: some log line
+PASS
+ok  	catch	6.806s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "catch" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu: %q", rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("want 3 results, got %d: %+v", len(rep.Results), rep.Results)
+	}
+	b := rep.Results[0]
+	if b.Name != "BenchmarkSimBaseline" || b.Runs != 334 {
+		t.Fatalf("first result: %+v", b)
+	}
+	if b.NsPerOp != 7325909 || b.InstrsPerSec != 13650196 {
+		t.Fatalf("metrics: %+v", b)
+	}
+	if b.BytesPerOp != 3599922 || b.AllocsPerOp != 49 {
+		t.Fatalf("mem metrics: %+v", b)
+	}
+	// GOMAXPROCS suffix is stripped.
+	if rep.Results[1].Name != "BenchmarkSimCATCH" {
+		t.Fatalf("suffix not stripped: %q", rep.Results[1].Name)
+	}
+	// A result without the custom instrs/s metric still parses.
+	if rep.Results[2].Name != "BenchmarkSimMP" || rep.Results[2].InstrsPerSec != 0 {
+		t.Fatalf("third result: %+v", rep.Results[2])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := writeTemp(t, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(rep.Results) || got.CPU != rep.CPU {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rep)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 10_000_000},
+		{Name: "BenchmarkSimCATCH", InstrsPerSec: 5_000_000},
+		{Name: "BenchmarkSimMP", NsPerOp: 100_000_000},
+		{Name: "BenchmarkRemoved", InstrsPerSec: 1},
+	}}
+
+	// Within tolerance: an 8% throughput drop passes a 10% gate.
+	cur := Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 9_200_000},
+		{Name: "BenchmarkSimCATCH", InstrsPerSec: 5_500_000},
+		{Name: "BenchmarkSimMP", NsPerOp: 105_000_000},
+		{Name: "BenchmarkNew", InstrsPerSec: 1},
+	}}
+	if regs := Compare(base, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Beyond tolerance: a 20% drop (instrs/s) and a 2x slowdown (ns/op)
+	// both fail.
+	cur = Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 8_000_000},
+		{Name: "BenchmarkSimCATCH", InstrsPerSec: 5_000_000},
+		{Name: "BenchmarkSimMP", NsPerOp: 200_000_000},
+	}}
+	regs := Compare(base, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if regs[0].Name != "BenchmarkSimBaseline" || regs[0].Metric != "throughput" {
+		t.Fatalf("first regression: %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkSimMP" {
+		t.Fatalf("second regression: %+v", regs[1])
+	}
+	if s := regs[0].String(); !strings.Contains(s, "throughput") {
+		t.Fatalf("String: %q", s)
+	}
+}
+
+func writeTemp(t *testing.T, data []byte) (string, error) {
+	t.Helper()
+	f := t.TempDir() + "/bench.json"
+	return f, os.WriteFile(f, data, 0o644)
+}

@@ -128,6 +128,17 @@ func (h *Histogram) Observe(x float64) {
 	h.Counts[len(h.Bounds)]++
 }
 
+// Reset zeroes all counts, keeping the bucket shape. An empty
+// histogram behaves exactly like a nil one (Merge of either is a
+// no-op), so callers may reuse an existing histogram across
+// measurement windows instead of re-allocating it.
+func (h *Histogram) Reset() {
+	h.Total = 0
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+}
+
 // Fraction returns the fraction of samples in bucket i.
 func (h *Histogram) Fraction(i int) float64 {
 	if h.Total == 0 {

@@ -1,0 +1,40 @@
+package tact
+
+import (
+	"testing"
+
+	"catch/internal/trace"
+)
+
+// TestTrainPredictCycleAllocFree guards the point of the flat-table
+// rewrite: a full TACT train-and-predict cycle — stride tracking,
+// trigger-cache touch, cross/feeder firing, and critical-target
+// training — performs zero heap allocations once the engine exists.
+func TestTrainPredictCycleAllocFree(t *testing.T) {
+	const (
+		trigPC = uint64(0x2000)
+		tgtPC  = uint64(0x3000)
+		delta  = uint64(640)
+	)
+	p := New(DefaultConfig(), critSet{tgtPC: true})
+	p.IssueData = func(addr uint64, now int64) {}
+	p.ValueAt = func(addr uint64) (uint64, bool) { return addr ^ 0xABCD, true }
+
+	tick := int64(0)
+	iter := 0
+	cycle := func(n int) {
+		for i := 0; i < n; i++ {
+			page := uint64(0x40_0000) + uint64(trace.Hash64(uint64(iter))%64)*trace.PageSize
+			trig := load(trigPC, 1, 0, page, uint64(0x7000+iter*64))
+			p.OnDispatch(&trig, tick)
+			tgt := load(tgtPC, 2, 1, page+delta, 0)
+			p.OnDispatch(&tgt, tick+1)
+			tick += 10
+			iter++
+		}
+	}
+	cycle(500) // reach steady state: tables allocated, associations trained
+	if allocs := testing.AllocsPerRun(20, func() { cycle(50) }); allocs != 0 {
+		t.Errorf("train-predict cycle: %v allocs per 50-load batch, want 0", allocs)
+	}
+}

@@ -21,7 +21,7 @@ type trigEntry struct {
 func (tc *TriggerCache) init() { *tc = TriggerCache{} }
 
 func (tc *TriggerCache) set(page uint64) []trigEntry {
-	s := int((page >> 12) % 8)
+	s := int((page >> 12) & 7)
 	return tc.entries[s*8 : (s+1)*8]
 }
 
@@ -121,7 +121,7 @@ func (p *Prefetchers) trainCross(t *target, addr uint64, now int64) {
 		c.trigPC = cand
 	}
 
-	trigSt := p.strides[c.trigPC]
+	trigSt := p.strides.lookup(c.trigPC)
 	if trigSt == nil || !trigSt.seen {
 		return
 	}
@@ -131,7 +131,7 @@ func (p *Prefetchers) trainCross(t *target, addr uint64, now int64) {
 		c.conf++
 		if c.conf >= crossConfSat {
 			c.done = true
-			p.crossIndex[c.trigPC] = append(p.crossIndex[c.trigPC], t)
+			p.crossIndex.add(c.trigPC, t.slot)
 			p.Stats.CrossTrained++
 			return
 		}
@@ -164,7 +164,9 @@ func (p *Prefetchers) trainCross(t *target, addr uint64, now int64) {
 // fireCross issues prefetches for all targets whose trained trigger is
 // pc, predicting target address = trigger address + learned delta.
 func (p *Prefetchers) fireCross(pc, addr uint64, now int64) {
-	for _, t := range p.crossIndex[pc] {
+	lo, hi := p.crossIndex.find(pc)
+	for i := lo; i < hi; i++ {
+		t := &p.targets[p.crossIndex.slots[i]]
 		p.Stats.CrossIssued++
 		p.issue(uint64(int64(addr)+t.cross.delta), now)
 	}

@@ -60,10 +60,11 @@ func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst) {
 
 	// Candidate is stable (conceptually in the Feeder-PC-Table): learn
 	// Scale/Base against the feeder's most recent data value.
-	data, ok := p.lastData[cand]
-	if !ok {
+	fst := p.strides.lookup(cand)
+	if fst == nil || !fst.hasData {
 		return
 	}
+	data := fst.data
 	for i, s := range feederScales {
 		base := in.Addr - s*data
 		if f.haveBase[i] && f.base[i] == base {
@@ -73,7 +74,7 @@ func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst) {
 			if f.baseConf[i] >= feederBaseSat {
 				f.scaleIdx = int8(i)
 				f.done = true
-				p.feederIndex[cand] = append(p.feederIndex[cand], t)
+				p.feederIndex.add(cand, t.slot)
 				p.Stats.FeederTrained++
 				return
 			}
@@ -90,12 +91,13 @@ func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst) {
 // feeder line FeederDistance iterations ahead and, when that data is
 // available, chains a prefetch of the target's predicted address.
 func (p *Prefetchers) fireFeeder(pc, addr, data uint64, now int64) {
-	targets := p.feederIndex[pc]
-	if len(targets) == 0 {
+	lo, hi := p.feederIndex.find(pc)
+	if lo == hi {
 		return
 	}
-	st := p.strides[pc]
-	for _, t := range targets {
+	st := p.strides.lookup(pc)
+	for i := lo; i < hi; i++ {
+		t := &p.targets[p.feederIndex.slots[i]]
 		f := &t.feeder
 		if f.scaleIdx < 0 {
 			continue

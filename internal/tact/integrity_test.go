@@ -1,0 +1,182 @@
+package tact
+
+import (
+	"testing"
+
+	"catch/internal/trace"
+)
+
+// checkIndexIntegrity validates the invariants tying the trigger/feeder
+// registration indexes to the target table: every registration points
+// at a live target that actually trained on that PC, no registration
+// is duplicated, the key arrays stay sorted, and every trained target
+// is registered exactly once.
+func checkIndexIntegrity(t *testing.T, p *Prefetchers) {
+	t.Helper()
+	check := func(name string, ix *regIndex, reg func(*target) (uint64, bool)) {
+		type key struct {
+			pc   uint64
+			slot uint16
+		}
+		seen := make(map[key]bool)
+		for i := 0; i < ix.n; i++ {
+			pc, slot := ix.pcs[i], ix.slots[i]
+			if int(slot) >= len(p.targets) {
+				t.Fatalf("%s: entry %d has slot %d out of range", name, i, slot)
+			}
+			tgt := &p.targets[slot]
+			if !tgt.valid {
+				t.Errorf("%s: pc %#x registered against invalidated slot %d", name, pc, slot)
+				continue
+			}
+			regPC, done := reg(tgt)
+			if !done || regPC != pc {
+				t.Errorf("%s: pc %#x registered for slot %d, but target (pc %#x) has trained=%v regPC=%#x",
+					name, pc, slot, tgt.pc, done, regPC)
+			}
+			k := key{pc, slot}
+			if seen[k] {
+				t.Errorf("%s: duplicate registration (pc %#x, slot %d)", name, pc, slot)
+			}
+			seen[k] = true
+		}
+		for i := 1; i < ix.n; i++ {
+			if ix.pcs[i-1] > ix.pcs[i] {
+				t.Errorf("%s: key array unsorted at %d: %#x > %#x", name, i, ix.pcs[i-1], ix.pcs[i])
+			}
+		}
+		for i := range p.targets {
+			tgt := &p.targets[i]
+			if !tgt.valid {
+				continue
+			}
+			if regPC, done := reg(tgt); done && !seen[key{regPC, tgt.slot}] {
+				t.Errorf("%s: trained target pc %#x (slot %d) missing its registration for %#x",
+					name, tgt.pc, tgt.slot, regPC)
+			}
+		}
+	}
+	check("crossIndex", &p.crossIndex, func(tg *target) (uint64, bool) { return tg.cross.trigPC, tg.cross.done })
+	check("feederIndex", &p.feederIndex, func(tg *target) (uint64, bool) { return tg.feeder.pc, tg.feeder.done })
+}
+
+// TestEvictionKeepsIndexesConsistent is the regression test for the
+// old removeTarget slice-aliasing bug: with several targets trained
+// off overlapping trigger/feeder PCs, evicting targets out of a small
+// target table must drop exactly the victims' registrations — no stale
+// slots left behind, no sibling registrations lost.
+func TestEvictionKeepsIndexesConsistent(t *testing.T) {
+	const (
+		sharedPC = uint64(0x2000) // trigger for tgtCross AND feeder for tgtFeed
+		tgtCross = uint64(0x3000)
+		tgtFeed  = uint64(0x3100)
+		delta    = uint64(640)
+		feedBase = uint64(0x50_0000)
+	)
+	crit := critSet{tgtCross: true, tgtFeed: true}
+	cfg := DefaultConfig()
+	cfg.Targets = 4 // tiny table so evictions are easy to force
+	p := New(cfg, crit)
+	issued := 0
+	p.IssueData = func(addr uint64, now int64) { issued++ }
+
+	// Train both associations off the shared PC. Each round: the shared
+	// load first touches a fresh page (becoming its trigger candidate)
+	// and produces data; the cross target follows at a fixed page delta;
+	// the feeder target's address is 1×data + feedBase.
+	tick := int64(0)
+	for i := 0; i < 200; i++ {
+		page := uint64(0x40_0000) + uint64(trace.Hash64(uint64(i))%64)*trace.PageSize
+		data := uint64(0x7000) + uint64(i)*64
+		shared := load(sharedPC, 1, 0, page, data)
+		p.OnDispatch(&shared, tick)
+		cross := load(tgtCross, 2, trace.NoReg, page+delta, 0)
+		p.OnDispatch(&cross, tick+1)
+		feed := load(tgtFeed, 3, 1, data+feedBase, 0)
+		p.OnDispatch(&feed, tick+2)
+		tick += 10
+	}
+	if p.Stats.CrossTrained == 0 || p.Stats.FeederTrained == 0 {
+		t.Fatalf("setup failed to train: cross=%d feeder=%d",
+			p.Stats.CrossTrained, p.Stats.FeederTrained)
+	}
+	checkIndexIntegrity(t, p)
+
+	// Evict everything: more new critical PCs than the table has slots.
+	for i := 0; i < 3*cfg.Targets; i++ {
+		pc := uint64(0x9000) + uint64(i)*4
+		crit[pc] = true
+		for k := 0; k < 3; k++ {
+			in := load(pc, 1, trace.NoReg, uint64(0x80_0000)+uint64(i)*4096, 0)
+			p.OnDispatch(&in, tick)
+			tick += 10
+		}
+	}
+	if p.findTarget(tgtCross) != nil || p.findTarget(tgtFeed) != nil {
+		t.Fatal("original targets were not evicted; raise the churn")
+	}
+	checkIndexIntegrity(t, p)
+
+	// The shared PC's registrations must be gone with their targets:
+	// firing it can no longer issue the trained prefetches.
+	if lo, hi := p.crossIndex.find(sharedPC); lo != hi {
+		t.Errorf("stale cross registrations for %#x: %d", sharedPC, hi-lo)
+	}
+	if lo, hi := p.feederIndex.find(sharedPC); lo != hi {
+		t.Errorf("stale feeder registrations for %#x: %d", sharedPC, hi-lo)
+	}
+	issued = 0
+	in := load(sharedPC, 1, 0, uint64(0x90_0000), 0x1234)
+	p.OnDispatch(&in, tick)
+	if issued != 0 {
+		t.Errorf("evicted targets still fired %d prefetches via %#x", issued, sharedPC)
+	}
+}
+
+// TestReallocatedSlotDoesNotInheritRegistrations pins the other half
+// of the aliasing bug: when a trained target's slot is reused by a new
+// PC, firing the old trigger must not prefetch on behalf of the new
+// occupant.
+func TestReallocatedSlotDoesNotInheritRegistrations(t *testing.T) {
+	const (
+		trigPC = uint64(0x2000)
+		oldTgt = uint64(0x3000)
+		delta  = uint64(640)
+	)
+	crit := critSet{oldTgt: true}
+	cfg := DefaultConfig()
+	cfg.Targets = 1 // single slot: any new critical PC reuses it
+	p := New(cfg, crit)
+	var got []uint64
+	p.IssueData = func(addr uint64, now int64) { got = append(got, addr) }
+
+	for i := 0; i < 200; i++ {
+		page := uint64(0x40_0000) + uint64(trace.Hash64(uint64(i))%64)*trace.PageSize
+		trig := load(trigPC, 1, 0, page, 0)
+		p.OnDispatch(&trig, int64(i*10))
+		tgt := load(oldTgt, 2, trace.NoReg, page+delta, 0)
+		p.OnDispatch(&tgt, int64(i*10+1))
+	}
+	if p.Stats.CrossTrained == 0 {
+		t.Fatal("cross association never trained")
+	}
+
+	// A different critical PC takes over the only slot.
+	newTgt := uint64(0x7000)
+	crit[newTgt] = true
+	in := load(newTgt, 1, trace.NoReg, 0x60_0000, 0)
+	p.OnDispatch(&in, 10_000)
+	if tgt := p.findTarget(newTgt); tgt == nil {
+		t.Fatal("slot was not reallocated")
+	}
+	checkIndexIntegrity(t, p)
+
+	got = got[:0]
+	trig := load(trigPC, 1, 0, uint64(0x90_0000), 0)
+	p.OnDispatch(&trig, 10_001)
+	for _, a := range got {
+		if a == uint64(0x90_0000)+delta {
+			t.Errorf("old trigger fired for reallocated slot: issued %#x", a)
+		}
+	}
+}

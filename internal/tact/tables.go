@@ -1,0 +1,220 @@
+package tact
+
+import "math/bits"
+
+// This file holds the fixed-geometry, array-backed tables that replace
+// the Go maps TACT originally used for its per-access state. Hardware
+// keeps these structures as small set-associative SRAMs (Fig 9 /
+// Table I); modelling them as flat arrays both removes per-access map
+// hashing and allocation from the simulator's hottest path and keeps
+// the model honest about its storage: every structure below has a
+// fixed capacity chosen at construction and an explicit replacement
+// policy.
+
+// fibMul is the 64-bit Fibonacci-hash multiplier used to spread PC
+// keys over power-of-two set counts (PCs are word-aligned and highly
+// clustered, so plain modulo would pile them into few sets).
+const fibMul = 0x9E3779B97F4A7C15
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// ---------------------------------------------------------------------------
+// strideTable: per-load-PC address/stride/data tracker.
+
+// strideEntry is one way of the stride table: the last address, the
+// current stride with a 2-bit confidence, and the last loaded data
+// value (the feeder's view of the PC's most recent load).
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	data     uint64
+	stride   int64
+	lru      int64
+	conf     uint8
+	seen     bool
+	hasData  bool
+	valid    bool
+}
+
+// strideTable is a set-associative, LRU-replaced table of strideEntry,
+// with a power-of-two set count indexed by a Fibonacci hash of the PC.
+// It replaces both the unbounded strides and lastData maps.
+type strideTable struct {
+	entries []strideEntry
+	ways    int
+	shift   uint // 64 - log2(sets)
+	tick    int64
+}
+
+func (t *strideTable) init(sets, ways int) {
+	sets = nextPow2(sets)
+	if ways <= 0 {
+		ways = 1
+	}
+	t.ways = ways
+	t.shift = uint(64 - bits.Len(uint(sets-1)))
+	if sets == 1 {
+		t.shift = 64
+	}
+	t.entries = make([]strideEntry, sets*ways)
+	t.tick = 0
+}
+
+func (t *strideTable) set(pc uint64) []strideEntry {
+	var s uint64
+	if t.shift < 64 {
+		s = (pc * fibMul) >> t.shift
+	}
+	return t.entries[int(s)*t.ways : (int(s)+1)*t.ways]
+}
+
+// lookup returns the entry for pc, or nil when it is not tracked. It
+// does not touch replacement state: reads model probe ports.
+func (t *strideTable) lookup(pc uint64) *strideEntry {
+	set := t.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch returns the entry for pc, allocating (LRU victim within the
+// set) when absent, and stamps its recency.
+func (t *strideTable) touch(pc uint64) *strideEntry {
+	set := t.set(pc)
+	t.tick++
+	victim, oldest := 0, int64(1<<62-1)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.pc == pc {
+			e.lru = t.tick
+			return e
+		}
+		if !e.valid {
+			if oldest != -1 {
+				victim, oldest = i, -1
+			}
+		} else if oldest != -1 && e.lru < oldest {
+			victim, oldest = i, e.lru
+		}
+	}
+	e := &set[victim]
+	*e = strideEntry{pc: pc, lru: t.tick, valid: true}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// regIndex: trained trigger/feeder PC -> registered target slots.
+
+// regIndex maps a PC to the target-table slots registered against it
+// (cross: trained trigger PCs; feeder: trained feeder PCs). It is a
+// compact array of (pc, slot) pairs kept sorted by (pc, registration
+// order), so the per-load lookup is a branchless filter check plus a
+// short binary search — no hashing, no map, no per-entry slices. Every
+// target registers at most once per index, so capacity equals the
+// target-table size and the backing array never grows after init.
+type regIndex struct {
+	pcs   []uint64
+	slots []uint16
+	n     int
+	// filter is a 64-bit Bloom-style presence filter over hashed PCs:
+	// the common case (a load PC with no trained registrations) is
+	// rejected with one multiply and one mask.
+	filter uint64
+}
+
+func (ix *regIndex) init(capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	ix.pcs = make([]uint64, 0, capacity)
+	ix.slots = make([]uint16, 0, capacity)
+	ix.n = 0
+	ix.filter = 0
+}
+
+func regFilterBit(pc uint64) uint64 {
+	return 1 << ((pc * fibMul) >> 58)
+}
+
+// lowerBound returns the first index i with pcs[i] >= pc.
+func (ix *regIndex) lowerBound(pc uint64) int {
+	lo, hi := 0, ix.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.pcs[mid] < pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// add registers slot under pc, after any existing registrations for
+// the same pc (insertion position preserves firing order).
+func (ix *regIndex) add(pc uint64, slot uint16) {
+	if ix.n >= cap(ix.pcs) {
+		// Cannot happen: one registration per target slot. Guarded so a
+		// future change fails loudly instead of corrupting the index.
+		panic("tact: regIndex capacity exceeded")
+	}
+	i := ix.lowerBound(pc)
+	for i < ix.n && ix.pcs[i] == pc {
+		i++
+	}
+	ix.pcs = ix.pcs[:ix.n+1]
+	ix.slots = ix.slots[:ix.n+1]
+	copy(ix.pcs[i+1:], ix.pcs[i:])
+	copy(ix.slots[i+1:], ix.slots[i:])
+	ix.pcs[i], ix.slots[i] = pc, slot
+	ix.n++
+	ix.filter |= regFilterBit(pc)
+}
+
+// remove drops the registration of slot under pc (no-op when absent)
+// and rebuilds the presence filter.
+func (ix *regIndex) remove(pc uint64, slot uint16) {
+	i := ix.lowerBound(pc)
+	for ; i < ix.n && ix.pcs[i] == pc; i++ {
+		if ix.slots[i] == slot {
+			copy(ix.pcs[i:], ix.pcs[i+1:ix.n])
+			copy(ix.slots[i:], ix.slots[i+1:ix.n])
+			ix.n--
+			ix.pcs = ix.pcs[:ix.n]
+			ix.slots = ix.slots[:ix.n]
+			ix.rebuildFilter()
+			return
+		}
+	}
+}
+
+func (ix *regIndex) rebuildFilter() {
+	ix.filter = 0
+	for _, pc := range ix.pcs[:ix.n] {
+		ix.filter |= regFilterBit(pc)
+	}
+}
+
+// find returns the [lo,hi) range of registrations for pc, in
+// registration order. The filter rejects almost all unregistered PCs
+// before the binary search runs.
+func (ix *regIndex) find(pc uint64) (int, int) {
+	if ix.filter&regFilterBit(pc) == 0 {
+		return 0, 0
+	}
+	lo := ix.lowerBound(pc)
+	hi := lo
+	for hi < ix.n && ix.pcs[hi] == pc {
+		hi++
+	}
+	return lo, hi
+}

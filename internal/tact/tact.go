@@ -25,6 +25,16 @@ type Config struct {
 	EnableCode   bool
 }
 
+// Stride-tracker geometry: a fixed set-associative table stands in for
+// the unbounded per-PC map the model used to keep. 64 sets × 8 ways
+// comfortably holds every static load PC of the study workloads, so
+// replacement never perturbs the published figures, while bounding the
+// structure the way hardware would.
+const (
+	strideTableSets = 64
+	strideTableWays = 8
+)
+
 // DefaultConfig returns the paper's TACT configuration with all
 // components enabled.
 func DefaultConfig() Config {
@@ -58,21 +68,14 @@ type Stats struct {
 	CrossGaveUp      uint64
 }
 
-// pcStride is TACT's per-load-PC address tracker (last address, stride
-// and a small confidence), used for deep-self and for feeder trigger
-// look-ahead.
-type pcStride struct {
-	lastAddr uint64
-	stride   int64
-	conf     uint8
-	seen     bool
-}
-
 // target is the per-critical-PC TACT state (one entry of the Critical
 // Target PC Table, Fig 9).
 type target struct {
-	pc  uint64
-	lru int64
+	pc   uint64
+	lru  int64
+	slot uint16 // this entry's index in the table (stable)
+
+	valid bool
 
 	// Deep-self.
 	curLen   uint8 // current run length of the stable stride (cap 32)
@@ -86,7 +89,10 @@ type target struct {
 	feeder feederState
 }
 
-// Prefetchers is one core's TACT engine.
+// Prefetchers is one core's TACT engine. All per-access state lives in
+// fixed-geometry flat tables allocated at construction: the steady-
+// state train/predict path performs no map operations and no heap
+// allocation.
 type Prefetchers struct {
 	Cfg  Config
 	Crit Criticality
@@ -98,16 +104,15 @@ type Prefetchers struct {
 	// hardware would read out of a completed feeder prefetch).
 	ValueAt func(addr uint64) (uint64, bool)
 
-	targets map[uint64]*target
+	targets []target // Critical Target PC Table, CAM-searched
 	tick    int64
 
-	strides  map[uint64]*pcStride // per-load-PC address tracker
-	lastData map[uint64]uint64    // last data value per load PC
+	strides strideTable // per-load-PC address/stride/data tracker
 
 	trig TriggerCache
 
-	crossIndex  map[uint64][]*target // trained trigger PC → targets
-	feederIndex map[uint64][]*target // trained feeder PC → targets
+	crossIndex  regIndex // trained trigger PC → target slots
+	feederIndex regIndex // trained feeder PC → target slots
 
 	regLoadPC [trace.NumArchRegs]uint64 // youngest load PC per register
 
@@ -131,14 +136,16 @@ func New(cfg Config, crit Criticality) *Prefetchers {
 		cfg.CodeDepth = 8
 	}
 	p := &Prefetchers{
-		Cfg:         cfg,
-		Crit:        crit,
-		targets:     make(map[uint64]*target),
-		strides:     make(map[uint64]*pcStride),
-		lastData:    make(map[uint64]uint64),
-		crossIndex:  make(map[uint64][]*target),
-		feederIndex: make(map[uint64][]*target),
+		Cfg:     cfg,
+		Crit:    crit,
+		targets: make([]target, cfg.Targets),
 	}
+	for i := range p.targets {
+		p.targets[i].slot = uint16(i)
+	}
+	p.strides.init(strideTableSets, strideTableWays)
+	p.crossIndex.init(cfg.Targets)
+	p.feederIndex.init(cfg.Targets)
 	p.trig.init()
 	if cfg.EnableCode {
 		p.Code = NewCodePrefetcher(cfg.CodeDepth)
@@ -172,11 +179,7 @@ func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 	pc, addr := in.PC, in.Addr
 
 	// Track per-PC stride (used by deep-self and feeder look-ahead).
-	st := p.strides[pc]
-	if st == nil {
-		st = &pcStride{}
-		p.strides[pc] = st
-	}
+	st := p.strides.touch(pc)
 	prevAddr, seen := st.lastAddr, st.seen
 	if seen {
 		d := int64(addr) - int64(prevAddr)
@@ -192,7 +195,7 @@ func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 		}
 	}
 	st.lastAddr, st.seen = addr, true
-	p.lastData[pc] = in.Data
+	st.data, st.hasData = in.Data, true
 
 	// Trigger cache: first four load PCs touching each 4KB page.
 	p.trig.Touch(trace.PageAddr(addr), pc)
@@ -215,7 +218,7 @@ func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 	if p.Crit == nil || !p.Crit.IsCritical(pc) {
 		return
 	}
-	t := p.lookupTarget(pc, in)
+	t := p.lookupTarget(pc)
 	p.tick++
 	t.lru = p.tick
 
@@ -230,55 +233,62 @@ func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 	}
 }
 
-// lookupTarget finds or allocates the target entry for a critical PC,
-// evicting the LRU entry when the table is full.
-func (p *Prefetchers) lookupTarget(pc uint64, in *trace.Inst) *target {
-	if t := p.targets[pc]; t != nil {
-		return t
-	}
-	if len(p.targets) >= p.Cfg.Targets {
-		var victim *target
-		oldest := int64(1<<62 - 1)
-		for _, t := range p.targets {
-			if t.lru < oldest {
-				oldest, victim = t.lru, t
+// lookupTarget finds or allocates the target entry for a critical PC in
+// one CAM-style pass over the flat table, evicting the LRU entry when
+// no slot is free.
+func (p *Prefetchers) lookupTarget(pc uint64) *target {
+	var victim *target
+	oldest := int64(1<<62 - 1)
+	for i := range p.targets {
+		t := &p.targets[i]
+		if t.valid && t.pc == pc {
+			return t
+		}
+		if !t.valid {
+			if oldest != -1 {
+				victim, oldest = t, -1
 			}
-		}
-		if victim != nil {
-			p.dropTarget(victim)
+		} else if oldest != -1 && t.lru < oldest {
+			victim, oldest = t, t.lru
 		}
 	}
-	t := &target{pc: pc, safeLen: 4}
-	t.cross.init()
-	t.feeder.init()
-	p.targets[pc] = t
+	if victim.valid {
+		p.dropTarget(victim)
+	}
+	slot := victim.slot
+	*victim = target{pc: pc, slot: slot, safeLen: 4, valid: true}
+	victim.cross.init()
+	victim.feeder.init()
 	p.Stats.TargetsAllocated++
-	return t
+	return victim
 }
 
-// dropTarget removes a target and its trigger registrations.
+// findTarget returns the live target entry for pc, or nil. Exposed for
+// tests and inspection tools; the hot path uses lookupTarget.
+func (p *Prefetchers) findTarget(pc uint64) *target {
+	for i := range p.targets {
+		if p.targets[i].valid && p.targets[i].pc == pc {
+			return &p.targets[i]
+		}
+	}
+	return nil
+}
+
+// dropTarget invalidates a target and removes its trigger/feeder
+// registrations from the flat indexes.
 func (p *Prefetchers) dropTarget(t *target) {
-	delete(p.targets, t.pc)
 	if t.cross.done {
-		p.crossIndex[t.cross.trigPC] = removeTarget(p.crossIndex[t.cross.trigPC], t)
+		p.crossIndex.remove(t.cross.trigPC, t.slot)
 	}
 	if t.feeder.done {
-		p.feederIndex[t.feeder.pc] = removeTarget(p.feederIndex[t.feeder.pc], t)
+		p.feederIndex.remove(t.feeder.pc, t.slot)
 	}
-}
-
-func removeTarget(s []*target, t *target) []*target {
-	for i, x := range s {
-		if x == t {
-			return append(s[:i], s[i+1:]...)
-		}
-	}
-	return s
+	t.valid = false
 }
 
 // trainDeep implements TACT-Deep-Self: safe-length learning and
 // distance-1 + deep-distance prefetch issue.
-func (p *Prefetchers) trainDeep(t *target, st *pcStride, seen bool, prevAddr, addr uint64, now int64) {
+func (p *Prefetchers) trainDeep(t *target, st *strideEntry, seen bool, prevAddr, addr uint64, now int64) {
 	if seen {
 		d := int64(addr) - int64(prevAddr)
 		if d != 0 && d == st.stride && st.conf >= 2 {

@@ -31,7 +31,7 @@ func TestFeederCandidateSwitch(t *testing.T) {
 	if p.Stats.FeederTrained == 0 {
 		t.Fatal("did not re-train on the stable candidate")
 	}
-	tgt := p.targets[tgtPC]
+	tgt := p.findTarget(tgtPC)
 	if tgt.feeder.pc != 0x3004 {
 		t.Fatalf("locked onto %#x, want 0x3004", tgt.feeder.pc)
 	}
@@ -48,7 +48,7 @@ func TestFeederScaleOne(t *testing.T) {
 		tgt := load(tgtPC, 2, 1, data, 0)
 		p.OnDispatch(&tgt, int64(i*20+5))
 	}
-	tgt := p.targets[tgtPC]
+	tgt := p.findTarget(tgtPC)
 	if tgt == nil || !tgt.feeder.done {
 		t.Fatal("scale-1 relation not learned")
 	}
@@ -74,7 +74,7 @@ func TestDroppedTargetUnregistersTriggers(t *testing.T) {
 		tgt := load(first, 2, 1, page+512, 0)
 		p.OnDispatch(&tgt, int64(i*20+5))
 	}
-	if len(p.crossIndex[trigPC]) == 0 {
+	if lo, hi := p.crossIndex.find(trigPC); lo == hi {
 		t.Fatal("setup: cross not trained")
 	}
 	// Thrash the target table so `first` is evicted.
@@ -82,11 +82,14 @@ func TestDroppedTargetUnregistersTriggers(t *testing.T) {
 		in := load(uint64(0x1000+i*16), 1, 0, uint64(0x100000+i*4096), 0)
 		p.OnDispatch(&in, int64(100000+i))
 	}
-	for _, tg := range p.crossIndex[trigPC] {
-		if tg.pc == first {
-			if _, live := p.targets[first]; !live {
-				t.Fatal("evicted target still registered on its trigger")
-			}
+	lo, hi := p.crossIndex.find(trigPC)
+	for i := lo; i < hi; i++ {
+		tg := &p.targets[p.crossIndex.slots[i]]
+		if !tg.valid || tg.pc != first {
+			continue
+		}
+		if p.findTarget(first) == nil {
+			t.Fatal("evicted target still registered on its trigger")
 		}
 	}
 }

@@ -92,7 +92,7 @@ func TestDeepSelfSafeLengthLearnsShortRuns(t *testing.T) {
 		}
 		a += 1 << 20 // run break
 	}
-	tgt := p.targets[target]
+	tgt := p.findTarget(target)
 	if tgt == nil {
 		t.Fatal("target entry missing")
 	}
@@ -180,7 +180,7 @@ func TestFeederLearnsScaleAndBase(t *testing.T) {
 		t.Fatal("feeder prefetches never issued")
 	}
 	// The look-ahead prefetch must target scale*futureData+base.
-	tgt := p.targets[tgtPC]
+	tgt := p.findTarget(tgtPC)
 	if tgt == nil || !tgt.feeder.done {
 		t.Fatal("feeder state not finalized")
 	}
