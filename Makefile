@@ -2,6 +2,9 @@ GO ?= go
 
 .PHONY: check build vet test race bench benchcmp benchall
 
+# check gates a change: build + vet + the full test suite under the
+# race detector (this includes internal/telemetry's concurrent
+# counter/histogram/tracer tests and the runner's /metrics tests).
 check: build vet race
 
 build:

@@ -11,7 +11,9 @@
 //	POST /v1/run           {"config":"catch","workload":"mcf","insts":300000,"warmup":150000}
 //	POST /v1/sweep         {"configs":["baseline-excl","catch"],"workloads":["mcf","hmmer"]}
 //	GET  /v1/results/{key} cached result by content address
-//	GET  /healthz          liveness and counters
+//	GET  /healthz          liveness, build info and counters
+//	GET  /metrics          Prometheus text exposition
+//	GET  /debug/pprof/*    runtime profiles (with -pprof)
 //
 // Duplicate concurrent requests for the same job are coalesced onto
 // one simulation; identical jobs after that are served from the cache.
@@ -31,29 +33,40 @@ import (
 
 	"catch/internal/experiments"
 	"catch/internal/runner"
+	"catch/internal/telemetry"
 )
+
+// version identifies the build in /healthz; release builds may
+// override it via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		parallel = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
-		inflight = flag.Int("max-inflight", 0, "max concurrently served run/sweep requests (0 = 2x workers)")
-		timeout  = flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
-		retries  = flag.Int("retries", 1, "extra attempts for a failed or timed-out job")
+		addr        = flag.String("addr", ":8080", "listen address")
+		parallel    = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache", "", "result cache directory (empty = in-memory only)")
+		inflight    = flag.Int("max-inflight", 0, "max concurrently served run/sweep requests (0 = 2x workers)")
+		timeout     = flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+		retries     = flag.Int("retries", 1, "extra attempts for a failed or timed-out job")
+		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
+	reg := telemetry.NewRegistry()
 	eng := runner.New(runner.Options{
 		Workers: *parallel,
 		Cache:   runner.NewCache(*cacheDir),
 		Timeout: *timeout,
 		Retries: *retries,
+		Metrics: reg,
 	})
 	srv := &runner.Server{
 		Engine:      eng,
 		Resolve:     experiments.ConfigByName,
 		MaxInflight: *inflight,
+		Metrics:     reg,
+		Version:     version,
+		EnablePprof: *enablePprof,
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
+	"strings"
 	"time"
 
 	"catch/internal/experiments"
@@ -60,6 +62,10 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
+	} else if !slices.Contains(experiments.IDs(), *exp) {
+		fmt.Fprintf(os.Stderr, "catchexp: unknown experiment %q\nvalid experiments: %s, all\n",
+			*exp, strings.Join(experiments.IDs(), ", "))
+		os.Exit(1)
 	}
 	start := time.Now()
 	var all []experiments.Table

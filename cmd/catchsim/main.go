@@ -6,13 +6,17 @@
 //	catchsim -workload mcf -config catch -n 300000 -warmup 50000
 //	catchsim -workload mcf,hmmer -config catch,baseline-excl -parallel 4
 //	catchsim -workload mcf -config catch -json
+//	catchsim -workload mcf -config catch -trace out.json   # Chrome/Perfetto trace
+//	catchsim -workload mcf -config catch -dump-critpath    # critical-path table
 //	catchsim -list            # list workloads
 //	catchsim -configs         # list configurations
 //
 // Comma-separated workload/config lists expand into a grid that runs
 // through the parallel execution engine; -json emits the engine's
 // JobResult records (content-address key, timing, full Result structs)
-// instead of the human-readable report.
+// instead of the human-readable report. -trace and -dump-critpath
+// attach the telemetry tracer and therefore run a single
+// (config, workload) job in-process.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"catch/internal/experiments"
 	"catch/internal/runner"
 	"catch/internal/stats"
+	"catch/internal/telemetry"
 	"catch/internal/workloads"
 )
 
@@ -43,6 +48,11 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON results")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		configs  = flag.Bool("configs", false, "list configurations and exit")
+
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto); single job only")
+		traceSample = flag.Uint64("trace-sample", 64, "record 1-in-N of the high-frequency trace events (instructions, cache accesses)")
+		traceBuf    = flag.Int("trace-buf", 1<<20, "trace ring capacity in events (oldest events drop on overflow)")
+		dumpCrit    = flag.Bool("dump-critpath", false, "print the recorded critical-path walks as a table; single job only")
 	)
 	flag.Parse()
 
@@ -72,7 +82,8 @@ func main() {
 	for _, name := range strings.Split(*cfgName, ",") {
 		cfg, ok := experiments.ConfigByName(strings.TrimSpace(name))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown config %q (try -configs)\n", name)
+			fmt.Fprintf(os.Stderr, "catchsim: unknown config %q\nvalid configs: %s\n",
+				name, strings.Join(experiments.ConfigNames(), ", "))
 			os.Exit(1)
 		}
 		cfgs = append(cfgs, cfg)
@@ -81,10 +92,19 @@ func main() {
 	for _, name := range strings.Split(*workload, ",") {
 		name = strings.TrimSpace(name)
 		if _, ok := workloads.ByName(name); !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", name)
+			fmt.Fprintf(os.Stderr, "catchsim: unknown workload %q\nvalid workloads: %s\n",
+				name, strings.Join(workloadNames(), ", "))
 			os.Exit(1)
 		}
 		wls = append(wls, name)
+	}
+
+	if *traceOut != "" || *dumpCrit {
+		if err := runTraced(cfgs, wls, *n, *warmup, *traceOut, *traceSample, *traceBuf, *dumpCrit, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "catchsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	grid := runner.Grid{Configs: cfgs, Workloads: wls, Insts: *n, Warmup: *warmup}
@@ -112,6 +132,73 @@ func main() {
 			printResult(&jrs[i].Results[j])
 		}
 	}
+}
+
+// workloadNames returns all workload names in listing order.
+func workloadNames() []string {
+	var names []string
+	for _, w := range workloads.All() {
+		names = append(names, w.WName)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runTraced executes one job in-process with the telemetry tracer
+// attached, then writes the Chrome trace and/or the critical-path
+// table. Tracing needs a handle on the live System, so it bypasses the
+// engine (and its cache: a traced run is always executed fresh).
+func runTraced(cfgs []config.SystemConfig, wls []string, insts, warmup int64,
+	traceOut string, sample uint64, bufEvents int, dumpCrit, jsonOut bool) error {
+	if len(cfgs) != 1 || len(wls) != 1 {
+		return fmt.Errorf("-trace/-dump-critpath run a single job; got %d configs × %d workloads",
+			len(cfgs), len(wls))
+	}
+	tc := telemetry.TracerConfig{BufferEvents: bufEvents, SampleEvery: sample}
+	if traceOut == "" {
+		// Table-only mode: record just the critical-path walks so the
+		// ring holds as many of them as possible.
+		tc.Categories = telemetry.CatCritPath.Bit()
+	}
+	tr := telemetry.NewTracer(tc)
+
+	w, _ := workloads.ByName(wls[0])
+	sys := core.NewSystem(cfgs[0])
+	sys.AttachTracer(tr)
+	res := sys.RunST(w.NewGen(), insts, warmup)
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]core.Result{res}); err != nil {
+			return err
+		}
+	} else {
+		printResult(&res)
+		fmt.Println()
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "catchsim: wrote %d trace events to %s (%d dropped); load it at https://ui.perfetto.dev\n",
+			tr.Len(), traceOut, tr.Dropped())
+	}
+	if dumpCrit {
+		if err := telemetry.WriteCritPathTable(os.Stdout, tr.Events()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printResult(r *core.Result) {

@@ -4,6 +4,7 @@ import (
 	"catch/internal/interconnect"
 	"catch/internal/memory"
 	"catch/internal/stats"
+	"catch/internal/telemetry"
 )
 
 // HitLevel identifies where an access was served from.
@@ -71,6 +72,11 @@ type Hierarchy struct {
 	// BackInval is invoked when an inclusive LLC evicts a line; the
 	// system wires it to invalidate the line in every private cache.
 	BackInval func(addr uint64, now int64)
+
+	// Trace, when attached and enabled, receives cache events (sampled
+	// demand accesses, every TACT prefetch/timeliness record). Nil or
+	// disabled costs one branch per access.
+	Trace *telemetry.Tracer
 
 	// mshrs bounds the number of demand L1 misses in flight (fill
 	// buffers). Prefetches bypass it: TACT's point is precisely that
@@ -141,6 +147,10 @@ func (h *Hierarchy) Load(addr uint64, now int64) (int64, HitLevel) {
 	case HitMem:
 		h.Stats.LoadMem++
 	}
+	if t := h.Trace; t.Enabled() && t.Sampled() {
+		t.Emit(telemetry.Event{Cat: telemetry.CatCache, Type: telemetry.EvLoad,
+			TID: uint8(h.CoreID), TS: now, Dur: lat, A1: addr, A2: uint64(lvl)})
+	}
 	return lat, lvl
 }
 
@@ -151,11 +161,19 @@ func (h *Hierarchy) Store(addr uint64, now int64) {
 	h.Stats.Stores++
 	if h.L1D.MarkDirty(LineAddr(addr)) {
 		h.Stats.StoreL1Hit++
+		if t := h.Trace; t.Enabled() && t.Sampled() {
+			t.Emit(telemetry.Event{Cat: telemetry.CatCache, Type: telemetry.EvStore,
+				TID: uint8(h.CoreID), TS: now, A1: addr, A2: 1})
+		}
 		return
 	}
 	h.Stats.StoreMiss++
 	h.access(addr, now, accStore, PfNone, true)
 	h.L1D.MarkDirty(LineAddr(addr))
+	if t := h.Trace; t.Enabled() && t.Sampled() {
+		t.Emit(telemetry.Event{Cat: telemetry.CatCache, Type: telemetry.EvStore,
+			TID: uint8(h.CoreID), TS: now, A1: addr})
+	}
 }
 
 // Fetch performs a demand code fetch through the L1 instruction cache.
@@ -171,6 +189,10 @@ func (h *Hierarchy) Fetch(addr uint64, now int64) (int64, HitLevel) {
 		h.Stats.FetchLLC++
 	case HitMem:
 		h.Stats.FetchMem++
+	}
+	if t := h.Trace; t.Enabled() && t.Sampled() {
+		t.Emit(telemetry.Event{Cat: telemetry.CatCache, Type: telemetry.EvFetch,
+			TID: uint8(h.CoreID), TS: now, Dur: lat, A1: addr, A2: uint64(lvl)})
 	}
 	return lat, lvl
 }
@@ -190,6 +212,10 @@ func (h *Hierarchy) PrefetchData(addr uint64, now int64) HitLevel {
 		h.Stats.TactFilledLLC++
 	default:
 		h.Stats.TactDropMiss++
+	}
+	if t := h.Trace; t.Enabled() {
+		t.Emit(telemetry.Event{Cat: telemetry.CatTact, Type: telemetry.EvTactPrefetch,
+			TID: uint8(h.CoreID), TS: now, A1: addr, A2: uint64(lvl)})
 	}
 	return lvl
 }
@@ -404,6 +430,10 @@ func (h *Hierarchy) noteDemandUse(c *Cache, line *Line, lat int64, now int64) {
 			saved = 1
 		}
 		h.Stats.TactTimeliness.Observe(saved)
+		if t := h.Trace; t.Enabled() {
+			t.Emit(telemetry.Event{Cat: telemetry.CatTact, Type: telemetry.EvTactUse,
+				TID: uint8(h.CoreID), TS: now, A1: line.Tag << 6, A2: uint64(saved * 1000), A3: uint64(line.OriginLat)})
+		}
 	}
 	c.NoteDemandUse(line)
 }

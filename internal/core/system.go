@@ -9,6 +9,7 @@ import (
 	"catch/internal/memory"
 	"catch/internal/prefetch"
 	"catch/internal/tact"
+	"catch/internal/telemetry"
 	"catch/internal/trace"
 )
 
@@ -136,6 +137,25 @@ func newCoreSim(s *System, id int) *CoreSim {
 		OnRetire:    c.onRetire,
 	}
 	return c
+}
+
+// AttachTracer wires tr into every core's pipeline, cache hierarchy,
+// TACT engine and criticality detector (per-core events carry the core
+// id as their thread id). A nil or disabled tracer costs one predicted
+// branch per event site — the simulation stays allocation-free either
+// way. Pass nil to detach.
+func (s *System) AttachTracer(tr *telemetry.Tracer) {
+	for _, c := range s.Sims {
+		tid := uint8(c.ID)
+		c.CPU.Trace, c.CPU.TraceTID = tr, tid
+		c.Hier.Trace = tr
+		if c.Tact != nil {
+			c.Tact.Trace, c.Tact.TraceTID = tr, tid
+		}
+		if det, ok := c.Crit.(*criticality.Detector); ok {
+			det.Trace, det.TraceTID = tr, tid
+		}
+	}
 }
 
 // xlat maps a core-local address into the shared physical space so

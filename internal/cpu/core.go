@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"catch/internal/cache"
+	"catch/internal/telemetry"
 	"catch/internal/trace"
 )
 
@@ -60,6 +61,12 @@ type Core struct {
 	// BP, when non-nil, replaces the trace's misprediction flags with
 	// an actual branch predictor's outcomes.
 	BP BranchPredictor
+
+	// Trace, when attached and enabled, receives sampled per-
+	// instruction pipeline events (D→C spans, mispredicts, code
+	// stalls). Nil or disabled costs one branch per instruction.
+	Trace    *telemetry.Tracer
+	TraceTID uint8
 
 	seq        int64
 	dRing      []int64 // D of the last Width instructions
@@ -148,6 +155,10 @@ func (c *Core) Step(in *trace.Inst) {
 			lat := c.Ports.FetchLine(line, t)
 			if stall := lat - c.P.L1IHitLat - c.P.FetchHide; stall > 0 {
 				c.CodeStalls++
+				if c.Trace.Enabled() {
+					c.Trace.Emit(telemetry.Event{Cat: telemetry.CatPipeline, Type: telemetry.EvCodeStall,
+						TID: c.TraceTID, TS: t, Dur: stall, A1: line})
+				}
 				if fr := t + c.P.L1IHitLat + stall; fr > c.fetchReady {
 					c.fetchReady = fr
 				}
@@ -249,6 +260,10 @@ func (c *Core) Step(in *trace.Inst) {
 			if ra := W + c.P.MispredictPenalty; ra > c.redirectAt {
 				c.redirectAt = ra
 			}
+			if c.Trace.Enabled() {
+				c.Trace.Emit(telemetry.Event{Cat: telemetry.CatPipeline, Type: telemetry.EvMispredict,
+					TID: c.TraceTID, TS: W, A1: in.PC})
+			}
 		}
 	}
 	if in.Op == trace.OpStore {
@@ -267,6 +282,12 @@ func (c *Core) Step(in *trace.Inst) {
 	c.cRingW[wIdx] = C
 	c.lastD = D
 	c.lastC = C
+
+	if t := c.Trace; t.Enabled() && t.Sampled() {
+		t.Emit(telemetry.Event{Cat: telemetry.CatPipeline, Type: telemetry.EvInstr,
+			TID: c.TraceTID, TS: D, Dur: C - D, A1: in.PC, A2: uint64(seq),
+			A3: telemetry.PackInstr(uint8(in.Op), uint8(lvl), E-D, W-E)})
+	}
 
 	if c.Ports.OnRetire != nil {
 		r := &c.retired

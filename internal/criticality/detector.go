@@ -3,6 +3,7 @@ package criticality
 import (
 	"catch/internal/cache"
 	"catch/internal/cpu"
+	"catch/internal/telemetry"
 	"catch/internal/trace"
 )
 
@@ -120,6 +121,14 @@ type Detector struct {
 	baseSeq      int64
 	walkAt       int // buffer fill level that triggers a walk (2×ROB)
 	sinceRelearn int64
+
+	// Trace, when attached and enabled, receives one EvPathNode per
+	// node the walk visits plus an EvWalkEnd summary — the raw
+	// material of `catchsim -dump-critpath`. Walks run every 2×ROB
+	// instructions, so even an enabled tracer costs nothing on the
+	// per-retire path.
+	Trace    *telemetry.Tracer
+	TraceTID uint8
 
 	Stats Stats
 }
@@ -271,10 +280,25 @@ func (d *Detector) walk() {
 		atE
 		atC
 	)
+	// tracing is hoisted out of the loop: the walk runs every 2×ROB
+	// instructions, and with tracing off it must cost nothing extra.
+	tracing := d.Trace.Enabled()
+	if tracing {
+		nodes0, loads0, rec0 := d.Stats.PathNodes, d.Stats.PathLoads, d.Stats.RecordedLoads
+		defer func() {
+			d.Trace.Emit(telemetry.Event{Cat: telemetry.CatCritPath, Type: telemetry.EvWalkEnd,
+				TID: d.TraceTID, TS: d.buf[len(d.buf)-1].cCost,
+				A1: d.Stats.PathNodes - nodes0, A2: d.Stats.PathLoads - loads0, A3: d.Stats.RecordedLoads - rec0})
+		}()
+	}
 	at := atC
 	for i >= 0 {
 		d.Stats.PathNodes++
 		g := &d.buf[i]
+		if tracing {
+			// nk's atD/atE/atC order matches telemetry.PathD/E/C.
+			d.tracePathNode(g, i, uint8(at))
+		}
 		switch at {
 		case atC:
 			if g.cFrom == fromESelf {
@@ -311,6 +335,26 @@ func (d *Detector) walk() {
 			}
 		}
 	}
+}
+
+// tracePathNode emits one critical-path node record: the node's
+// cumulative longest-path cost as its timestamp, the instruction's pc
+// and sequence number, and packed node/edge/load/level metadata. The
+// fromKind constants match telemetry's edge-name table by construction.
+func (d *Detector) tracePathNode(g *gnode, i int, node uint8) {
+	var cost int64
+	var edge uint8
+	switch node {
+	case telemetry.PathD:
+		cost, edge = g.dCost, uint8(g.dFrom)
+	case telemetry.PathE:
+		cost, edge = g.eCost, uint8(g.eFrom)
+	default:
+		cost, edge = g.cCost, uint8(g.cFrom)
+	}
+	d.Trace.Emit(telemetry.Event{Cat: telemetry.CatCritPath, Type: telemetry.EvPathNode,
+		TID: d.TraceTID, TS: cost, A1: g.pc, A2: uint64(d.baseSeq + int64(i)),
+		A3: telemetry.PackPathMeta(node, edge, g.isLoad, uint8(g.level))})
 }
 
 // IsCritical reports whether pc is currently marked critical.

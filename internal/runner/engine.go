@@ -9,6 +9,7 @@ import (
 
 	"catch/internal/core"
 	"catch/internal/stats"
+	"catch/internal/telemetry"
 )
 
 // Options configures an Engine.
@@ -22,6 +23,10 @@ type Options struct {
 	// Retries is the number of extra attempts after a failed or
 	// timed-out execution.
 	Retries int
+	// Metrics, when non-nil, receives the engine's job counters and
+	// latency histogram (catch_engine_*). Handles are nil-safe, so an
+	// unmetered engine pays nothing.
+	Metrics *telemetry.Registry
 }
 
 // Engine shards jobs across a bounded worker pool. Each execution
@@ -35,6 +40,14 @@ type Engine struct {
 	simulate func(*Job) ([]core.Result, error)
 
 	executed stats.AtomicCounter
+
+	// Metric handles (nil when Options.Metrics is nil; every update on
+	// a nil handle is a no-op).
+	mInflight   *telemetry.Gauge
+	mCompleted  *telemetry.Counter
+	mFailed     *telemetry.Counter
+	mRetried    *telemetry.Counter
+	mJobSeconds *telemetry.Histogram
 }
 
 // JobResult pairs a job with its outcome. Exactly one of Results/Err
@@ -55,6 +68,22 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{opts: opts}
 	e.simulate = func(j *Job) ([]core.Result, error) { return j.Execute() }
+	if r := opts.Metrics; r != nil {
+		e.mInflight = r.Gauge("catch_engine_jobs_inflight",
+			"Jobs currently being resolved by the engine.")
+		e.mCompleted = r.Counter("catch_engine_jobs_completed_total",
+			"Jobs resolved successfully (including cache hits).")
+		e.mFailed = r.Counter("catch_engine_jobs_failed_total",
+			"Jobs that exhausted their attempts with an error.")
+		e.mRetried = r.Counter("catch_engine_jobs_retried_total",
+			"Extra simulation attempts after a failure or timeout.")
+		e.mJobSeconds = r.Histogram("catch_engine_job_seconds",
+			"Wall-clock latency of one job resolution.",
+			0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120)
+		r.CounterFunc("catch_engine_executions_total",
+			"Simulations actually started (cache hits and coalesced waits excluded).",
+			func() float64 { return float64(e.executed.Value()) })
+	}
 	return e
 }
 
@@ -110,6 +139,8 @@ feed:
 // timeout and retry handling around the actual simulation.
 func (e *Engine) runOne(ctx context.Context, j Job) JobResult {
 	start := time.Now()
+	e.mInflight.Add(1)
+	defer e.mInflight.Add(-1)
 	key := j.Key()
 	jr := JobResult{Job: j, Key: key}
 	compute := func() ([]core.Result, error) { return e.attempts(ctx, &j) }
@@ -123,9 +154,13 @@ func (e *Engine) runOne(ctx context.Context, j Job) JobResult {
 	}
 	if err != nil {
 		jr.Err = err.Error()
+		e.mFailed.Inc()
+	} else {
+		e.mCompleted.Inc()
 	}
 	jr.Results = rs
 	jr.Elapsed = time.Since(start)
+	e.mJobSeconds.Observe(jr.Elapsed.Seconds())
 	return jr
 }
 
@@ -139,6 +174,9 @@ func (e *Engine) attempts(ctx context.Context, j *Job) ([]core.Result, error) {
 	for try := 0; try <= e.opts.Retries; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if try > 0 {
+			e.mRetried.Inc()
 		}
 		rs, err := e.attempt(ctx, j)
 		if err == nil {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 
 	"catch/internal/config"
 	"catch/internal/core"
+	"catch/internal/telemetry"
 )
 
 const (
@@ -164,5 +166,50 @@ func TestMPJobRunsOnePerCore(t *testing.T) {
 	if len(rs[0].Results) != 2 ||
 		rs[0].Results[0].Workload != "hmmer" || rs[0].Results[1].Workload != "mcf" {
 		t.Fatalf("MP job results wrong: %+v", rs[0].Results)
+	}
+}
+
+// TestEngineMetricsCountRetriesAndFailures exercises the engine's
+// registered series directly: one job that succeeds on its second
+// attempt, one that exhausts its attempts.
+func TestEngineMetricsCountRetriesAndFailures(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(Options{Workers: 1, Retries: 1, Metrics: reg})
+	var tries atomic.Int32
+	e.simulate = func(j *Job) ([]core.Result, error) {
+		if j.Workloads[0] == "mcf" && tries.Add(1) == 1 {
+			return nil, errors.New("transient")
+		}
+		if j.Workloads[0] == "tpcc" {
+			return nil, errors.New("permanent")
+		}
+		return []core.Result{{Workload: j.Workloads[0]}}, nil
+	}
+	cfg := config.BaselineExclusive()
+	out := e.Run(context.Background(), []Job{
+		STJob(cfg, "mcf", 1000, 0),
+		STJob(cfg, "tpcc", 1000, 0),
+	})
+	if out[0].Err != "" {
+		t.Fatalf("mcf should retry to success: %+v", out[0])
+	}
+	if out[1].Err == "" {
+		t.Fatal("tpcc should fail")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"catch_engine_jobs_completed_total 1",
+		"catch_engine_jobs_failed_total 1",
+		"catch_engine_jobs_retried_total 2", // mcf's second try + tpcc's retry
+		"catch_engine_jobs_inflight 0",
+		"catch_engine_job_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
 	}
 }

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"catch/internal/config"
+	"catch/internal/telemetry"
 	"catch/internal/workloads"
 )
 
@@ -20,7 +23,9 @@ type ConfigResolver func(name string) (config.SystemConfig, bool)
 //	POST /v1/run          run one job
 //	POST /v1/sweep        run a (configs × workloads) grid
 //	GET  /v1/results/{key} fetch a cached result by content address
-//	GET  /healthz         liveness + cache/engine counters
+//	GET  /healthz         liveness, build info, cache/engine counters
+//	GET  /metrics         Prometheus text exposition (when Metrics set)
+//	GET  /debug/pprof/*   runtime profiles (when EnablePprof set)
 type Server struct {
 	Engine  *Engine
 	Resolve ConfigResolver
@@ -28,8 +33,18 @@ type Server struct {
 	// (beyond it, requests queue until a slot frees or the client
 	// gives up); <=0 means 2× the engine's worker count.
 	MaxInflight int
+	// Metrics, when non-nil, is served at GET /metrics. Handler also
+	// registers the server's own series there (cache traffic, uptime,
+	// request limiter occupancy).
+	Metrics *telemetry.Registry
+	// Version is reported by /healthz and /metrics (build identifier;
+	// empty means "dev").
+	Version string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 
-	sem chan struct{}
+	sem   chan struct{}
+	start time.Time
 }
 
 // RunRequest is the body of POST /v1/run. Workload names a
@@ -55,19 +70,62 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Handler builds the route table.
+// Handler builds the route table. Call it once per Server: it also
+// registers the server's metric series, and re-registration panics.
 func (s *Server) Handler() http.Handler {
 	n := s.MaxInflight
 	if n <= 0 {
 		n = 2 * s.Engine.Workers()
 	}
 	s.sem = make(chan struct{}, n)
+	s.start = time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.limited(s.handleRun))
 	mux.HandleFunc("POST /v1/sweep", s.limited(s.handleSweep))
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.Metrics != nil {
+		s.registerServerMetrics(s.Metrics)
+		mux.Handle("GET /metrics", telemetry.Handler(s.Metrics))
+	}
+	if s.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// registerServerMetrics surfaces counters owned by the cache and the
+// request limiter as read-at-exposition functions, so the hot paths
+// that own them stay untouched.
+func (s *Server) registerServerMetrics(r *telemetry.Registry) {
+	r.GaugeFunc("catch_uptime_seconds", "Seconds since the server started serving.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("catch_http_inflight", "Run/sweep requests currently holding a limiter slot.",
+		func() float64 { return float64(len(s.sem)) })
+	if c := s.Engine.Cache(); c != nil {
+		stat := func(f func(CacheStats) uint64) func() float64 {
+			return func() float64 { return float64(f(c.Stats())) }
+		}
+		r.CounterFunc("catch_cache_requests_total{kind=\"hit\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.Hits }))
+		r.CounterFunc("catch_cache_requests_total{kind=\"miss\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.Misses }))
+		r.CounterFunc("catch_cache_requests_total{kind=\"coalesced\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.Coalesced }))
+		r.CounterFunc("catch_cache_requests_total{kind=\"disk_hit\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.DiskHits }))
+		r.CounterFunc("catch_cache_requests_total{kind=\"bad_disk\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.BadDisk }))
+	}
 }
 
 // limited applies the concurrency limiter: requests beyond MaxInflight
@@ -154,13 +212,20 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	version := s.Version
+	if version == "" {
+		version = "dev"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":        true,
-		"workers":   s.Engine.Workers(),
-		"executed":  s.Engine.Executed(),
-		"cache":     s.cacheStats(),
-		"inflight":  len(s.sem),
-		"maxInflight": cap(s.sem),
+		"ok":            true,
+		"version":       version,
+		"go":            runtime.Version(),
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"workers":       s.Engine.Workers(),
+		"executed":      s.Engine.Executed(),
+		"cache":         s.cacheStats(),
+		"inflight":      len(s.sem),
+		"maxInflight":   cap(s.sem),
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -16,6 +17,7 @@ import (
 
 	"catch/internal/config"
 	"catch/internal/core"
+	"catch/internal/telemetry"
 )
 
 func testResolve(name string) (config.SystemConfig, bool) {
@@ -269,5 +271,96 @@ func TestServerShutsDownCleanly(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Fatal("server still serving after shutdown")
+	}
+}
+
+// TestMetricsEndpoint drives a run through a metered server and checks
+// that the engine, cache, and server series all appear in the
+// Prometheus exposition.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(Options{Workers: 2, Cache: NewCache(""), Metrics: reg})
+	s := &Server{Engine: e, Resolve: testResolve, Metrics: reg, Version: "test"}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := RunRequest{Config: "baseline-excl", Workload: "hmmer", Insts: 5_000, Warmup: 1_000}
+	if resp, raw := postJSON(t, ts.URL+"/v1/run", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, raw)
+	}
+	// Same job again: served from the cache, still a completed job.
+	if resp, raw := postJSON(t, ts.URL+"/v1/run", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run 2: %d %s", resp.StatusCode, raw)
+	}
+
+	resp, raw := getURL(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type %q", ct)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"catch_engine_jobs_completed_total 2",
+		"catch_engine_executions_total 1",
+		"catch_engine_jobs_failed_total 0",
+		"catch_engine_job_seconds_count 2",
+		`catch_cache_requests_total{kind="hit"} 1`,
+		`catch_cache_requests_total{kind="miss"} 1`,
+		"# TYPE catch_engine_job_seconds histogram",
+		"catch_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsEndpointAbsentWithoutRegistry keeps /metrics opt-in.
+func TestMetricsEndpointAbsentWithoutRegistry(t *testing.T) {
+	ts := newTestServer(New(Options{Workers: 1, Cache: NewCache("")}))
+	defer ts.Close()
+	resp, _ := getURL(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unmetered /metrics = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthzReportsBuildInfo(t *testing.T) {
+	e := New(Options{Workers: 1, Cache: NewCache("")})
+	s := &Server{Engine: e, Resolve: testResolve, Version: "v1.2.3"}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, raw := getURL(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var body struct {
+		Version       string  `json:"version"`
+		Go            string  `json:"go"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Version != "v1.2.3" || !strings.HasPrefix(body.Go, "go") || body.UptimeSeconds < 0 {
+		t.Fatalf("healthz body = %+v", body)
+	}
+}
+
+// TestPprofGatedByFlag: profiles are only mounted when asked for.
+func TestPprofGatedByFlag(t *testing.T) {
+	e := New(Options{Workers: 1, Cache: NewCache("")})
+	off := httptest.NewServer((&Server{Engine: e, Resolve: testResolve}).Handler())
+	defer off.Close()
+	if resp, _ := getURL(t, off.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off = %d, want 404", resp.StatusCode)
+	}
+	e2 := New(Options{Workers: 1, Cache: NewCache("")})
+	on := httptest.NewServer((&Server{Engine: e2, Resolve: testResolve, EnablePprof: true}).Handler())
+	defer on.Close()
+	if resp, raw := getURL(t, on.URL+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof on = %d: %s", resp.StatusCode, raw)
 	}
 }

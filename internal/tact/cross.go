@@ -1,6 +1,9 @@
 package tact
 
-import "catch/internal/trace"
+import (
+	"catch/internal/telemetry"
+	"catch/internal/trace"
+)
 
 // TriggerCache tracks, for the last 64 4KB pages (8 sets × 8 ways), the
 // first four load PCs that touched each page during its residency
@@ -133,6 +136,7 @@ func (p *Prefetchers) trainCross(t *target, addr uint64, now int64) {
 			c.done = true
 			p.crossIndex.add(c.trigPC, t.slot)
 			p.Stats.CrossTrained++
+			p.traceTrain(t.pc, c.trigPC, telemetry.CompCross, now)
 			return
 		}
 	} else {
@@ -168,6 +172,7 @@ func (p *Prefetchers) fireCross(pc, addr uint64, now int64) {
 	for i := lo; i < hi; i++ {
 		t := &p.targets[p.crossIndex.slots[i]]
 		p.Stats.CrossIssued++
+		p.traceTrigger(pc, uint64(int64(addr)+t.cross.delta), telemetry.CompCross, now)
 		p.issue(uint64(int64(addr)+t.cross.delta), now)
 	}
 }

@@ -1,6 +1,9 @@
 package tact
 
-import "catch/internal/trace"
+import (
+	"catch/internal/telemetry"
+	"catch/internal/trace"
+)
 
 // feederState is the per-target TACT-Feeder learning state: a candidate
 // feeder PC (the youngest load feeding the target's address registers)
@@ -30,7 +33,7 @@ const (
 
 // trainFeeder advances feeder learning for a dynamic instance of a
 // critical target load.
-func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst) {
+func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst, now int64) {
 	f := &t.feeder
 	if f.done {
 		return
@@ -76,6 +79,7 @@ func (p *Prefetchers) trainFeeder(t *target, in *trace.Inst) {
 				f.done = true
 				p.feederIndex.add(cand, t.slot)
 				p.Stats.FeederTrained++
+				p.traceTrain(t.pc, cand, telemetry.CompFeeder, now)
 				return
 			}
 		} else {
@@ -106,6 +110,7 @@ func (p *Prefetchers) fireFeeder(pc, addr, data uint64, now int64) {
 		base := f.base[f.scaleIdx]
 		// Immediate chain from the demand data.
 		p.Stats.FeederIssued++
+		p.traceTrigger(pc, s*data+base, telemetry.CompFeeder, now)
 		p.issue(s*data+base, now)
 		// Look-ahead chain via the feeder's self-stride. The feeder
 		// line prefetch is what makes the chained data available; its
@@ -116,6 +121,7 @@ func (p *Prefetchers) fireFeeder(pc, addr, data uint64, now int64) {
 			p.issue(fa, now) // feeder's own deep prefetch
 			if val, ok := p.ValueAt(fa); ok {
 				p.Stats.FeederIssued++
+				p.traceTrigger(pc, s*val+base, telemetry.CompFeeder, now)
 				p.issue(s*val+base, now)
 			}
 		}

@@ -9,6 +9,7 @@
 package tact
 
 import (
+	"catch/internal/telemetry"
 	"catch/internal/trace"
 )
 
@@ -117,6 +118,11 @@ type Prefetchers struct {
 	regLoadPC [trace.NumArchRegs]uint64 // youngest load PC per register
 
 	Code *CodePrefetcher
+
+	// Trace, when attached and enabled, receives TACT train/trigger
+	// events (one branch per site when nil or disabled).
+	Trace    *telemetry.Tracer
+	TraceTID uint8
 
 	Stats Stats
 }
@@ -229,7 +235,7 @@ func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 		p.trainCross(t, addr, now)
 	}
 	if p.Cfg.EnableFeeder {
-		p.trainFeeder(t, in)
+		p.trainFeeder(t, in, now)
 	}
 }
 
@@ -337,6 +343,7 @@ func (p *Prefetchers) trainDeep(t *target, st *strideEntry, seen bool, prevAddr,
 	// current run supports it.
 	base := int64(addr)
 	p.Stats.Dist1Issued++
+	p.traceTrigger(t.pc, uint64(base+st.stride), telemetry.CompDist1, now)
 	p.issue(uint64(base+st.stride), now)
 	if t.safeConf >= 3 && t.safeLen >= 2 {
 		d := int(t.safeLen)
@@ -348,8 +355,26 @@ func (p *Prefetchers) trainDeep(t *target, st *strideEntry, seen bool, prevAddr,
 		}
 		if d >= 2 {
 			p.Stats.DeepIssued++
+			p.traceTrigger(t.pc, uint64(base+st.stride*int64(d)), telemetry.CompDeep, now)
 			p.issue(uint64(base+st.stride*int64(d)), now)
 		}
+	}
+}
+
+// traceTrigger emits a TACT trigger event (one branch when tracing is
+// off).
+func (p *Prefetchers) traceTrigger(triggerPC, addr uint64, comp uint64, now int64) {
+	if p.Trace.Enabled() {
+		p.Trace.Emit(telemetry.Event{Cat: telemetry.CatTact, Type: telemetry.EvTactTrigger,
+			TID: p.TraceTID, TS: now, A1: triggerPC, A2: addr, A3: comp})
+	}
+}
+
+// traceTrain emits a TACT train event.
+func (p *Prefetchers) traceTrain(targetPC, sourcePC uint64, comp uint64, now int64) {
+	if p.Trace.Enabled() {
+		p.Trace.Emit(telemetry.Event{Cat: telemetry.CatTact, Type: telemetry.EvTactTrain,
+			TID: p.TraceTID, TS: now, A1: targetPC, A2: sourcePC, A3: comp})
 	}
 }
 

@@ -1,0 +1,61 @@
+package telemetry
+
+import "testing"
+
+// The telemetry layer instruments the allocation-free simulation
+// kernel (PR 2), so its own hot paths carry the same guard: metric
+// updates and tracer emission must never allocate, whether the tracer
+// is nil, attached-but-disabled, or enabled.
+
+// TestMetricUpdatesAllocFree guards counter/gauge/histogram updates.
+func TestMetricUpdatesAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", 0.01, 0.1, 1)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-2)
+		h.Observe(0.05)
+	}); allocs != 0 {
+		t.Errorf("metric updates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDisabledTracerAllocFree guards the disabled-tracer event site —
+// the exact pattern instrumented code uses: one Enabled() branch, the
+// Event never built.
+func TestDisabledTracerAllocFree(t *testing.T) {
+	emitSite := func(tr *Tracer) {
+		if tr.Enabled() {
+			tr.Emit(Event{Cat: CatCache, Type: EvLoad, TS: 1, Dur: 2, A1: 0x1000, A2: 2})
+		}
+	}
+	var nilTr *Tracer
+	if allocs := testing.AllocsPerRun(100, func() { emitSite(nilTr) }); allocs != 0 {
+		t.Errorf("nil tracer: %v allocs/op, want 0", allocs)
+	}
+	off := NewTracer(TracerConfig{BufferEvents: 16})
+	off.SetEnabled(false)
+	if allocs := testing.AllocsPerRun(100, func() { emitSite(off) }); allocs != 0 {
+		t.Errorf("disabled tracer: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledTracerAllocFree: even recording, Emit writes into the
+// pre-allocated ring and must not allocate (wrapping included).
+func TestEnabledTracerAllocFree(t *testing.T) {
+	tr := NewTracer(TracerConfig{BufferEvents: 64, SampleEvery: 2})
+	if allocs := testing.AllocsPerRun(100, func() {
+		if tr.Enabled() && tr.Sampled() {
+			tr.Emit(Event{Cat: CatPipeline, Type: EvInstr, TS: 5, Dur: 9, A1: 0x400, A2: 1, A3: PackInstr(1, 1, 2, 3)})
+		}
+		if tr.Enabled() {
+			tr.Emit(Event{Cat: CatTact, Type: EvTactTrigger, A1: 0x3f0, A2: 0x1000, A3: CompCross})
+		}
+	}); allocs != 0 {
+		t.Errorf("enabled tracer: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PathNodeName names a critical-path node kind (D/E/C).
+func PathNodeName(n uint8) string {
+	if int(n) < len(pathNodeNames) {
+		return pathNodeNames[n]
+	}
+	return "?"
+}
+
+// WriteCritPathTable renders the critical-path walks retained in the
+// tracer as a readable table. Each walk lists its enumerated nodes in
+// walk order — the detector traverses prev-node pointers, so nodes run
+// from the youngest commit backwards through the dependency graph.
+// Only walks whose EvWalkEnd record survived in the ring are printed
+// (a wrapped ring keeps the most recent walks).
+func WriteCritPathTable(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+
+	var nodes []Event // nodes of the walk currently being accumulated
+	walks := 0
+	for _, e := range events {
+		if e.Cat != CatCritPath {
+			continue
+		}
+		switch e.Type {
+		case EvPathNode:
+			nodes = append(nodes, e)
+		case EvWalkEnd:
+			walks++
+			fmt.Fprintf(bw, "walk %d (core %d): %d path nodes, %d path loads, %d recorded critical\n",
+				walks, e.TID, e.A1, e.A2, e.A3)
+			if uint64(len(nodes)) == e.A1 {
+				fmt.Fprintf(bw, "  %-4s %-5s %-18s %10s  %-7s %-5s %s\n",
+					"node", "seq", "pc", "cost", "edge", "load", "level")
+				for _, n := range nodes {
+					node, edge, isLoad, level := UnpackPathMeta(n.A3)
+					load := "-"
+					if isLoad {
+						load = "yes"
+					}
+					fmt.Fprintf(bw, "  %-4s %-5d 0x%-16x %10d  %-7s %-5s %s\n",
+						PathNodeName(node), n.A2, n.A1, n.TS, EdgeName(edge), load, LevelName(uint64(level)))
+				}
+			} else {
+				fmt.Fprintf(bw, "  (node records truncated by the trace ring: %d of %d retained)\n",
+					len(nodes), e.A1)
+			}
+			fmt.Fprintln(bw)
+			nodes = nodes[:0]
+		}
+	}
+	if walks == 0 {
+		fmt.Fprintln(bw, "no critical-path walks recorded (is the criticality detector enabled in this config?)")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+// Category groups trace events into the streams a viewer can filter
+// on. Values double as bit positions in a CatMask.
+type Category uint8
+
+// Event categories.
+const (
+	CatPipeline Category = iota // per-instruction D/E/W/C timing, mispredicts, code stalls
+	CatCache                    // demand loads/stores/fetches with serving level
+	CatTact                     // TACT train/trigger/prefetch/timeliness
+	CatCritPath                 // critical-path walks and their enumerated nodes
+	numCategories
+)
+
+var catNames = [numCategories]string{"pipeline", "cache", "tact", "critpath"}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return "unknown"
+}
+
+// CatMask selects which categories a tracer records.
+type CatMask uint8
+
+// AllCategories records everything.
+const AllCategories CatMask = 1<<numCategories - 1
+
+// Bit returns the mask bit for one category.
+func (c Category) Bit() CatMask { return 1 << c }
+
+// EventType identifies one kind of trace event.
+type EventType uint8
+
+// Event types. The A1/A2/A3 argument meanings per type are documented
+// inline and rendered by the Chrome-trace writer.
+const (
+	EvInstr      EventType = iota // pipeline: A1=pc A2=seq A3=PackInstr(op, level, E-D, W-E); TS=D Dur=C-D
+	EvMispredict                  // pipeline: A1=pc; TS=W (re-steer issue point)
+	EvCodeStall                   // pipeline: A1=line addr; TS=fetch Dur=stall cycles
+	EvLoad                        // cache: A1=addr A2=level; TS=issue Dur=latency
+	EvStore                       // cache: A1=addr A2=1 if L1 hit; TS=commit
+	EvFetch                       // cache: A1=line addr A2=level; TS=issue Dur=latency
+	EvTactPrefetch                // tact: A1=addr A2=result level (0=dropped-present, see level names); TS=issue
+	EvTactTrain                   // tact: A1=target pc A2=trigger/feeder pc A3=component
+	EvTactTrigger                 // tact: A1=trigger pc A2=prefetch addr A3=component
+	EvTactUse                     // tact: A1=line addr A2=per-mille of source latency saved A3=origin latency
+	EvPathNode                    // critpath: A1=pc A2=seq A3=PackPathMeta(...); TS=node cost
+	EvWalkEnd                     // critpath: A1=nodes on path A2=path loads A3=recorded loads; TS=walk trigger
+	numEventTypes
+)
+
+var evNames = [numEventTypes]string{
+	"instr", "mispredict", "code-stall",
+	"load", "store", "fetch",
+	"tact-prefetch", "tact-train", "tact-trigger", "tact-use",
+	"path-node", "walk",
+}
+
+// String names the event type.
+func (e EventType) String() string {
+	if int(e) < len(evNames) {
+		return evNames[e]
+	}
+	return "unknown"
+}
+
+// TACT component identifiers (the A3 argument of EvTactTrain /
+// EvTactTrigger).
+const (
+	CompDist1 uint64 = iota + 1
+	CompDeep
+	CompCross
+	CompFeeder
+	CompCode
+)
+
+var compNames = [...]string{"?", "dist1", "deep", "cross", "feeder", "code"}
+
+// CompName names a TACT component id.
+func CompName(c uint64) string {
+	if c < uint64(len(compNames)) {
+		return compNames[c]
+	}
+	return "?"
+}
+
+// Serving-level names, matching cache.HitLevel values (0=none, 1=L1,
+// 2=L2, 3=LLC, 4=MEM). telemetry stays import-free of the cache
+// package, so the correspondence is by convention and pinned by a test.
+var levelNames = [...]string{"none", "L1", "L2", "LLC", "MEM"}
+
+// LevelName names a serving level.
+func LevelName(l uint64) string {
+	if l < uint64(len(levelNames)) {
+		return levelNames[l]
+	}
+	return "?"
+}
+
+// Critical-path node kinds (the paper's D/E/C DDG nodes).
+const (
+	PathD uint8 = iota
+	PathE
+	PathC
+)
+
+var pathNodeNames = [...]string{"D", "E", "C"}
+
+// Critical-path edge kinds, matching the detector's prev-node encoding
+// (fromNone..fromCPrev in internal/criticality).
+var edgeNames = [...]string{
+	"none",   // path origin
+	"d-prev", // D[i] <- D[i-1] dispatch width
+	"c-rob",  // D[i] <- C[i-ROB] ROB depth
+	"e-bad",  // D[i] <- E of mispredicted branch
+	"d-self", // E[i] <- D[i] rename
+	"e-dep",  // E[i] <- E[j] data/memory dependency
+	"e-self", // C[i] <- E[i] completion
+	"c-prev", // C[i] <- C[i-1] commit width
+}
+
+// EdgeName names a critical-path edge kind.
+func EdgeName(e uint8) string {
+	if int(e) < len(edgeNames) {
+		return edgeNames[e]
+	}
+	return "?"
+}
+
+// PackInstr packs the per-instruction detail word of an EvInstr event:
+// op class, serving level, and the D→E and E→W stage latencies
+// (saturated to 16 bits each).
+func PackInstr(op, level uint8, dToE, eToW int64) uint64 {
+	return uint64(op) | uint64(level)<<8 | clamp16(dToE)<<16 | clamp16(eToW)<<32
+}
+
+// UnpackInstr reverses PackInstr.
+func UnpackInstr(w uint64) (op, level uint8, dToE, eToW int64) {
+	return uint8(w), uint8(w >> 8), int64(w >> 16 & 0xffff), int64(w >> 32 & 0xffff)
+}
+
+func clamp16(x int64) uint64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0xffff {
+		return 0xffff
+	}
+	return uint64(x)
+}
+
+// PackPathMeta packs an EvPathNode's metadata: node kind (D/E/C), the
+// incoming edge kind, whether the instruction is a load, and its
+// serving level.
+func PackPathMeta(node, edge uint8, isLoad bool, level uint8) uint64 {
+	w := uint64(node) | uint64(edge)<<8 | uint64(level)<<24
+	if isLoad {
+		w |= 1 << 16
+	}
+	return w
+}
+
+// UnpackPathMeta reverses PackPathMeta.
+func UnpackPathMeta(w uint64) (node, edge uint8, isLoad bool, level uint8) {
+	return uint8(w), uint8(w >> 8), w>>16&1 != 0, uint8(w >> 24)
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, in registration order. Series that share a base
+// name (labelled variants like `x_total{kind="hit"}`) share one
+// HELP/TYPE header, taken from the first registered of them.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, m := range metrics {
+		base := m.name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base != lastBase {
+			lastBase = base
+			if m.help != "" {
+				bw.WriteString("# HELP " + base + " " + m.help + "\n")
+			}
+			bw.WriteString("# TYPE " + base + " " + m.kind.String() + "\n")
+		}
+		switch {
+		case m.hist != nil:
+			writeHistogram(bw, m.name, m.hist)
+		case m.counter != nil:
+			bw.WriteString(m.name + " " + formatValue(float64(m.counter.Value())) + "\n")
+		case m.gauge != nil:
+			bw.WriteString(m.name + " " + formatValue(float64(m.gauge.Value())) + "\n")
+		case m.fn != nil:
+			bw.WriteString(m.name + " " + formatValue(m.fn()) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count series.
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		bw.WriteString(name + `_bucket{le="` + formatValue(b) + `"} ` + formatValue(float64(cum)) + "\n")
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	bw.WriteString(name + `_bucket{le="+Inf"} ` + formatValue(float64(cum)) + "\n")
+	sum := h.Sum()
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		sum = 0
+	}
+	bw.WriteString(name + "_sum " + formatValue(sum) + "\n")
+	bw.WriteString(name + "_count " + formatValue(float64(h.count.Load())) + "\n")
+}
+
+// Handler serves the registry as an HTTP endpoint (GET /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text format the
+// registry emits: ordering (registration order), HELP/TYPE header
+// sharing for labelled series, integer rendering, and the cumulative
+// histogram encoding.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.Counter("catch_jobs_completed_total", "Jobs completed successfully.")
+	r.CounterFunc(`catch_cache_requests_total{kind="hit"}`, "Result-cache requests by outcome.", func() float64 { return 7 })
+	r.CounterFunc(`catch_cache_requests_total{kind="miss"}`, "", func() float64 { return 2 })
+	inflight := r.Gauge("catch_jobs_inflight", "Jobs currently executing.")
+	lat := r.Histogram("catch_job_seconds", "Per-job wall time.", 0.01, 0.1, 1)
+
+	jobs.Add(3)
+	inflight.Set(2)
+	lat.Observe(0.004)
+	lat.Observe(0.05)
+	lat.Observe(0.05)
+	lat.Observe(4)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP catch_jobs_completed_total Jobs completed successfully.
+# TYPE catch_jobs_completed_total counter
+catch_jobs_completed_total 3
+# HELP catch_cache_requests_total Result-cache requests by outcome.
+# TYPE catch_cache_requests_total counter
+catch_cache_requests_total{kind="hit"} 7
+catch_cache_requests_total{kind="miss"} 2
+# HELP catch_jobs_inflight Jobs currently executing.
+# TYPE catch_jobs_inflight gauge
+catch_jobs_inflight 2
+# HELP catch_job_seconds Per-job wall time.
+# TYPE catch_job_seconds histogram
+catch_job_seconds_bucket{le="0.01"} 1
+catch_job_seconds_bucket{le="0.1"} 3
+catch_job_seconds_bucket{le="1"} 3
+catch_job_seconds_bucket{le="+Inf"} 4
+catch_job_seconds_sum 4.104
+catch_job_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHandlerServesText checks the HTTP wrapper and content type.
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+}

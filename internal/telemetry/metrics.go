@@ -1,0 +1,237 @@
+// Package telemetry is the simulator's zero-overhead observability
+// layer: a typed metrics registry with Prometheus-style text
+// exposition, and an opt-in ring-buffered event tracer that emits
+// Chrome trace-event JSON (chrome://tracing / Perfetto loadable).
+//
+// The discipline throughout matches the allocation-free simulation
+// kernel it instruments: every metric update is a single atomic
+// operation on a pre-registered handle, and a disabled tracer costs
+// one predicted branch per event site. Neither path allocates
+// (guarded by testing.AllocsPerRun tests).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind is the exposition type of a registered metric.
+type MetricKind uint8
+
+// Metric kinds, matching the Prometheus TYPE vocabulary.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing metric handle. All methods are
+// safe for concurrent use and nil-safe: an unregistered (nil) handle
+// makes every update a cheap no-op, so instrumented code needs no
+// "is telemetry on?" plumbing.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable integer metric handle (current value, may go up
+// and down). Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram metric handle. Buckets are
+// cumulative in exposition (Prometheus semantics) but stored as plain
+// per-bucket atomic counts so Observe is wait-free. Nil-safe.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf last
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metric is one registered series.
+type metric struct {
+	name string
+	help string
+	kind MetricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc / GaugeFunc
+}
+
+// Registry holds pre-registered metrics and renders them in
+// registration order (deterministic exposition, golden-testable).
+// Registration takes a lock; updates through the returned handles are
+// lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Metric names: a Prometheus identifier, optionally with a literal
+// baked-in label set (the registry treats `name{k="v"}` as an opaque
+// series name; series sharing a base name share one HELP/TYPE header).
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?$`)
+
+func (r *Registry) register(m *metric) {
+	if !nameRe.MatchString(m.name) {
+		panic("telemetry: invalid metric name " + m.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("telemetry: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: KindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge handle.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: KindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram handle with the given
+// ascending upper bucket bounds (an implicit +Inf bucket is added).
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must ascend: " + name)
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from f at
+// exposition time (for surfacing counters owned by other subsystems).
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(&metric{name: name, help: help, kind: KindCounter, fn: f})
+}
+
+// GaugeFunc registers a gauge whose value is read from f at exposition
+// time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(&metric{name: name, help: help, kind: KindGauge, fn: f})
+}
+
+// formatValue renders a sample the way Prometheus does: integers
+// without a decimal point, everything else in shortest-round-trip form.
+func formatValue(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounterUpdates hammers one counter from many
+// goroutines; run under -race this also proves the update path is
+// data-race-free.
+func TestConcurrentCounterUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "test")
+	g := r.Gauge("t_gauge", "test")
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+// TestConcurrentHistogramUpdates checks Observe under concurrency:
+// count, bucket sums and the CAS-accumulated float sum must all agree.
+func TestConcurrentHistogramUpdates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "test", 0.5, 1.5, 2.5)
+	const workers, per = 8, 5_000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1.0) // bucket le=1.5
+				h.Observe(3.0) // +Inf bucket
+			}
+		}()
+	}
+	wg.Wait()
+	const n = workers * per
+	if got := h.Count(); got != 2*n {
+		t.Errorf("count = %d, want %d", got, 2*n)
+	}
+	if got, want := h.Sum(), float64(4*n); math.Abs(got-want) > 1e-6 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if got := h.counts[1].Load(); got != n {
+		t.Errorf("bucket le=1.5 = %d, want %d", got, n)
+	}
+	if got := h.counts[3].Load(); got != n {
+		t.Errorf("+Inf bucket = %d, want %d", got, n)
+	}
+}
+
+// TestNilHandlesAreNoOps: unregistered handles must be safe to update
+// so instrumented code needs no telemetry-enabled branches.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+}
+
+// TestRegistryRejectsDuplicatesAndBadNames pins registration-time
+// programmer-error checks.
+func TestRegistryRejectsDuplicatesAndBadNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	mustPanic(t, "duplicate", func() { r.Counter("ok_total", "") })
+	mustPanic(t, "bad name", func() { r.Counter("0bad", "") })
+	mustPanic(t, "unsorted bounds", func() { r.Histogram("h", "", 2, 1) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+// TestLevelNamesMatchCacheHitLevels pins the by-convention mapping to
+// cache.HitLevel (telemetry deliberately does not import the cache
+// package; this test is the contract).
+func TestLevelNamesMatchCacheHitLevels(t *testing.T) {
+	want := []string{"none", "L1", "L2", "LLC", "MEM"}
+	for i, w := range want {
+		if got := LevelName(uint64(i)); got != w {
+			t.Errorf("LevelName(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestPackRoundTrips pins the packed argument words.
+func TestPackRoundTrips(t *testing.T) {
+	op, level, dToE, eToW := UnpackInstr(PackInstr(7, 3, 123, 70000))
+	if op != 7 || level != 3 || dToE != 123 || eToW != 0xffff {
+		t.Errorf("instr round trip: op=%d level=%d dToE=%d eToW=%d", op, level, dToE, eToW)
+	}
+	node, edge, isLoad, lvl := UnpackPathMeta(PackPathMeta(PathE, 5, true, 3))
+	if node != PathE || edge != 5 || !isLoad || lvl != 3 {
+		t.Errorf("path meta round trip: node=%d edge=%d load=%t level=%d", node, edge, isLoad, lvl)
+	}
+}

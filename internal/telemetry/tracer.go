@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Event is one fixed-size trace record. TS and Dur are in simulated
+// cycles (rendered as microseconds in Chrome trace JSON: 1 cycle =
+// 1us, so viewer timelines read directly in cycles). A1..A3 are
+// event-type-specific arguments (see the EventType docs).
+type Event struct {
+	TS         int64
+	Dur        int64
+	A1, A2, A3 uint64
+	Cat        Category
+	Type       EventType
+	TID        uint8 // simulated core id
+}
+
+// TracerConfig sizes a Tracer.
+type TracerConfig struct {
+	// BufferEvents is the ring capacity, rounded up to a power of two;
+	// <=0 means 1<<16. When the ring wraps, the oldest events are
+	// overwritten (the trace keeps the most recent window).
+	BufferEvents int
+	// SampleEvery keeps one in N high-frequency events (per-instruction
+	// pipeline records and demand cache accesses); <=1 keeps all.
+	// Low-frequency events (TACT, critical-path) are never sampled.
+	SampleEvery uint64
+	// Categories selects what to record; 0 means AllCategories.
+	Categories CatMask
+}
+
+// Tracer is a single-writer, ring-buffered event sink. It is wired
+// into the simulator's hot paths, so its cost discipline is strict:
+//
+//   - nil or disabled tracer: every event site is one predicted branch
+//     (Enabled() == false short-circuits before any Event is built);
+//   - enabled tracer: Emit writes one fixed-size record into a
+//     pre-allocated ring — no locks, no allocation.
+//
+// Like the core.System it observes, a Tracer is not goroutine-safe:
+// attach one tracer per system.
+type Tracer struct {
+	on    bool
+	mask  CatMask
+	every uint64
+	n     uint64
+
+	buf  []Event
+	ring uint64 // len(buf)-1, buf length is a power of two
+	head uint64 // total events emitted (monotonic)
+}
+
+// NewTracer builds an enabled tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	n := cfg.BufferEvents
+	if n <= 0 {
+		n = 1 << 16
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	every := cfg.SampleEvery
+	if every < 1 {
+		every = 1
+	}
+	mask := cfg.Categories
+	if mask == 0 {
+		mask = AllCategories
+	}
+	return &Tracer{on: true, mask: mask, every: every, buf: make([]Event, size), ring: uint64(size - 1)}
+}
+
+// Enabled reports whether the tracer records anything. It is the one
+// branch a disabled tracer costs on the hot path: call it before
+// building an Event.
+func (t *Tracer) Enabled() bool { return t != nil && t.on }
+
+// SetEnabled pauses or resumes recording.
+func (t *Tracer) SetEnabled(on bool) { t.on = on }
+
+// Sampled reports whether the current high-frequency event falls on
+// the sampling grid (one in SampleEvery). Call only when Enabled.
+func (t *Tracer) Sampled() bool {
+	t.n++
+	if t.n >= t.every {
+		t.n = 0
+		return true
+	}
+	return false
+}
+
+// Emit records one event (dropped if its category is masked out).
+func (t *Tracer) Emit(e Event) {
+	if t.mask&e.Cat.Bit() == 0 {
+		return
+	}
+	t.buf[t.head&t.ring] = e
+	t.head++
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.head < uint64(len(t.buf)) {
+		return int(t.head)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil || t.head < uint64(len(t.buf)) {
+		return 0
+	}
+	return t.head - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first. It allocates and
+// is meant for post-run rendering, not the hot path.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := uint64(t.Len())
+	out := make([]Event, 0, n)
+	for i := t.head - n; i < t.head; i++ {
+		out = append(out, t.buf[i&t.ring])
+	}
+	return out
+}
+
+// WriteChromeTrace renders the retained events as Chrome trace-event
+// JSON (the object form, with metadata), loadable in chrome://tracing
+// and Perfetto. Durations render as complete ("X") events, everything
+// else as instants ("i").
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"source\":\"catchsim\",\"cyclePerUs\":1,\"sampleEvery\":%d,\"dropped\":%d},\n\"traceEvents\":[\n", t.every, t.Dropped())
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"catch simulation"}}`)
+	for _, e := range t.Events() {
+		bw.WriteString(",\n")
+		writeChromeEvent(bw, &e)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeChromeEvent renders one event. All names come from fixed
+// tables, so no JSON escaping is needed.
+func writeChromeEvent(bw *bufio.Writer, e *Event) {
+	ph := "i"
+	if e.Dur > 0 {
+		ph = "X"
+	}
+	fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":%q,"pid":0,"tid":%d,"ts":%d`,
+		e.Type.String(), e.Cat.String(), ph, e.TID, e.TS)
+	if e.Dur > 0 {
+		fmt.Fprintf(bw, `,"dur":%d`, e.Dur)
+	} else {
+		bw.WriteString(`,"s":"t"`)
+	}
+	bw.WriteString(`,"args":{`)
+	writeChromeArgs(bw, e)
+	bw.WriteString("}}")
+}
+
+// writeChromeArgs renders the per-type argument object.
+func writeChromeArgs(bw *bufio.Writer, e *Event) {
+	switch e.Type {
+	case EvInstr:
+		op, level, dToE, eToW := UnpackInstr(e.A3)
+		fmt.Fprintf(bw, `"pc":"0x%x","seq":%d,"op":%d,"level":%q,"dToE":%d,"eToW":%d`,
+			e.A1, e.A2, op, LevelName(uint64(level)), dToE, eToW)
+	case EvMispredict:
+		fmt.Fprintf(bw, `"pc":"0x%x"`, e.A1)
+	case EvCodeStall:
+		fmt.Fprintf(bw, `"line":"0x%x"`, e.A1)
+	case EvLoad, EvFetch:
+		fmt.Fprintf(bw, `"addr":"0x%x","level":%q`, e.A1, LevelName(e.A2))
+	case EvStore:
+		fmt.Fprintf(bw, `"addr":"0x%x","l1hit":%t`, e.A1, e.A2 != 0)
+	case EvTactPrefetch:
+		fmt.Fprintf(bw, `"addr":"0x%x","filledFrom":%q`, e.A1, LevelName(e.A2))
+	case EvTactTrain:
+		fmt.Fprintf(bw, `"targetPC":"0x%x","sourcePC":"0x%x","component":%q`, e.A1, e.A2, CompName(e.A3))
+	case EvTactTrigger:
+		fmt.Fprintf(bw, `"triggerPC":"0x%x","addr":"0x%x","component":%q`, e.A1, e.A2, CompName(e.A3))
+	case EvTactUse:
+		fmt.Fprintf(bw, `"addr":"0x%x","savedPerMille":%d,"originLat":%d`, e.A1, e.A2, e.A3)
+	case EvPathNode:
+		node, edge, isLoad, level := UnpackPathMeta(e.A3)
+		fmt.Fprintf(bw, `"pc":"0x%x","seq":%d,"node":%q,"edge":%q,"load":%t,"level":%q`,
+			e.A1, e.A2, PathNodeName(node), EdgeName(edge), isLoad, LevelName(uint64(level)))
+	case EvWalkEnd:
+		fmt.Fprintf(bw, `"nodes":%d,"pathLoads":%d,"recorded":%d`, e.A1, e.A2, e.A3)
+	default:
+		fmt.Fprintf(bw, `"a1":%d,"a2":%d,"a3":%d`, e.A1, e.A2, e.A3)
+	}
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// emitOneOfEach pushes one event of every type through the tracer.
+func emitOneOfEach(tr *Tracer) {
+	tr.Emit(Event{Cat: CatPipeline, Type: EvInstr, TS: 10, Dur: 25, A1: 0x400, A2: 1, A3: PackInstr(6, 2, 2, 14)})
+	tr.Emit(Event{Cat: CatPipeline, Type: EvMispredict, TS: 30, A1: 0x404})
+	tr.Emit(Event{Cat: CatPipeline, Type: EvCodeStall, TS: 31, Dur: 12, A1: 0x440})
+	tr.Emit(Event{Cat: CatCache, Type: EvLoad, TS: 12, Dur: 14, A1: 0x1000, A2: 2})
+	tr.Emit(Event{Cat: CatCache, Type: EvStore, TS: 13, A1: 0x1040, A2: 1})
+	tr.Emit(Event{Cat: CatCache, Type: EvFetch, TS: 14, Dur: 5, A1: 0x400, A2: 1})
+	tr.Emit(Event{Cat: CatTact, Type: EvTactPrefetch, TS: 15, A1: 0x1080, A2: 3})
+	tr.Emit(Event{Cat: CatTact, Type: EvTactTrain, TS: 16, A1: 0x400, A2: 0x3f0, A3: CompCross})
+	tr.Emit(Event{Cat: CatTact, Type: EvTactTrigger, TS: 17, A1: 0x3f0, A2: 0x10c0, A3: CompFeeder})
+	tr.Emit(Event{Cat: CatTact, Type: EvTactUse, TS: 18, A1: 0x1080, A2: 900, A3: 30})
+	tr.Emit(Event{Cat: CatCritPath, Type: EvPathNode, TS: 100, A1: 0x400, A2: 41, A3: PackPathMeta(PathE, 5, true, 3)})
+	tr.Emit(Event{Cat: CatCritPath, Type: EvWalkEnd, TS: 101, A1: 1, A2: 1, A3: 1})
+}
+
+// TestChromeTraceIsValidJSON renders one of every event type and
+// requires the output to parse as JSON with the pipeline, cache, tact
+// and critpath categories all present — the acceptance shape for
+// -trace output.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer(TracerConfig{BufferEvents: 64})
+	emitOneOfEach(tr)
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	cats := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if c, ok := e["cat"].(string); ok {
+			cats[c] = true
+		}
+	}
+	for _, want := range []string{"pipeline", "cache", "tact", "critpath"} {
+		if !cats[want] {
+			t.Errorf("trace missing category %q (have %v)", want, cats)
+		}
+	}
+	// Metadata event + 12 records.
+	if got := len(doc.TraceEvents); got != 13 {
+		t.Errorf("got %d trace events, want 13", got)
+	}
+}
+
+// TestRingWrapKeepsNewest: overflowing the ring must retain the most
+// recent events and count the overwritten ones.
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := NewTracer(TracerConfig{BufferEvents: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cat: CatCache, Type: EvLoad, TS: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := int64(6 + i); e.TS != want {
+			t.Errorf("event %d TS = %d, want %d", i, e.TS, want)
+		}
+	}
+}
+
+// TestCategoryMaskFilters: masked-out categories must not reach the
+// ring (the -dump-critpath mode relies on this).
+func TestCategoryMaskFilters(t *testing.T) {
+	tr := NewTracer(TracerConfig{BufferEvents: 16, Categories: CatCritPath.Bit()})
+	emitOneOfEach(tr)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (critpath only)", tr.Len())
+	}
+	for _, e := range tr.Events() {
+		if e.Cat != CatCritPath {
+			t.Errorf("leaked category %v", e.Cat)
+		}
+	}
+}
+
+// TestSampling: Sampled keeps exactly one in N.
+func TestSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 4})
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if tr.Sampled() {
+			kept++
+		}
+	}
+	if kept != 25 {
+		t.Errorf("kept %d of 100 with SampleEvery=4, want 25", kept)
+	}
+}
+
+// TestDisabledAndNilTracer: Enabled must short-circuit for both.
+func TestDisabledAndNilTracer(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if nilTr.Len() != 0 || nilTr.Dropped() != 0 || nilTr.Events() != nil {
+		t.Error("nil tracer must read as empty")
+	}
+	tr := NewTracer(TracerConfig{})
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Error("disabled tracer reports enabled")
+	}
+}
+
+// TestCritPathTable renders a walk and spot-checks the table.
+func TestCritPathTable(t *testing.T) {
+	tr := NewTracer(TracerConfig{BufferEvents: 16})
+	tr.Emit(Event{Cat: CatCritPath, Type: EvPathNode, TS: 200, A1: 0x404, A2: 9, A3: PackPathMeta(PathC, 7, false, 0)})
+	tr.Emit(Event{Cat: CatCritPath, Type: EvPathNode, TS: 180, A1: 0x400, A2: 8, A3: PackPathMeta(PathE, 5, true, 3)})
+	tr.Emit(Event{Cat: CatCritPath, Type: EvWalkEnd, TS: 201, A1: 2, A2: 1, A3: 1})
+	var sb strings.Builder
+	if err := WriteCritPathTable(&sb, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"walk 1", "2 path nodes", "c-prev", "e-dep", "LLC", "0x400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
