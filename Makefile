@@ -1,11 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race bench benchcmp benchall
+.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall
 
-# check gates a change: build + vet + the full test suite under the
-# race detector (this includes internal/telemetry's concurrent
-# counter/histogram/tracer tests and the runner's /metrics tests).
-check: build vet race
+# check gates a change: build + formatting + vet + catchlint + the
+# full test suite under the race detector (this includes
+# internal/telemetry's concurrent counter/histogram/tracer tests and
+# the runner's /metrics tests).
+check: build fmtcheck vet lint race
+
+# lint runs the in-repo static-analysis suite (see DESIGN.md,
+# "Static analysis"): determinism, hotpath-noalloc,
+# atomic-consistency, telemetry-discipline and error-hygiene.
+lint:
+	$(GO) run ./cmd/catchlint
+
+# fmtcheck fails if any file is not gofmt-clean (gofmt -l prints the
+# offenders; grep . fails the target when the list is non-empty).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -40,6 +40,37 @@ import (
 // override it via -ldflags "-X main.version=...".
 var version = "dev"
 
+// options collects the parsed command line. validate checks it before
+// the engine or listener starts; every validation error names the
+// offending flag and makes main exit with status 2.
+type options struct {
+	addr     string
+	parallel int
+	inflight int
+	timeout  time.Duration
+	retries  int
+}
+
+// validate checks flag values and combinations.
+func validate(o *options) error {
+	if o.addr == "" {
+		return errors.New("-addr must not be empty (e.g. :8080)")
+	}
+	if o.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = GOMAXPROCS; got %d)", o.parallel)
+	}
+	if o.inflight < 0 {
+		return fmt.Errorf("-max-inflight must be >= 0 (0 = 2x workers; got %d)", o.inflight)
+	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-job-timeout must be >= 0 (0 = none; got %v)", o.timeout)
+	}
+	if o.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (got %d)", o.retries)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -51,6 +82,12 @@ func main() {
 		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	)
 	flag.Parse()
+
+	opts := options{addr: *addr, parallel: *parallel, inflight: *inflight, timeout: *timeout, retries: *retries}
+	if err := validate(&opts); err != nil {
+		fmt.Fprintln(os.Stderr, "catchd:", err)
+		os.Exit(2)
+	}
 
 	reg := telemetry.NewRegistry()
 	eng := runner.New(runner.Options{

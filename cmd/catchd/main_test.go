@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validOptions() options {
+	return options{addr: ":8080", parallel: 4, inflight: 8, timeout: time.Minute, retries: 1}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring; must name the offending flag
+	}{
+		{"defaults pass", func(o *options) {}, ""},
+		{"zero means auto", func(o *options) { o.parallel, o.inflight, o.timeout, o.retries = 0, 0, 0, 0 }, ""},
+		{"empty addr", func(o *options) { o.addr = "" }, "-addr must not be empty"},
+		{"negative parallel", func(o *options) { o.parallel = -1 }, "-parallel must be >= 0"},
+		{"negative inflight", func(o *options) { o.inflight = -2 }, "-max-inflight must be >= 0"},
+		{"negative timeout", func(o *options) { o.timeout = -time.Second }, "-job-timeout must be >= 0"},
+		{"negative retries", func(o *options) { o.retries = -1 }, "-retries must be >= 0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := validOptions()
+			tt.mutate(&o)
+			err := validate(&o)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error containing %q", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validate() = %q, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -31,6 +31,49 @@ import (
 	"catch/internal/runner"
 )
 
+// options collects the parsed command line. validate checks it and
+// resolves the experiment id list; every validation error names the
+// offending flag and makes main exit with status 2.
+type options struct {
+	exp      string
+	insts    int64
+	warmup   int64
+	nwl      int
+	mixes    int
+	parallel int
+
+	ids []string // resolved by validate
+}
+
+// validate checks flag values and combinations.
+func validate(o *options) error {
+	if o.insts <= 0 {
+		return fmt.Errorf("-insts must be positive (got %d)", o.insts)
+	}
+	if o.warmup < 0 {
+		return fmt.Errorf("-warmup must be >= 0 (got %d)", o.warmup)
+	}
+	if o.nwl < 0 {
+		return fmt.Errorf("-workloads must be >= 0 (0 = all; got %d)", o.nwl)
+	}
+	if o.mixes < 0 {
+		return fmt.Errorf("-mixes must be >= 0 (0 = all; got %d)", o.mixes)
+	}
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1 (got %d)", o.parallel)
+	}
+	switch {
+	case o.exp == "all":
+		o.ids = experiments.IDs()
+	case slices.Contains(experiments.IDs(), o.exp):
+		o.ids = []string{o.exp}
+	default:
+		return fmt.Errorf("-exp: unknown experiment %q (valid: %s, all)",
+			o.exp, strings.Join(experiments.IDs(), ", "))
+	}
+	return nil
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "fig10", "experiment id, or 'all'")
@@ -52,6 +95,12 @@ func main() {
 		return
 	}
 
+	opts := options{exp: *exp, insts: *insts, warmup: *warmup, nwl: *nwl, mixes: *mixes, parallel: *parallel}
+	if err := validate(&opts); err != nil {
+		fmt.Fprintln(os.Stderr, "catchexp:", err)
+		os.Exit(2)
+	}
+
 	eng := runner.New(runner.Options{
 		Workers: *parallel,
 		Cache:   runner.NewCache(*cacheDir),
@@ -59,14 +108,7 @@ func main() {
 	experiments.UseEngine(eng)
 
 	b := experiments.Budget{Insts: *insts, Warmup: *warmup, Workloads: *nwl, Mixes: *mixes}
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = experiments.IDs()
-	} else if !slices.Contains(experiments.IDs(), *exp) {
-		fmt.Fprintf(os.Stderr, "catchexp: unknown experiment %q\nvalid experiments: %s, all\n",
-			*exp, strings.Join(experiments.IDs(), ", "))
-		os.Exit(1)
-	}
+	ids := opts.ids
 	start := time.Now()
 	var all []experiments.Table
 	for _, id := range ids {

@@ -1,0 +1,80 @@
+// Command catchlint runs the repository's custom static analyzers
+// (internal/lint) over the whole module and prints vet-style
+// diagnostics.
+//
+// Usage:
+//
+//	catchlint            # analyze the module containing the cwd
+//	catchlint -C path    # analyze the module rooted at (or above) path
+//	catchlint -list      # list analyzers and the invariant each guards
+//
+// Exit status: 0 when the tree is clean, 1 when findings exist, 2 on
+// usage or load errors. Findings are suppressed per line and per
+// analyzer with `//catchlint:ignore <analyzer> <reason>`; stale
+// suppressions are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"catch/internal/lint"
+)
+
+func main() {
+	var (
+		dir  = flag.String("C", ".", "directory whose enclosing module to analyze")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catchlint: -C:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(root, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catchlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "catchlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks from dir upward to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for p := abs; ; {
+		if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(p)
+		if parent == p {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		p = parent
+	}
+}

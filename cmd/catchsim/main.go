@@ -22,6 +22,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,81 @@ import (
 	"catch/internal/telemetry"
 	"catch/internal/workloads"
 )
+
+// options collects the parsed command line. validate checks values
+// and combinations before any simulation starts and resolves the
+// configuration names; every validation error names the offending
+// flag and makes main exit with status 2.
+type options struct {
+	workloads   []string
+	configs     []string
+	n           int64
+	warmup      int64
+	parallel    int
+	traceOut    string
+	traceSample uint64
+	traceBuf    int
+	dumpCrit    bool
+
+	cfgs []config.SystemConfig // resolved by validate
+}
+
+// validate checks flag values and combinations.
+func validate(o *options) error {
+	if len(o.configs) == 0 {
+		return errors.New("-config must name at least one configuration")
+	}
+	if len(o.workloads) == 0 {
+		return errors.New("-workload must name at least one workload")
+	}
+	if o.n <= 0 {
+		return fmt.Errorf("-n must be positive (got %d)", o.n)
+	}
+	if o.warmup < 0 {
+		return fmt.Errorf("-warmup must be >= 0 (got %d)", o.warmup)
+	}
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1 (got %d)", o.parallel)
+	}
+	if o.traceSample == 0 {
+		return errors.New("-trace-sample must be >= 1 (1 records every event)")
+	}
+	if o.traceBuf < 1 {
+		return fmt.Errorf("-trace-buf must be >= 1 (got %d)", o.traceBuf)
+	}
+	o.cfgs = o.cfgs[:0]
+	for _, name := range o.configs {
+		cfg, ok := experiments.ConfigByName(name)
+		if !ok {
+			return fmt.Errorf("-config: unknown configuration %q (valid: %s)",
+				name, strings.Join(experiments.ConfigNames(), ", "))
+		}
+		o.cfgs = append(o.cfgs, cfg)
+	}
+	for _, name := range o.workloads {
+		if _, ok := workloads.ByName(name); !ok {
+			return fmt.Errorf("-workload: unknown workload %q (valid: %s)",
+				name, strings.Join(workloadNames(), ", "))
+		}
+	}
+	if (o.traceOut != "" || o.dumpCrit) && (len(o.configs) != 1 || len(o.workloads) != 1) {
+		return fmt.Errorf("-trace/-dump-critpath run a single job; got %d configs x %d workloads",
+			len(o.configs), len(o.workloads))
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -78,26 +154,22 @@ func main() {
 		return
 	}
 
-	var cfgs []config.SystemConfig
-	for _, name := range strings.Split(*cfgName, ",") {
-		cfg, ok := experiments.ConfigByName(strings.TrimSpace(name))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "catchsim: unknown config %q\nvalid configs: %s\n",
-				name, strings.Join(experiments.ConfigNames(), ", "))
-			os.Exit(1)
-		}
-		cfgs = append(cfgs, cfg)
+	opts := options{
+		workloads:   splitList(*workload),
+		configs:     splitList(*cfgName),
+		n:           *n,
+		warmup:      *warmup,
+		parallel:    *parallel,
+		traceOut:    *traceOut,
+		traceSample: *traceSample,
+		traceBuf:    *traceBuf,
+		dumpCrit:    *dumpCrit,
 	}
-	var wls []string
-	for _, name := range strings.Split(*workload, ",") {
-		name = strings.TrimSpace(name)
-		if _, ok := workloads.ByName(name); !ok {
-			fmt.Fprintf(os.Stderr, "catchsim: unknown workload %q\nvalid workloads: %s\n",
-				name, strings.Join(workloadNames(), ", "))
-			os.Exit(1)
-		}
-		wls = append(wls, name)
+	if err := validate(&opts); err != nil {
+		fmt.Fprintln(os.Stderr, "catchsim:", err)
+		os.Exit(2)
 	}
+	cfgs, wls := opts.cfgs, opts.workloads
 
 	if *traceOut != "" || *dumpCrit {
 		if err := runTraced(cfgs, wls, *n, *warmup, *traceOut, *traceSample, *traceBuf, *dumpCrit, *jsonOut); err != nil {
@@ -184,7 +256,7 @@ func runTraced(cfgs []config.SystemConfig, wls []string, insts, warmup int64,
 			return err
 		}
 		if err := tr.WriteChromeTrace(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

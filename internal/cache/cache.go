@@ -120,6 +120,8 @@ func (c *Cache) set(tag uint64) []Line {
 // Probe returns the line holding addr without touching LRU state or
 // statistics, or nil on a miss. Used by oracle studies and prefetch
 // filtering.
+//
+//catch:hotpath
 func (c *Cache) Probe(addr uint64) *Line {
 	tag := lineTag(addr)
 	set := c.set(tag)
@@ -132,6 +134,8 @@ func (c *Cache) Probe(addr uint64) *Line {
 }
 
 // Lookup searches for addr, updating LRU state and hit/miss counters.
+//
+//catch:hotpath
 func (c *Cache) Lookup(addr uint64) (*Line, bool) {
 	c.Stats.Lookups++
 	tag := lineTag(addr)
@@ -161,6 +165,8 @@ type Victim struct {
 // Fill installs addr, returning the displaced victim (if any). fillTime
 // is the cycle at which the new line's data arrives; originLat records
 // what the fill cost (for timeliness accounting of prefetches).
+//
+//catch:hotpath
 func (c *Cache) Fill(addr uint64, fillTime int64, originLat int64, dirty bool, pf PrefetchID) Victim {
 	tag := lineTag(addr)
 	setIdx := c.setIndex(tag)
@@ -234,6 +240,8 @@ func (c *Cache) Fill(addr uint64, fillTime int64, originLat int64, dirty bool, p
 }
 
 // MarkDirty sets the dirty bit of an existing line (demand store hit).
+//
+//catch:hotpath
 func (c *Cache) MarkDirty(addr uint64) bool {
 	if l := c.Probe(addr); l != nil {
 		l.Dirty = true
@@ -256,6 +264,8 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 
 // NoteDemandUse clears the prefetch marker on first demand hit,
 // crediting the prefetcher.
+//
+//catch:hotpath
 func (c *Cache) NoteDemandUse(l *Line) {
 	if l.Prefetch != PfNone {
 		c.Stats.PrefetchUsed++

@@ -134,6 +134,8 @@ const (
 
 // Load performs a demand data load at cycle now and returns its
 // latency and serving level.
+//
+//catch:hotpath
 func (h *Hierarchy) Load(addr uint64, now int64) (int64, HitLevel) {
 	h.Stats.Loads++
 	lat, lvl := h.access(addr, now, accLoad, PfNone, true)
@@ -157,6 +159,8 @@ func (h *Hierarchy) Load(addr uint64, now int64) (int64, HitLevel) {
 // Store performs a demand store (write-allocate, write-back). Its
 // latency is not modelled on the critical path; the call exists for
 // state and traffic accounting.
+//
+//catch:hotpath
 func (h *Hierarchy) Store(addr uint64, now int64) {
 	h.Stats.Stores++
 	if h.L1D.MarkDirty(LineAddr(addr)) {
@@ -177,6 +181,8 @@ func (h *Hierarchy) Store(addr uint64, now int64) {
 }
 
 // Fetch performs a demand code fetch through the L1 instruction cache.
+//
+//catch:hotpath
 func (h *Hierarchy) Fetch(addr uint64, now int64) (int64, HitLevel) {
 	h.Stats.Fetches++
 	lat, lvl := h.access(addr, now, accFetch, PfNone, true)
@@ -339,6 +345,8 @@ func effLat(base int64, l *Line, now int64) int64 {
 
 // access walks the hierarchy for one reference. allowMem=false turns
 // the walk into an on-die-only probe-and-promote (TACT prefetch).
+//
+//catch:hotpath
 func (h *Hierarchy) access(addr uint64, now int64, kind accessKind, pf PrefetchID, allowMem bool) (int64, HitLevel) {
 	la := LineAddr(addr)
 	l1 := h.L1D
@@ -409,6 +417,8 @@ func (h *Hierarchy) access(addr uint64, now int64, kind accessKind, pf PrefetchI
 
 // noteDemandUse credits prefetchers on the first demand hit of a
 // prefetched L1 line and records TACT timeliness.
+//
+//catch:hotpath
 func (h *Hierarchy) noteDemandUse(c *Cache, line *Line, lat int64, now int64) {
 	if line.Prefetch == PfNone {
 		return
@@ -442,6 +452,8 @@ func (h *Hierarchy) noteDemandUse(c *Cache, line *Line, lat int64, now int64) {
 // victims are written back to the next level; in exclusive two-level
 // hierarchies clean victims also allocate into the LLC (that is what
 // makes the LLC exclusive).
+//
+//catch:hotpath
 func (h *Hierarchy) fillL1(c *Cache, la uint64, fillTime, originLat int64, dirty bool, pf PrefetchID) {
 	v := c.Fill(la, fillTime, originLat, dirty, pf)
 	if !v.Valid {
@@ -476,6 +488,8 @@ func (h *Hierarchy) fillL1(c *Cache, la uint64, fillTime, originLat int64, dirty
 // fillL2 installs a line in the L2, spilling its victim per the LLC
 // inclusion policy (exclusive LLCs allocate every L2 victim; inclusive
 // LLCs only absorb dirty data).
+//
+//catch:hotpath
 func (h *Hierarchy) fillL2(la uint64, fillTime int64, dirty bool, pf PrefetchID) {
 	v := h.L2.Fill(la, fillTime, 0, dirty, pf)
 	if !v.Valid {
@@ -498,6 +512,8 @@ func (h *Hierarchy) fillL2(la uint64, fillTime int64, dirty bool, pf PrefetchID)
 
 // fillLLC installs a line in the shared LLC; dirty victims go to
 // memory, and inclusive evictions back-invalidate the private caches.
+//
+//catch:hotpath
 func (h *Hierarchy) fillLLC(la uint64, fillTime int64, dirty bool, pf PrefetchID) {
 	v := h.LLC.Fill(la, fillTime, 0, dirty, pf)
 	if !v.Valid {

@@ -137,7 +137,10 @@ func (c *Core) IPC() float64 {
 	return float64(c.Insts) / float64(c.lastC)
 }
 
-// Step advances the model by one instruction.
+// Step advances the model by one instruction. This is the RunST
+// inner loop: one call per simulated instruction.
+//
+//catch:hotpath
 func (c *Core) Step(in *trace.Inst) {
 	seq := c.seq
 	c.seq++

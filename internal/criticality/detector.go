@@ -352,6 +352,7 @@ func (d *Detector) tracePathNode(g *gnode, i int, node uint8) {
 	default:
 		cost, edge = g.cCost, uint8(g.cFrom)
 	}
+	//catchlint:ignore telemetry-discipline walk() hoists the Enabled check out of the loop and is the only caller
 	d.Trace.Emit(telemetry.Event{Cat: telemetry.CatCritPath, Type: telemetry.EvPathNode,
 		TID: d.TraceTID, TS: cost, A1: g.pc, A2: uint64(d.baseSeq + int64(i)),
 		A3: telemetry.PackPathMeta(node, edge, g.isLoad, uint8(g.level))})

@@ -7,6 +7,8 @@
 // confidence counters and periodic re-learning.
 package criticality
 
+import "slices"
+
 // TableConfig sizes the critical-load-PC table.
 type TableConfig struct {
 	Entries int // total entries (paper: 32)
@@ -149,6 +151,7 @@ func (t *Table) IsCritical(pc uint64) bool {
 func (t *Table) Relearn() {
 	t.Resets++
 	if t.unlimited != nil {
+		//catchlint:ignore determinism independent per-entry confidence reset; no order-dependent state escapes the loop
 		for _, e := range t.unlimited {
 			if e.conf < t.cfg.ConfSat {
 				e.conf = 0
@@ -163,15 +166,19 @@ func (t *Table) Relearn() {
 	}
 }
 
-// CriticalPCs returns the PCs currently marked critical (saturated).
+// CriticalPCs returns the PCs currently marked critical (saturated),
+// in ascending PC order so callers that print or diff the set get a
+// reproducible listing regardless of map iteration order.
 func (t *Table) CriticalPCs() []uint64 {
 	var out []uint64
 	if t.unlimited != nil {
+		//catchlint:ignore determinism keys are sorted below before the slice escapes
 		for pc, e := range t.unlimited {
 			if e.conf >= t.cfg.ConfSat {
 				out = append(out, pc)
 			}
 		}
+		slices.Sort(out)
 		return out
 	}
 	for i := range t.entries {

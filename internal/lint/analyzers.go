@@ -1,0 +1,15 @@
+package lint
+
+// Analyzers returns a freshly configured instance of every analyzer,
+// scoped for this module. Analyzers carry per-run state (the
+// atomic-consistency analyzer accumulates module-wide facts), so each
+// Run must use a fresh set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(DefaultDeterminismConfig()),
+		NewHotpathNoalloc(),
+		NewAtomicConsistency(),
+		NewTelemetryDiscipline(),
+		NewErrorHygiene(),
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewErrorHygiene builds the error-hygiene analyzer: a call whose
+// result set contains an error must not be used as a bare statement
+// (including defer and go statements) in non-test code. Handle the
+// error or discard it explicitly with `_ =` — the blank assignment is
+// greppable intent, a bare call is indistinguishable from an
+// oversight.
+//
+// Print-like calls whose error is universally ignored by convention
+// are excluded: fmt.Print/Printf/Println, fmt.Fprint* to
+// os.Stdout/os.Stderr, the never-failing strings.Builder /
+// bytes.Buffer writers, and writes to a *bufio.Writer — bufio's
+// write error is sticky and resurfaces from Flush, whose result the
+// analyzer does require to be handled.
+func NewErrorHygiene() *Analyzer {
+	a := &Analyzer{
+		Name: "error-hygiene",
+		Doc:  "no dropped error returns outside tests",
+	}
+	a.Run = func(pass *Pass) {
+		errType := types.Universe.Lookup("error").Type()
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = n.Call
+				case *ast.GoStmt:
+					call = n.Call
+				}
+				if call == nil || !returnsError(pass.Info, call, errType) || errExcluded(pass.Info, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "result of %s includes an error that is silently dropped: handle it or assign to _ explicitly", calleeName(pass.Info, call))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// returnsError reports whether any result of call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr, errType types.Type) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errExcluded applies the conventional exclusions.
+func errExcluded(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if isMethodOn(fn, "strings", "Builder") || isMethodOn(fn, "bytes", "Buffer") {
+			return true
+		}
+		// *bufio.Writer write methods (but never Flush, which is where
+		// the sticky error surfaces).
+		return isMethodOn(fn, "bufio", "Writer") && fn.Name() != "Flush"
+	}
+	if pkgPathOf(fn) != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 && (isStdStream(info, call.Args[0]) || isInfallibleWriter(info, call.Args[0]))
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether e is a writer whose Write never
+// fails or whose error is sticky and re-surfaced later:
+// *bufio.Writer (at Flush), *strings.Builder and *bytes.Buffer.
+func isInfallibleWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	p, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	switch pkgPathOf(named.Obj()) + "." + named.Obj().Name() {
+	case "bufio.Writer", "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream matches the os.Stdout / os.Stderr selectors.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || pkgPathOf(v) != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

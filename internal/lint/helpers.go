@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose steady-state execution must
+// not allocate. The hotpath-noalloc and telemetry-discipline
+// analyzers key off it; the annotation lives in the function's doc
+// comment so it travels with the code it constrains.
+const hotpathDirective = "//catch:hotpath"
+
+// hasHotpathDirective reports whether fn's doc comment carries the
+// //catch:hotpath marker.
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectWithStack walks root in depth-first order, passing each node
+// together with the stack of its ancestors (outermost first).
+// Returning false prunes the subtree.
+func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeObj resolves the object a call expression invokes: a
+// package-level function, a method, or a builtin. Returns nil for
+// calls of function-typed values and type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of obj's package ("" for
+// builtins and universe-scope objects).
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isMethodOn reports whether obj is a method declared on
+// pkgPath.typeName (value or pointer receiver).
+func isMethodOn(obj types.Object, pkgPath, typeName string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == typeName && pkgPathOf(named.Obj()) == pkgPath
+}
+
+// calleeName renders a human-readable name for the called function:
+// pkg.Func, (pkg.Type).Method, or the expression's text for dynamic
+// calls.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		if obj != nil {
+			return obj.Name()
+		}
+		return "function value"
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + named.Obj().Pkg().Name() + "." + named.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without a heap allocation: pointers, channels, maps, funcs, unsafe
+// pointers and nil. Everything else is copied to the heap when boxed.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}

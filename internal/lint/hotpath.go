@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotpathNoalloc builds the hotpath-noalloc analyzer. Functions
+// whose doc comment carries //catch:hotpath form the simulator's
+// steady-state kernel: the per-instruction core step, cache
+// lookup/fill, the TACT flat-table train/predict paths, and telemetry
+// metric updates and event emission. PR 2's AllocsPerRun guards prove
+// the kernel allocates nothing at runtime; this analyzer proves it at
+// `make check` time by rejecting every construct that can reach the
+// allocator inside an annotated function:
+//
+//   - append / make / new builtins
+//   - slice and map composite literals, and &composite literals
+//     (which escape to the heap when the pointer outlives the frame)
+//   - fmt formatting calls
+//   - string concatenation and string<->[]byte conversions
+//   - closures (captured variables escape)
+//   - boxing a non-pointer-shaped value into an interface
+func NewHotpathNoalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath-noalloc",
+		Doc:  "forbid allocating constructs in //catch:hotpath functions",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasHotpathDirective(fn) {
+					continue
+				}
+				checkHotpath(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+func checkHotpath(pass *Pass, fn *ast.FuncDecl) {
+	var sig *types.Signature
+	if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	inspectWithStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //catch:hotpath function %s: captured variables escape to the heap", fn.Name.Name)
+			return false
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fn, n)
+		case *ast.CompositeLit:
+			checkHotpathComposite(pass, fn, n, stack)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.Info.Types[n].Type) {
+				pass.Reportf(n.Pos(), "string concatenation in //catch:hotpath function %s allocates", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.Info.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.Pos(), "string concatenation in //catch:hotpath function %s allocates", fn.Name.Name)
+			}
+			if n.Tok == token.ASSIGN {
+				for i := range n.Lhs {
+					if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+						checkBoxing(pass, fn, typeOf(pass.Info, n.Lhs[i]), n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					checkBoxing(pass, fn, sig.Results().At(i).Type(), res)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotpathCall flags allocating builtins, fmt formatting, string
+// conversions and interface-boxing arguments.
+func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "make", "new":
+				pass.Reportf(call.Pos(), "%s in //catch:hotpath function %s allocates", b.Name(), fn.Name.Name)
+			}
+			return
+		}
+	}
+	if obj := calleeObj(pass.Info, call); obj != nil && pkgPathOf(obj) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in //catch:hotpath function %s formats and allocates", obj.Name(), fn.Name.Name)
+		return
+	}
+
+	tvFun, ok := pass.Info.Types[ast.Unparen(call.Fun)]
+	if !ok {
+		return
+	}
+	if tvFun.IsType() {
+		// Conversion: T(x). Boxing into an interface and
+		// string<->[]byte conversions copy to the heap.
+		target := tvFun.Type
+		if len(call.Args) != 1 {
+			return
+		}
+		at := typeOf(pass.Info, call.Args[0])
+		if isInterface(target) && at != nil && !pointerShaped(at) {
+			pass.Reportf(call.Pos(), "conversion boxes %s into %s in //catch:hotpath function %s", types.TypeString(at, types.RelativeTo(pass.Pkg)), target.String(), fn.Name.Name)
+		}
+		if at != nil && isStringSliceConversion(target, at) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion in //catch:hotpath function %s copies and allocates", fn.Name.Name)
+		}
+		return
+	}
+	sig, ok := tvFun.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && isInterface(pt) {
+			checkBoxing(pass, fn, pt, arg)
+		}
+	}
+}
+
+// checkHotpathComposite flags composite literals that allocate: slice
+// and map literals always do; struct and array literals do when their
+// address is taken (the pointer escapes the frame through whatever
+// receives it).
+func checkHotpathComposite(pass *Pass, fn *ast.FuncDecl, lit *ast.CompositeLit, stack []ast.Node) {
+	t := typeOf(pass.Info, lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		pass.Reportf(lit.Pos(), "%s literal in //catch:hotpath function %s allocates", types.TypeString(t, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+		return
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			pass.Reportf(u.Pos(), "&%s literal in //catch:hotpath function %s escapes to the heap", types.TypeString(t, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+		}
+	}
+}
+
+// checkBoxing reports expr when assigning it to target would box a
+// non-pointer-shaped concrete value into an interface.
+func checkBoxing(pass *Pass, fn *ast.FuncDecl, target types.Type, expr ast.Expr) {
+	if target == nil || !isInterface(target) {
+		return
+	}
+	at := typeOf(pass.Info, expr)
+	if at == nil || pointerShaped(at) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s boxed into %s in //catch:hotpath function %s allocates", types.TypeString(at, types.RelativeTo(pass.Pkg)), types.TypeString(target, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringSliceConversion reports a string<->[]byte or
+// string<->[]rune conversion.
+func isStringSliceConversion(target, src types.Type) bool {
+	return (isStringType(target) && isByteOrRuneSlice(src)) ||
+		(isStringType(src) && isByteOrRuneSlice(target))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//catchlint:ignore <analyzer> <reason>
+//
+// A directive suppresses findings by the named analyzer on its own
+// line (trailing-comment form) or on the line directly below it
+// (standalone-comment form). The reason is mandatory — a suppression
+// without a recorded justification is reported as malformed — and a
+// directive that suppresses nothing is reported as stale so it cannot
+// outlive the finding it excused.
+const ignorePrefix = "//catchlint:ignore"
+
+// ignoreAnalyzer is the pseudo-analyzer name under which malformed,
+// unknown and stale directives are reported.
+const ignoreAnalyzer = "ignore"
+
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// applyIgnores filters diags through the //catchlint:ignore
+// directives found in pkgs and appends diagnostics for malformed,
+// unknown-analyzer and stale directives. known holds the valid
+// analyzer names.
+func applyIgnores(fset *token.FileSet, pkgs []*Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	var directives []*ignoreDirective
+	var bad []Diagnostic
+	index := make(map[string][]*ignoreDirective)
+	key := func(file string, line int, analyzer string) string {
+		return fmt.Sprintf("%s\x00%d\x00%s", file, line, analyzer)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{Analyzer: ignoreAnalyzer, Pos: pos,
+							Message: "malformed suppression: want //catchlint:ignore <analyzer> <reason>"})
+						continue
+					}
+					if !known[fields[0]] {
+						bad = append(bad, Diagnostic{Analyzer: ignoreAnalyzer, Pos: pos,
+							Message: fmt.Sprintf("suppression names unknown analyzer %q", fields[0])})
+						continue
+					}
+					d := &ignoreDirective{pos: pos, analyzer: fields[0]}
+					directives = append(directives, d)
+					index[key(pos.Filename, pos.Line, d.analyzer)] = append(index[key(pos.Filename, pos.Line, d.analyzer)], d)
+					index[key(pos.Filename, pos.Line+1, d.analyzer)] = append(index[key(pos.Filename, pos.Line+1, d.analyzer)], d)
+				}
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, dg := range diags {
+		matched := false
+		for _, d := range index[key(dg.Pos.Filename, dg.Pos.Line, dg.Analyzer)] {
+			d.used = true
+			matched = true
+		}
+		if !matched {
+			out = append(out, dg)
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			out = append(out, Diagnostic{Analyzer: ignoreAnalyzer, Pos: d.pos,
+				Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line", d.analyzer)})
+		}
+	}
+	return append(out, bad...)
+}

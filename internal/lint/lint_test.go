@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureFile is one file of a txtar-style fixture archive.
+type fixtureFile struct {
+	name string
+	data string
+}
+
+// parseArchive reads the minimal txtar format used by testdata/*.txt:
+// an optional leading comment, then a sequence of "-- filename --"
+// separator lines, each followed by the file's contents up to the
+// next separator.
+func parseArchive(t *testing.T, path string) []fixtureFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []fixtureFile
+	var cur *fixtureFile
+	for _, line := range strings.SplitAfter(string(data), "\n") {
+		trimmed := strings.TrimSuffix(line, "\n")
+		if name, ok := strings.CutPrefix(trimmed, "-- "); ok && strings.HasSuffix(name, " --") {
+			files = append(files, fixtureFile{name: strings.TrimSuffix(name, " --")})
+			cur = &files[len(files)-1]
+			continue
+		}
+		if cur == nil {
+			continue // archive comment before the first file
+		}
+		cur.data += line
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no files in archive", path)
+	}
+	return files
+}
+
+// writeFixture materializes the archive in a temp dir (adding a
+// default go.mod when the archive does not carry one) and returns the
+// module root.
+func writeFixture(t *testing.T, files []fixtureFile) string {
+	t.Helper()
+	root := t.TempDir()
+	hasMod := false
+	for _, f := range files {
+		if f.name == "go.mod" {
+			hasMod = true
+		}
+		dst := filepath.Join(root, filepath.FromSlash(f.name))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, []byte(f.data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !hasMod {
+		if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module catch\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// lintFixture loads the archive as a module and runs the analyzers
+// over every package in it.
+func lintFixture(t *testing.T, archive string, analyzers []*Analyzer) ([]Diagnostic, string) {
+	t.Helper()
+	files := parseArchive(t, filepath.Join("testdata", archive))
+	root := writeFixture(t, files)
+	ld, err := newLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.loadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("%s: fixture loaded no packages", archive)
+	}
+	diags, err := RunPackages(ld.fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, root
+}
+
+// wantRe matches an expectation comment: want <analyzer> "<substring>".
+var wantRe = regexp.MustCompile(`want ([a-z-]+) "([^"]*)"`)
+
+type want struct {
+	file     string // archive-relative path
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+// collectWants scans the fixture sources for `// want a "msg"`
+// expectation comments.
+func collectWants(files []fixtureFile) []*want {
+	var wants []*want
+	for _, f := range files {
+		if !strings.HasSuffix(f.name, ".go") {
+			continue
+		}
+		for i, line := range strings.Split(f.data, "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, &want{file: f.name, line: i + 1, analyzer: m[1], substr: m[2]})
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants verifies that the diagnostics are exactly the ones the
+// fixture's want comments declare: every want matched by a diagnostic
+// on its file:line, and no diagnostic without a want.
+func checkWants(t *testing.T, archive, root string, diags []Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("%s: diagnostic outside fixture root: %s", archive, d)
+		}
+		rel = filepath.ToSlash(rel)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != rel || w.line != d.Pos.Line || w.analyzer != d.Analyzer {
+				continue
+			}
+			if !strings.Contains(d.Message, w.substr) {
+				t.Errorf("%s: %s:%d [%s]: got message %q, want substring %q", archive, rel, d.Pos.Line, d.Analyzer, d.Message, w.substr)
+			}
+			w.matched = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic %s:%d:%d: %s [%s]", archive, rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected %s finding at %s:%d (substring %q), got none", archive, w.analyzer, w.file, w.line, w.substr)
+		}
+	}
+}
+
+// runFixtureTest is the shared driver: load, lint, diff against wants.
+func runFixtureTest(t *testing.T, archive string, analyzers []*Analyzer) {
+	t.Helper()
+	files := parseArchive(t, filepath.Join("testdata", archive))
+	diags, root := lintFixture(t, archive, analyzers)
+	checkWants(t, archive, root, diags, collectWants(files))
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixtureTest(t, "determinism.txt", []*Analyzer{NewDeterminism(DeterminismConfig{
+		Packages:   []string{"catch/detfix"},
+		AllowFiles: []string{"detfix/allowed.go"},
+	})})
+}
+
+func TestHotpathFixture(t *testing.T) {
+	runFixtureTest(t, "hotpath.txt", []*Analyzer{NewHotpathNoalloc()})
+}
+
+func TestAtomicFixture(t *testing.T) {
+	runFixtureTest(t, "atomic.txt", []*Analyzer{NewAtomicConsistency()})
+}
+
+func TestTelemetryFixture(t *testing.T) {
+	runFixtureTest(t, "telemetry.txt", []*Analyzer{NewTelemetryDiscipline()})
+}
+
+func TestErrorHygieneFixture(t *testing.T) {
+	runFixtureTest(t, "errhygiene.txt", []*Analyzer{NewErrorHygiene()})
+}
+
+// TestIgnoreSuppression exercises the //catchlint:ignore machinery
+// end to end against the full analyzer set: a correctly targeted
+// directive (standalone or trailing form) silences its finding, while
+// stale, malformed and unknown-analyzer directives are themselves
+// reported.
+func TestIgnoreSuppression(t *testing.T) {
+	diags, _ := lintFixture(t, "ignore.txt", Analyzers())
+
+	for _, d := range diags {
+		if d.Analyzer != ignoreAnalyzer {
+			t.Errorf("finding escaped suppression: %s", d)
+		}
+	}
+	wantSubstrs := []string{
+		"stale suppression: no hotpath-noalloc finding on this or the next line",
+		"malformed suppression: want //catchlint:ignore <analyzer> <reason>",
+		`suppression names unknown analyzer "no-such-analyzer"`,
+	}
+	if len(diags) != len(wantSubstrs) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wantSubstrs), formatDiags(diags))
+	}
+	for _, substr := range wantSubstrs {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic with substring %q in:\n%s", substr, formatDiags(diags))
+		}
+	}
+}
+
+// TestIgnoreWrongAnalyzerDoesNotSuppress pins the per-analyzer scoping
+// of directives: naming a different (valid) analyzer leaves the actual
+// finding live and marks the directive stale.
+func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	diags, _ := lintFixture(t, "ignore_mismatch.txt", Analyzers())
+
+	var hotpath, stale int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "hotpath-noalloc":
+			hotpath++
+		case d.Analyzer == ignoreAnalyzer && strings.Contains(d.Message, "stale suppression"):
+			stale++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if hotpath != 1 || stale != 1 {
+		t.Errorf("got %d hotpath-noalloc and %d stale diagnostics, want 1 and 1:\n%s", hotpath, stale, formatDiags(diags))
+	}
+}
+
+func formatDiags(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	return sb.String()
+}
+
+// TestRepoClean runs the full analyzer suite over this module and
+// requires a clean report: the repository's own code is the seventh
+// fixture, and any new violation fails `go test ./internal/lint`
+// before it even reaches `make lint`.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is a few seconds; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

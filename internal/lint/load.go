@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader discovers, parses and typechecks the packages of a single
+// module. Imports inside the module are resolved recursively from
+// source; everything else (the standard library — the module has no
+// external dependencies) is delegated to go/importer's source
+// importer, which shares our FileSet. Each package is typechecked at
+// most once, so types.Object identities are stable across passes —
+// the atomic-consistency analyzer relies on that to correlate field
+// accesses between packages.
+type loader struct {
+	root       string
+	modulePath string
+	fset       *token.FileSet
+	std        types.ImporterFrom
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, errors.New("lint: source importer does not support ImportFrom")
+	}
+	return &loader{
+		root:       abs,
+		modulePath: modPath,
+		fset:       fset,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (is %s a module root?)", err, root)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// loadModule walks the module tree and loads every Go package in it,
+// returning them sorted by import path.
+func (ld *loader) loadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(ld.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := ld.load(ld.importPathFor(dir))
+		if err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				continue
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (ld *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.modulePath
+	}
+	return ld.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor is the inverse of importPathFor.
+func (ld *loader) dirFor(path string) string {
+	if path == ld.modulePath {
+		return ld.root
+	}
+	return filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, ld.modulePath+"/")))
+}
+
+// load parses and typechecks one module package (and, recursively,
+// its module-internal imports). Test files are excluded: the
+// invariants the analyzers encode are about shipped simulator code,
+// and error-hygiene explicitly scopes itself to non-test code.
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.dirFor(path)
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == ld.modulePath || strings.HasPrefix(imp, ld.modulePath+"/") {
+				pkg, err := ld.load(imp)
+				if err != nil {
+					return nil, err
+				}
+				return pkg.Types, nil
+			}
+			return ld.std.ImportFrom(imp, dir, 0)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, errors.Join(typeErrs...))
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

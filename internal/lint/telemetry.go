@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// telemetryPath is the import path of the observability layer whose
+// usage discipline this analyzer enforces.
+const telemetryPath = "catch/internal/telemetry"
+
+// registryHandleMethods are the (*telemetry.Registry) methods that
+// mint metric handles. Handle acquisition takes the registry lock and
+// allocates; it belongs in constructors, never per-event.
+var registryHandleMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+// NewTelemetryDiscipline builds the telemetry-discipline analyzer.
+// Two rules:
+//
+//  1. Metric handles ((*Registry).Counter/Gauge/Histogram/...) must
+//     be obtained at construction time — not inside a loop and not
+//     inside a //catch:hotpath function. The handles are designed to
+//     be cached once and updated with a single atomic op.
+//
+//  2. (*Tracer).Emit must be behind an enabled check: an if whose
+//     condition calls Enabled()/Sampled() (directly or through a
+//     boolean variable assigned from such a call), or after an early
+//     `if !enabled { return }` guard. Emit itself no-ops when
+//     disabled, but building its Event argument is not free — the
+//     guard is what keeps the disabled tracer at one predicted branch.
+func NewTelemetryDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "telemetry-discipline",
+		Doc:  "metric handles at construction time; tracer emission behind an enabled-check",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkTelemetry(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+func checkTelemetry(pass *Pass, fn *ast.FuncDecl) {
+	hot := hasHotpathDirective(fn)
+	guards := collectEnabledGuards(pass, fn)
+	inspectWithStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.Info, call)
+		if isMethodOn(obj, telemetryPath, "Registry") && registryHandleMethods[obj.Name()] {
+			switch {
+			case hot:
+				pass.Reportf(call.Pos(), "metric handle (*Registry).%s obtained inside //catch:hotpath function %s: acquire handles at construction time", obj.Name(), fn.Name.Name)
+			case insideLoop(stack):
+				pass.Reportf(call.Pos(), "metric handle (*Registry).%s obtained inside a loop: acquire handles once at construction time", obj.Name())
+			}
+		}
+		if isMethodOn(obj, telemetryPath, "Tracer") && obj.Name() == "Emit" {
+			if !emitGuarded(pass, fn, call, stack, guards) {
+				pass.Reportf(call.Pos(), "(*Tracer).Emit without an Enabled()/Sampled() guard: building the Event is not free when tracing is off")
+			}
+		}
+		return true
+	})
+}
+
+// insideLoop reports whether the node whose ancestors are stack sits
+// in a for or range statement (function literals reset the scope: a
+// constructor closure registered once is not a loop body).
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// isEnabledCall matches t.Enabled() / t.Sampled() on *telemetry.Tracer.
+func isEnabledCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(pass.Info, call)
+	return isMethodOn(obj, telemetryPath, "Tracer") && (obj.Name() == "Enabled" || obj.Name() == "Sampled")
+}
+
+// collectEnabledGuards finds boolean variables assigned from an
+// Enabled()/Sampled() call anywhere in fn (`tracing := t.Enabled()`).
+func collectEnabledGuards(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	guards := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		hasEnabled := false
+		for _, rhs := range asg.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if e, ok := m.(ast.Expr); ok && isEnabledCall(pass, e) {
+					hasEnabled = true
+				}
+				return !hasEnabled
+			})
+		}
+		if !hasEnabled {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					guards[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					guards[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// condMentionsGuard reports whether cond contains an
+// Enabled()/Sampled() call or a guard variable.
+func condMentionsGuard(pass *Pass, cond ast.Expr, guards map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isEnabledCall(pass, n) {
+				found = true
+			}
+		case *ast.Ident:
+			if guards[pass.Info.Uses[n]] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// emitGuarded reports whether an Emit call is dominated by an
+// enabled-check: an ancestor if-statement whose condition mentions
+// Enabled()/Sampled() or a guard variable, or an earlier
+// `if !enabled { return }` statement in the enclosing function body.
+func emitGuarded(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node, guards map[types.Object]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condMentionsGuard(pass, ifStmt.Cond, guards) {
+			return true
+		}
+	}
+	for _, stmt := range fn.Body.List {
+		if stmt.End() >= call.Pos() {
+			break
+		}
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		if !ok || len(ifStmt.Body.List) == 0 {
+			continue
+		}
+		if _, ret := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt); !ret {
+			continue
+		}
+		if u, ok := ast.Unparen(ifStmt.Cond).(*ast.UnaryExpr); ok && u.Op == token.NOT {
+			if isEnabledCall(pass, u.X) || condMentionsGuard(pass, u.X, guards) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -140,7 +140,7 @@ func Load(path string) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close cannot lose data
 	var rep Report
 	if err := json.NewDecoder(f).Decode(&rep); err != nil {
 		return Report{}, fmt.Errorf("%s: %w", path, err)

@@ -193,11 +193,11 @@ func (c *Cache) storeDisk(key string, rs []core.Result) {
 	_, werr := tmp.Write(raw)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup of the temp file
 		return
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup of the temp file
 	}
 }
 

@@ -278,5 +278,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// The status line is already written; an encode failure here means
+	// the client went away and there is no channel left to report on.
+	_ = enc.Encode(v)
 }

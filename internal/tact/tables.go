@@ -76,6 +76,8 @@ func (t *strideTable) set(pc uint64) []strideEntry {
 
 // lookup returns the entry for pc, or nil when it is not tracked. It
 // does not touch replacement state: reads model probe ports.
+//
+//catch:hotpath
 func (t *strideTable) lookup(pc uint64) *strideEntry {
 	set := t.set(pc)
 	for i := range set {
@@ -88,6 +90,8 @@ func (t *strideTable) lookup(pc uint64) *strideEntry {
 
 // touch returns the entry for pc, allocating (LRU victim within the
 // set) when absent, and stamps its recency.
+//
+//catch:hotpath
 func (t *strideTable) touch(pc uint64) *strideEntry {
 	set := t.set(pc)
 	t.tick++
@@ -146,6 +150,8 @@ func regFilterBit(pc uint64) uint64 {
 }
 
 // lowerBound returns the first index i with pcs[i] >= pc.
+//
+//catch:hotpath
 func (ix *regIndex) lowerBound(pc uint64) int {
 	lo, hi := 0, ix.n
 	for lo < hi {
@@ -161,6 +167,8 @@ func (ix *regIndex) lowerBound(pc uint64) int {
 
 // add registers slot under pc, after any existing registrations for
 // the same pc (insertion position preserves firing order).
+//
+//catch:hotpath
 func (ix *regIndex) add(pc uint64, slot uint16) {
 	if ix.n >= cap(ix.pcs) {
 		// Cannot happen: one registration per target slot. Guarded so a
@@ -182,6 +190,8 @@ func (ix *regIndex) add(pc uint64, slot uint16) {
 
 // remove drops the registration of slot under pc (no-op when absent)
 // and rebuilds the presence filter.
+//
+//catch:hotpath
 func (ix *regIndex) remove(pc uint64, slot uint16) {
 	i := ix.lowerBound(pc)
 	for ; i < ix.n && ix.pcs[i] == pc; i++ {
@@ -207,6 +217,8 @@ func (ix *regIndex) rebuildFilter() {
 // find returns the [lo,hi) range of registrations for pc, in
 // registration order. The filter rejects almost all unregistered PCs
 // before the binary search runs.
+//
+//catch:hotpath
 func (ix *regIndex) find(pc uint64) (int, int) {
 	if ix.filter&regFilterBit(pc) == 0 {
 		return 0, 0

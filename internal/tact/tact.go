@@ -162,6 +162,8 @@ func New(cfg Config, crit Criticality) *Prefetchers {
 // OnDispatch observes every dispatched instruction: non-loads propagate
 // feeder register lineage; loads update trackers, fire trained
 // triggers, and train their own target entry when critical.
+//
+//catch:hotpath
 func (p *Prefetchers) OnDispatch(in *trace.Inst, now int64) {
 	if in.Op != trace.OpLoad {
 		// Propagate "youngest load PC" through register writes
@@ -181,6 +183,7 @@ func (p *Prefetchers) OnDispatch(in *trace.Inst, now int64) {
 	p.onLoad(in, now)
 }
 
+//catch:hotpath
 func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 	pc, addr := in.PC, in.Addr
 
@@ -242,6 +245,8 @@ func (p *Prefetchers) onLoad(in *trace.Inst, now int64) {
 // lookupTarget finds or allocates the target entry for a critical PC in
 // one CAM-style pass over the flat table, evicting the LRU entry when
 // no slot is free.
+//
+//catch:hotpath
 func (p *Prefetchers) lookupTarget(pc uint64) *target {
 	var victim *target
 	oldest := int64(1<<62 - 1)
@@ -271,6 +276,8 @@ func (p *Prefetchers) lookupTarget(pc uint64) *target {
 
 // findTarget returns the live target entry for pc, or nil. Exposed for
 // tests and inspection tools; the hot path uses lookupTarget.
+//
+//catch:hotpath
 func (p *Prefetchers) findTarget(pc uint64) *target {
 	for i := range p.targets {
 		if p.targets[i].valid && p.targets[i].pc == pc {
@@ -294,6 +301,8 @@ func (p *Prefetchers) dropTarget(t *target) {
 
 // trainDeep implements TACT-Deep-Self: safe-length learning and
 // distance-1 + deep-distance prefetch issue.
+//
+//catch:hotpath
 func (p *Prefetchers) trainDeep(t *target, st *strideEntry, seen bool, prevAddr, addr uint64, now int64) {
 	if seen {
 		d := int64(addr) - int64(prevAddr)
@@ -378,6 +387,7 @@ func (p *Prefetchers) traceTrain(targetPC, sourcePC uint64, comp uint64, now int
 	}
 }
 
+//catch:hotpath
 func (p *Prefetchers) issue(addr uint64, now int64) {
 	if p.IssueData != nil {
 		p.IssueData(addr, now)

@@ -38,18 +38,18 @@ type EventType uint8
 // Event types. The A1/A2/A3 argument meanings per type are documented
 // inline and rendered by the Chrome-trace writer.
 const (
-	EvInstr      EventType = iota // pipeline: A1=pc A2=seq A3=PackInstr(op, level, E-D, W-E); TS=D Dur=C-D
-	EvMispredict                  // pipeline: A1=pc; TS=W (re-steer issue point)
-	EvCodeStall                   // pipeline: A1=line addr; TS=fetch Dur=stall cycles
-	EvLoad                        // cache: A1=addr A2=level; TS=issue Dur=latency
-	EvStore                       // cache: A1=addr A2=1 if L1 hit; TS=commit
-	EvFetch                       // cache: A1=line addr A2=level; TS=issue Dur=latency
-	EvTactPrefetch                // tact: A1=addr A2=result level (0=dropped-present, see level names); TS=issue
-	EvTactTrain                   // tact: A1=target pc A2=trigger/feeder pc A3=component
-	EvTactTrigger                 // tact: A1=trigger pc A2=prefetch addr A3=component
-	EvTactUse                     // tact: A1=line addr A2=per-mille of source latency saved A3=origin latency
-	EvPathNode                    // critpath: A1=pc A2=seq A3=PackPathMeta(...); TS=node cost
-	EvWalkEnd                     // critpath: A1=nodes on path A2=path loads A3=recorded loads; TS=walk trigger
+	EvInstr        EventType = iota // pipeline: A1=pc A2=seq A3=PackInstr(op, level, E-D, W-E); TS=D Dur=C-D
+	EvMispredict                    // pipeline: A1=pc; TS=W (re-steer issue point)
+	EvCodeStall                     // pipeline: A1=line addr; TS=fetch Dur=stall cycles
+	EvLoad                          // cache: A1=addr A2=level; TS=issue Dur=latency
+	EvStore                         // cache: A1=addr A2=1 if L1 hit; TS=commit
+	EvFetch                         // cache: A1=line addr A2=level; TS=issue Dur=latency
+	EvTactPrefetch                  // tact: A1=addr A2=result level (0=dropped-present, see level names); TS=issue
+	EvTactTrain                     // tact: A1=target pc A2=trigger/feeder pc A3=component
+	EvTactTrigger                   // tact: A1=trigger pc A2=prefetch addr A3=component
+	EvTactUse                       // tact: A1=line addr A2=per-mille of source latency saved A3=origin latency
+	EvPathNode                      // critpath: A1=pc A2=seq A3=PackPathMeta(...); TS=node cost
+	EvWalkEnd                       // critpath: A1=nodes on path A2=path loads A3=recorded loads; TS=walk trigger
 	numEventTypes
 )
 

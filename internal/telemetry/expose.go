@@ -66,6 +66,8 @@ func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WriteText(w)
+		// A write failure means the scraper disconnected mid-response;
+		// there is nowhere left to report it.
+		_ = r.WriteText(w)
 	})
 }

@@ -50,6 +50,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//catch:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -57,6 +59,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//catch:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -78,6 +82,8 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//catch:hotpath
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -85,6 +91,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adds n (may be negative).
+//
+//catch:hotpath
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -110,6 +118,8 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//catch:hotpath
 func (h *Histogram) Observe(x float64) {
 	if h == nil {
 		return

@@ -78,6 +78,8 @@ func NewTracer(cfg TracerConfig) *Tracer {
 // Enabled reports whether the tracer records anything. It is the one
 // branch a disabled tracer costs on the hot path: call it before
 // building an Event.
+//
+//catch:hotpath
 func (t *Tracer) Enabled() bool { return t != nil && t.on }
 
 // SetEnabled pauses or resumes recording.
@@ -85,6 +87,8 @@ func (t *Tracer) SetEnabled(on bool) { t.on = on }
 
 // Sampled reports whether the current high-frequency event falls on
 // the sampling grid (one in SampleEvery). Call only when Enabled.
+//
+//catch:hotpath
 func (t *Tracer) Sampled() bool {
 	t.n++
 	if t.n >= t.every {
@@ -95,6 +99,8 @@ func (t *Tracer) Sampled() bool {
 }
 
 // Emit records one event (dropped if its category is masked out).
+//
+//catch:hotpath
 func (t *Tracer) Emit(e Event) {
 	if t.mask&e.Cat.Bit() == 0 {
 		return
