@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall
+.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos
 
 # check gates a change: build + formatting + vet + catchlint + the
 # full test suite under the race detector (this includes
 # internal/telemetry's concurrent counter/histogram/tracer tests and
-# the runner's /metrics tests).
-check: build fmtcheck vet lint race
+# the runner's /metrics tests) + the seeded chaos suite.
+check: build fmtcheck vet lint race chaos
+
+# chaos re-proves determinism under injected faults: seeded fault
+# schedules (disk errors, corrupt cache entries, panics, hangs, a
+# kill/resume cycle) over real small sweeps must produce byte-identical
+# results vs the fault-free run. Bypasses the go test cache; ~1s.
+chaos:
+	$(GO) run ./cmd/catchbench -chaos
 
 # lint runs the in-repo static-analysis suite (see DESIGN.md,
 # "Static analysis"): determinism, hotpath-noalloc,

@@ -10,6 +10,7 @@
 //
 //	POST /v1/run           {"config":"catch","workload":"mcf","insts":300000,"warmup":150000}
 //	POST /v1/sweep         {"configs":["baseline-excl","catch"],"workloads":["mcf","hmmer"]}
+//	POST /v1/drain         stop accepting work, finish in-flight jobs
 //	GET  /v1/results/{key} cached result by content address
 //	GET  /healthz          liveness, build info and counters
 //	GET  /metrics          Prometheus text exposition
@@ -17,7 +18,13 @@
 //
 // Duplicate concurrent requests for the same job are coalesced onto
 // one simulation; identical jobs after that are served from the cache.
-// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+// A disk-cache circuit breaker degrades to memory-only caching when the
+// cache directory misbehaves, -shed-after bounds the request wait queue
+// (overflow gets 503 + Retry-After), and sweeps POSTed with
+// "resumable": true are journaled under -journal-dir so an interrupted
+// sweep resumes from its last completed job. SIGINT/SIGTERM drain
+// in-flight requests and exit cleanly. -inject enables the
+// deterministic chaos layer (never in production).
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"catch/internal/experiments"
+	"catch/internal/fault"
 	"catch/internal/runner"
 	"catch/internal/telemetry"
 )
@@ -44,11 +52,17 @@ var version = "dev"
 // the engine or listener starts; every validation error names the
 // offending flag and makes main exit with status 2.
 type options struct {
-	addr     string
-	parallel int
-	inflight int
-	timeout  time.Duration
-	retries  int
+	addr       string
+	parallel   int
+	inflight   int
+	timeout    time.Duration
+	retries    int
+	shedAfter  int
+	reqTimeout time.Duration
+	backoff    time.Duration
+	brThresh   int
+	brCooldown int
+	inject     string
 }
 
 // validate checks flag values and combinations.
@@ -68,6 +82,24 @@ func validate(o *options) error {
 	if o.retries < 0 {
 		return fmt.Errorf("-retries must be >= 0 (got %d)", o.retries)
 	}
+	if o.shedAfter < 0 {
+		return fmt.Errorf("-shed-after must be >= 0 (0 = unbounded queue; got %d)", o.shedAfter)
+	}
+	if o.reqTimeout < 0 {
+		return fmt.Errorf("-request-timeout must be >= 0 (0 = none; got %v)", o.reqTimeout)
+	}
+	if o.backoff < 0 {
+		return fmt.Errorf("-retry-backoff must be >= 0 (0 = immediate retries; got %v)", o.backoff)
+	}
+	if o.brThresh < 0 {
+		return fmt.Errorf("-breaker-threshold must be >= 0 (0 = breaker off; got %d)", o.brThresh)
+	}
+	if o.brCooldown < 0 {
+		return fmt.Errorf("-breaker-cooldown must be >= 0 (got %d)", o.brCooldown)
+	}
+	if _, err := fault.ParsePlan(o.inject); err != nil {
+		return fmt.Errorf("-inject: %v", err)
+	}
 	return nil
 }
 
@@ -79,31 +111,64 @@ func main() {
 		inflight    = flag.Int("max-inflight", 0, "max concurrently served run/sweep requests (0 = 2x workers)")
 		timeout     = flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
 		retries     = flag.Int("retries", 1, "extra attempts for a failed or timed-out job")
+		shedAfter   = flag.Int("shed-after", 0, "max queued requests before shedding with 503 (0 = unbounded)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline; exceeded runs return 504 (0 = none)")
+		backoff     = flag.Duration("retry-backoff", 0, "base retry pause, doubled per attempt with seeded jitter (0 = immediate)")
+		brThresh    = flag.Int("breaker-threshold", 5, "consecutive disk-cache failures that trip the breaker to memory-only mode (0 = off)")
+		brCooldown  = flag.Int("breaker-cooldown", 32, "denied cache probes before a tripped breaker half-opens")
+		journalDir  = flag.String("journal-dir", "", "directory for resumable-sweep journals (empty = resumable sweeps rejected)")
+		inject      = flag.String("inject", "", "deterministic fault plan, e.g. seed=42,disk-read=0.5,panic=0.1 (chaos testing only)")
 		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
-	opts := options{addr: *addr, parallel: *parallel, inflight: *inflight, timeout: *timeout, retries: *retries}
+	opts := options{
+		addr: *addr, parallel: *parallel, inflight: *inflight, timeout: *timeout,
+		retries: *retries, shedAfter: *shedAfter, reqTimeout: *reqTimeout,
+		backoff: *backoff, brThresh: *brThresh, brCooldown: *brCooldown, inject: *inject,
+	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchd:", err)
 		os.Exit(2)
 	}
 
+	plan, _ := fault.ParsePlan(*inject) // validated above
+	inj := fault.NewInjector(plan)
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "catchd: CHAOS MODE: injecting faults (%s)\n", plan)
+	}
+	var fs fault.FS = fault.OS{}
+	if inj != nil {
+		fs = fault.InjectFS{FS: fs, Inj: inj}
+	}
+	var breaker *fault.Breaker
+	if *brThresh > 0 {
+		breaker = fault.NewBreaker(*brThresh, *brCooldown)
+	}
+
 	reg := telemetry.NewRegistry()
 	eng := runner.New(runner.Options{
 		Workers: *parallel,
-		Cache:   runner.NewCache(*cacheDir),
+		Cache:   runner.NewCacheOpts(runner.CacheOptions{Dir: *cacheDir, FS: fs, Breaker: breaker}),
 		Timeout: *timeout,
 		Retries: *retries,
+		Backoff: fault.Backoff{Base: *backoff, Seed: plan.Seed},
+		Fault:   inj,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "catchd: "+format+"\n", args...)
+		},
 		Metrics: reg,
 	})
 	srv := &runner.Server{
-		Engine:      eng,
-		Resolve:     experiments.ConfigByName,
-		MaxInflight: *inflight,
-		Metrics:     reg,
-		Version:     version,
-		EnablePprof: *enablePprof,
+		Engine:         eng,
+		Resolve:        experiments.ConfigByName,
+		MaxInflight:    *inflight,
+		ShedAfter:      *shedAfter,
+		RequestTimeout: *reqTimeout,
+		JournalDir:     *journalDir,
+		Metrics:        reg,
+		Version:        version,
+		EnablePprof:    *enablePprof,
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -121,6 +186,11 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
+	// Flip into drain mode before closing the listener: queued requests
+	// shed immediately and the engine stops feeding sweep jobs, so the
+	// 30s shutdown budget goes to finishing (and journaling) in-flight
+	// work rather than starting more.
+	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

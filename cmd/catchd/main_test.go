@@ -7,7 +7,11 @@ import (
 )
 
 func validOptions() options {
-	return options{addr: ":8080", parallel: 4, inflight: 8, timeout: time.Minute, retries: 1}
+	return options{
+		addr: ":8080", parallel: 4, inflight: 8, timeout: time.Minute, retries: 1,
+		shedAfter: 16, reqTimeout: time.Minute, backoff: 100 * time.Millisecond,
+		brThresh: 5, brCooldown: 32, inject: "seed=1,disk-read=0.5:2,slow=0.1@2ms",
+	}
 }
 
 func TestValidate(t *testing.T) {
@@ -17,12 +21,23 @@ func TestValidate(t *testing.T) {
 		wantErr string // substring; must name the offending flag
 	}{
 		{"defaults pass", func(o *options) {}, ""},
-		{"zero means auto", func(o *options) { o.parallel, o.inflight, o.timeout, o.retries = 0, 0, 0, 0 }, ""},
+		{"zero means auto", func(o *options) {
+			o.parallel, o.inflight, o.timeout, o.retries = 0, 0, 0, 0
+			o.shedAfter, o.reqTimeout, o.backoff, o.brThresh, o.brCooldown, o.inject =
+				0, 0, 0, 0, 0, ""
+		}, ""},
 		{"empty addr", func(o *options) { o.addr = "" }, "-addr must not be empty"},
 		{"negative parallel", func(o *options) { o.parallel = -1 }, "-parallel must be >= 0"},
 		{"negative inflight", func(o *options) { o.inflight = -2 }, "-max-inflight must be >= 0"},
 		{"negative timeout", func(o *options) { o.timeout = -time.Second }, "-job-timeout must be >= 0"},
 		{"negative retries", func(o *options) { o.retries = -1 }, "-retries must be >= 0"},
+		{"negative shed-after", func(o *options) { o.shedAfter = -1 }, "-shed-after must be >= 0"},
+		{"negative request-timeout", func(o *options) { o.reqTimeout = -time.Second }, "-request-timeout must be >= 0"},
+		{"negative retry-backoff", func(o *options) { o.backoff = -time.Second }, "-retry-backoff must be >= 0"},
+		{"negative breaker-threshold", func(o *options) { o.brThresh = -1 }, "-breaker-threshold must be >= 0"},
+		{"negative breaker-cooldown", func(o *options) { o.brCooldown = -1 }, "-breaker-cooldown must be >= 0"},
+		{"malformed inject plan", func(o *options) { o.inject = "panic=2.5" }, "-inject"},
+		{"unknown inject kind", func(o *options) { o.inject = "frobnicate=0.5" }, "-inject"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -8,6 +8,7 @@
 //	catchexp -exp fig13 -parallel 8     # shard the sweep over 8 workers
 //	catchexp -exp all -cache /tmp/catch # persist results across runs
 //	catchexp -exp fig10 -json           # machine-readable tables
+//	catchexp -exp all -cache /tmp/catch -journal /tmp/catch/exp.journal
 //	catchexp -list
 //
 // Simulations run through the parallel execution engine: jobs shard
@@ -15,6 +16,12 @@
 // runs, or anything already in the -cache directory) are served from
 // the content-addressed result cache. Wall-clock and cache counters
 // are reported on stderr.
+//
+// -journal checkpoints every completed job key so an interrupted
+// evaluation, re-run with the same flags, skips straight to the jobs
+// it has not finished (the journal here is manifest-less: it is a done
+// set over the content-addressed keys, so it composes across
+// experiments). Pair it with -cache, which holds the actual results.
 package main
 
 import (
@@ -85,6 +92,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker goroutines")
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
+		journal  = flag.String("journal", "", "checkpoint completed job keys to this file; a re-run resumes (use with -cache)")
 	)
 	flag.Parse()
 
@@ -101,9 +109,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var jl *runner.Journal
+	if *journal != "" {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "catchexp: warning: -journal without -cache resumes nothing (results only survive in the disk cache)")
+		}
+		var err error
+		if jl, err = runner.OpenJournal(*journal, nil, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "catchexp:", err)
+			os.Exit(1)
+		}
+		if n := jl.DoneCount(); n > 0 {
+			fmt.Fprintf(os.Stderr, "catchexp: journal %s already records %d completed jobs\n", *journal, n)
+		}
+		defer func() {
+			if err := jl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "catchexp:", err)
+			}
+		}()
+	}
 	eng := runner.New(runner.Options{
 		Workers: *parallel,
 		Cache:   runner.NewCache(*cacheDir),
+		Journal: jl,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "catchexp: "+format+"\n", args...)
+		},
 	})
 	experiments.UseEngine(eng)
 

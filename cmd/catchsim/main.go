@@ -8,6 +8,8 @@
 //	catchsim -workload mcf -config catch -json
 //	catchsim -workload mcf -config catch -trace out.json   # Chrome/Perfetto trace
 //	catchsim -workload mcf -config catch -dump-critpath    # critical-path table
+//	catchsim -workload mcf,hmmer -config catch -cache /tmp/cc -journal sweep.journal
+//	catchsim -resume sweep.journal -cache /tmp/cc          # continue an interrupted sweep
 //	catchsim -list            # list workloads
 //	catchsim -configs         # list configurations
 //
@@ -17,6 +19,12 @@
 // instead of the human-readable report. -trace and -dump-critpath
 // attach the telemetry tracer and therefore run a single
 // (config, workload) job in-process.
+//
+// -journal checkpoints every completed job (and the sweep's manifest)
+// to an append-only file; an interrupted run — Ctrl-C included — can
+// be continued with -resume, which reads the job list back from the
+// journal and executes only what is missing. Pair both with -cache so
+// completed results survive the process.
 package main
 
 import (
@@ -26,9 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 
 	"catch/internal/config"
 	"catch/internal/core"
@@ -53,6 +63,9 @@ type options struct {
 	traceSample uint64
 	traceBuf    int
 	dumpCrit    bool
+	cacheDir    string
+	journal     string
+	resume      string
 
 	cfgs []config.SystemConfig // resolved by validate
 }
@@ -99,6 +112,12 @@ func validate(o *options) error {
 		return fmt.Errorf("-trace/-dump-critpath run a single job; got %d configs x %d workloads",
 			len(o.configs), len(o.workloads))
 	}
+	if o.journal != "" && o.resume != "" {
+		return errors.New("-journal and -resume are mutually exclusive (-resume reuses the journal's stored manifest)")
+	}
+	if (o.traceOut != "" || o.dumpCrit) && (o.journal != "" || o.resume != "") {
+		return errors.New("-trace/-dump-critpath run in-process and cannot be combined with -journal/-resume")
+	}
 	return nil
 }
 
@@ -129,6 +148,10 @@ func main() {
 		traceSample = flag.Uint64("trace-sample", 64, "record 1-in-N of the high-frequency trace events (instructions, cache accesses)")
 		traceBuf    = flag.Int("trace-buf", 1<<20, "trace ring capacity in events (oldest events drop on overflow)")
 		dumpCrit    = flag.Bool("dump-critpath", false, "print the recorded critical-path walks as a table; single job only")
+
+		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
+		journal  = flag.String("journal", "", "checkpoint completed jobs to this file; continue later with -resume")
+		resume   = flag.String("resume", "", "resume the sweep stored in this journal (the job grid comes from its manifest)")
 	)
 	flag.Parse()
 
@@ -164,6 +187,9 @@ func main() {
 		traceSample: *traceSample,
 		traceBuf:    *traceBuf,
 		dumpCrit:    *dumpCrit,
+		cacheDir:    *cacheDir,
+		journal:     *journal,
+		resume:      *resume,
 	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchsim:", err)
@@ -179,11 +205,61 @@ func main() {
 		return
 	}
 
-	grid := runner.Grid{Configs: cfgs, Workloads: wls, Insts: *n, Warmup: *warmup}
-	eng := runner.New(runner.Options{Workers: *parallel, Cache: runner.NewCache("")})
-	jrs := eng.Run(context.Background(), grid.Jobs())
+	// A cancelable context lets Ctrl-C stop the sweep cleanly: finished
+	// jobs are already journaled, undone ones come back Canceled, and a
+	// later -resume picks up exactly the remainder.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		jl   *runner.Journal
+		jobs []runner.Job
+		err  error
+	)
+	switch {
+	case opts.resume != "":
+		if jl, err = runner.OpenJournal(opts.resume, nil, 0); err == nil && len(jl.Jobs()) == 0 {
+			err = fmt.Errorf("%s holds no job manifest; start the sweep with -journal", opts.resume)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catchsim:", err)
+			os.Exit(1)
+		}
+		jobs = jl.Jobs()
+		if opts.cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "catchsim: warning: -resume without -cache recomputes every job (journaled results only live in the disk cache)")
+		}
+		fmt.Fprintf(os.Stderr, "catchsim: resuming %s: %d/%d jobs already done\n",
+			opts.resume, jl.DoneCount(), len(jobs))
+	default:
+		grid := runner.Grid{Configs: cfgs, Workloads: wls, Insts: *n, Warmup: *warmup}
+		jobs = grid.Jobs()
+		if opts.journal != "" {
+			if jl, err = runner.OpenJournal(opts.journal, jobs, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "catchsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	eng := runner.New(runner.Options{
+		Workers: *parallel,
+		Cache:   runner.NewCache(opts.cacheDir),
+		Journal: jl,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "catchsim: "+format+"\n", args...)
+		},
+	})
+	jrs := eng.Run(ctx, jobs)
+	if cerr := jl.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "catchsim:", cerr)
+	}
 	if err := runner.FirstError(jrs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if ctx.Err() != nil && jl != nil {
+			fmt.Fprintf(os.Stderr, "catchsim: interrupted; continue with -resume %s -cache %q\n",
+				jl.Path(), opts.cacheDir)
+		}
 		os.Exit(1)
 	}
 

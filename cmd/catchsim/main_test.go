@@ -49,6 +49,17 @@ func TestValidate(t *testing.T) {
 			o.dumpCrit = true
 			o.configs = []string{"baseline-excl", "catch"}
 		}, "-trace/-dump-critpath run a single job"},
+		{"journal passes", func(o *options) { o.journal = "sweep.journal" }, ""},
+		{"resume passes", func(o *options) { o.resume = "sweep.journal"; o.cacheDir = "/tmp/cc" }, ""},
+		{"journal with resume", func(o *options) {
+			o.journal, o.resume = "a.journal", "b.journal"
+		}, "-journal and -resume are mutually exclusive"},
+		{"trace with journal", func(o *options) {
+			o.traceOut, o.journal = "t.json", "sweep.journal"
+		}, "cannot be combined with -journal/-resume"},
+		{"critpath with resume", func(o *options) {
+			o.dumpCrit, o.resume = true, "sweep.journal"
+		}, "cannot be combined with -journal/-resume"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

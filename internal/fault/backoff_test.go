@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffZeroValueDisables(t *testing.T) {
+	var b Backoff
+	for n := 1; n < 5; n++ {
+		if d := b.Delay("k", n); d != 0 {
+			t.Fatalf("zero-value delay(%d) = %v", n, d)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 60 * time.Millisecond, Seed: 1}
+	prevNominal := time.Duration(0)
+	for n := 1; n <= 6; n++ {
+		d := b.Delay("job", n)
+		nominal := b.Base << (n - 1)
+		if nominal > b.Max {
+			nominal = b.Max
+		}
+		if d < nominal/2 || d >= nominal {
+			t.Fatalf("delay(%d) = %v outside [%v, %v)", n, d, nominal/2, nominal)
+		}
+		if nominal < prevNominal {
+			t.Fatalf("nominal shrank at attempt %d", n)
+		}
+		prevNominal = nominal
+	}
+	// Far attempts stay capped (and must not overflow).
+	if d := b.Delay("job", 200); d >= b.Max {
+		t.Fatalf("delay(200) = %v, want < %v", d, b.Max)
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	a := Backoff{Base: time.Millisecond, Seed: 9}
+	b := Backoff{Base: time.Millisecond, Seed: 9}
+	for n := 1; n < 6; n++ {
+		if a.Delay("site", n) != b.Delay("site", n) {
+			t.Fatalf("attempt %d: jitter not deterministic", n)
+		}
+	}
+	// Different sites (and seeds) jitter differently — at least one of
+	// the attempts must differ.
+	same := true
+	for n := 1; n < 6; n++ {
+		if a.Delay("site", n) != a.Delay("other", n) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("jitter ignores the site")
+	}
+}
+
+func TestBackoffDefaultMax(t *testing.T) {
+	b := Backoff{Base: time.Millisecond}
+	if d := b.Delay("k", 63); d >= 32*time.Millisecond {
+		t.Fatalf("default max: delay = %v, want < 32ms", d)
+	}
+}

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"sync"
+
+	"catch/internal/stats"
+)
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int32
+
+// Breaker states, in escalation order. The numeric values are exposed
+// as a gauge (/metrics), so they are part of the observability
+// contract: 0 healthy, 1 probing, 2 tripped.
+const (
+	StateClosed   BreakerState = 0
+	StateHalfOpen BreakerState = 1
+	StateOpen     BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a three-state circuit breaker. Threshold consecutive
+// failures trip it open; while open it denies Allow until Cooldown
+// denials have accumulated, then moves to half-open and grants exactly
+// one probe. A successful probe closes the circuit, a failed one
+// re-opens it.
+//
+// The cooldown is counted in denied calls, not seconds, so the
+// breaker is deterministic: under a steady request stream "N denials"
+// is a duration, and in tests it is an exact, clock-free schedule.
+type Breaker struct {
+	threshold int
+	cooldown  int
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed
+	denied   int // Allow denials since the circuit opened
+	probing  bool
+
+	trips stats.AtomicCounter
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and probes after cooldown denied calls. Non-positive
+// arguments take the defaults (5 failures, 32 denials).
+func NewBreaker(threshold, cooldown int) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 32
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether the protected operation may run. Nil-safe: a
+// nil breaker always allows.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		b.denied++
+		if b.denied >= b.cooldown {
+			b.state = StateHalfOpen
+			b.probing = false
+		}
+		return false
+	default: // StateHalfOpen: grant a single probe
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a healthy protected operation.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state == StateHalfOpen {
+		b.state = StateClosed
+		b.probing = false
+	}
+}
+
+// Failure reports a failed protected operation; enough of them in a
+// row (or one failed half-open probe) trips the circuit.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		b.trip()
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = StateOpen
+	b.failures = 0
+	b.denied = 0
+	b.probing = false
+	b.trips.Inc()
+}
+
+// State snapshots the current state (StateClosed for a nil breaker).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the circuit has opened.
+func (b *Breaker) Trips() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips.Value()
+}

@@ -1,0 +1,86 @@
+package fault
+
+import "testing"
+
+// TestBreakerLifecycle walks the full state machine: closed → open on
+// threshold consecutive failures → half-open after cooldown denials →
+// closed again on a successful probe.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, 4)
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("fresh breaker not closed")
+	}
+
+	// Two failures with a success in between never trip: the count is
+	// consecutive.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("tripped on non-consecutive failures")
+	}
+	b.Failure()
+	if b.State() != StateOpen || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d after 3 consecutive failures", b.State(), b.Trips())
+	}
+
+	// While open, Allow denies; the cooldown is counted in denials.
+	for i := 0; i < 4; i++ {
+		if b.Allow() {
+			t.Fatalf("denial %d: open breaker allowed", i)
+		}
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state=%v after cooldown, want half-open", b.State())
+	}
+
+	// Half-open grants exactly one probe.
+	if !b.Allow() {
+		t.Fatal("half-open denied the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open granted a second probe")
+	}
+	b.Success()
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the circuit")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := NewBreaker(1, 2)
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("threshold 1 did not trip")
+	}
+	b.Allow()
+	b.Allow()
+	if !b.Allow() { // probe
+		t.Fatal("no probe granted")
+	}
+	b.Failure()
+	if b.State() != StateOpen || b.Trips() != 2 {
+		t.Fatalf("state=%v trips=%d after failed probe", b.State(), b.Trips())
+	}
+}
+
+func TestNilBreakerAlwaysAllows(t *testing.T) {
+	var b *Breaker
+	b.Failure()
+	b.Success()
+	if !b.Allow() || b.State() != StateClosed || b.Trips() != 0 {
+		t.Fatal("nil breaker misbehaved")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		StateClosed: "closed", StateHalfOpen: "half-open", StateOpen: "open",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -22,6 +22,10 @@ type DeterminismConfig struct {
 // lands in a Result, table or golden figure. internal/runner and
 // internal/telemetry are deliberately out of scope: engine timing,
 // uptime and trace timestamps are legitimately wall-clock-based.
+// internal/fault IS in scope even though it never touches a Result:
+// its whole contract is that fault schedules, breaker transitions and
+// backoff jitter replay identically from a seed, which a stray
+// time.Now or global rand call would silently break.
 func DefaultDeterminismConfig() DeterminismConfig {
 	return DeterminismConfig{
 		Packages: []string{
@@ -32,6 +36,7 @@ func DefaultDeterminismConfig() DeterminismConfig {
 			"catch/internal/cpu",
 			"catch/internal/criticality",
 			"catch/internal/experiments",
+			"catch/internal/fault",
 			"catch/internal/interconnect",
 			"catch/internal/memory",
 			"catch/internal/power",

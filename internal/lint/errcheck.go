@@ -18,6 +18,14 @@ import (
 // bytes.Buffer writers, and writes to a *bufio.Writer — bufio's
 // write error is sticky and resurfaces from Flush, whose result the
 // analyzer does require to be handled.
+//
+// Inside catch/internal/fault the analyzer is stricter: methods of
+// decorator types (a struct holding a field of an interface the
+// receiver itself implements — fault.InjectFS is the archetype) may
+// not discard an error even with an explicit `_ =`. A wrapper that
+// swallows the wrapped implementation's error turns both injected
+// faults and real failures into silent data corruption, which is
+// exactly the failure mode the fault layer exists to surface.
 func NewErrorHygiene() *Analyzer {
 	a := &Analyzer{
 		Name: "error-hygiene",
@@ -43,8 +51,115 @@ func NewErrorHygiene() *Analyzer {
 				return true
 			})
 		}
+		if pass.Path == faultWrapperPkg {
+			checkFaultWrappers(pass, errType)
+		}
 	}
 	return a
+}
+
+// faultWrapperPkg is the package whose decorator types interpose on
+// real implementations to inject faults; its wrappers carry the
+// must-propagate contract enforced by checkFaultWrappers.
+const faultWrapperPkg = "catch/internal/fault"
+
+// checkFaultWrappers flags blank-identifier discards of error values
+// inside methods of decorator types. The usual `_ =` escape hatch is
+// off here: the wrapped interface's errors must reach the caller.
+func checkFaultWrappers(pass *Pass, errType types.Type) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !isDecoratorMethod(fn) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				asg, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range asg.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if t := assignedType(pass.Info, asg, i); t != nil && types.Identical(t, errType) {
+						pass.Reportf(lhs.Pos(), "fault wrapper method %s discards an error: injectable wrappers must propagate the wrapped implementation's errors", calleeNameOf(fn))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isDecoratorMethod reports whether fn's receiver is a decorator: a
+// struct type with a field whose interface the receiver (or its
+// pointer) implements, i.e. the type wraps another implementation of
+// its own contract.
+func isDecoratorMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		iface, ok := st.Field(i).Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedType resolves the type flowing into position i of an
+// assignment: per-position for n:=n assignments, the tuple component
+// for the multi-value call form. Nil when it cannot be determined.
+func assignedType(info *types.Info, asg *ast.AssignStmt, i int) types.Type {
+	if len(asg.Rhs) == len(asg.Lhs) {
+		if tv, ok := info.Types[asg.Rhs[i]]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	if len(asg.Rhs) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[asg.Rhs[0]]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+		return tuple.At(i).Type()
+	}
+	return nil
+}
+
+// calleeNameOf renders (pkg.Type).Method for a method object.
+func calleeNameOf(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return "(" + named.Obj().Pkg().Name() + "." + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Name()
 }
 
 // returnsError reports whether any result of call is an error.

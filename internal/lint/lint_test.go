@@ -189,6 +189,13 @@ func TestErrorHygieneFixture(t *testing.T) {
 	runFixtureTest(t, "errhygiene.txt", []*Analyzer{NewErrorHygiene()})
 }
 
+// TestErrorHygieneFaultWrapperFixture pins the stricter in-package
+// rule: fault decorator methods may not discard errors even with the
+// explicit `_ =` form that the base analyzer accepts.
+func TestErrorHygieneFaultWrapperFixture(t *testing.T) {
+	runFixtureTest(t, "errhygiene_fault.txt", []*Analyzer{NewErrorHygiene()})
+}
+
 // TestIgnoreSuppression exercises the //catchlint:ignore machinery
 // end to end against the full analyzer set: a correctly targeted
 // directive (standalone or trailing form) silences its finding, while

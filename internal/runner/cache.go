@@ -2,13 +2,15 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"regexp"
 	"sync"
 
 	"catch/internal/core"
+	"catch/internal/fault"
 	"catch/internal/stats"
 )
 
@@ -20,6 +22,25 @@ type CacheStats struct {
 	Coalesced uint64 `json:"coalesced"`
 	DiskHits  uint64 `json:"diskHits"`
 	BadDisk   uint64 `json:"badDisk"` // corrupted on-disk entries treated as misses
+	// DiskErrs counts disk I/O failures (reads and writes); enough of
+	// them in a row trips the breaker into memory-only mode.
+	DiskErrs uint64 `json:"diskErrs"`
+	// Quarantined counts corrupt entries renamed aside to *.corrupt so
+	// they are inspectable and never re-read.
+	Quarantined uint64 `json:"quarantined"`
+}
+
+// CacheOptions configures a Cache beyond the directory.
+type CacheOptions struct {
+	// Dir is the persistence directory; empty means memory-only.
+	Dir string
+	// FS is the filesystem the disk layer goes through; nil means the
+	// real one. Chaos tests substitute fault.InjectFS.
+	FS fault.FS
+	// Breaker, when non-nil, guards the disk layer: consecutive I/O
+	// failures trip it and the cache degrades to memory-only until a
+	// half-open probe succeeds. nil leaves the disk layer unguarded.
+	Breaker *fault.Breaker
 }
 
 // Cache is a content-addressed memo of job results keyed by Job.Key.
@@ -28,17 +49,21 @@ type CacheStats struct {
 // concurrent requests for one key are coalesced onto a single
 // computation.
 type Cache struct {
-	dir string
+	dir     string
+	fs      fault.FS
+	breaker *fault.Breaker
 
 	mu       sync.Mutex
 	mem      map[string][]core.Result
 	inflight map[string]*flight
 
-	hits      stats.AtomicCounter
-	misses    stats.AtomicCounter
-	coalesced stats.AtomicCounter
-	diskHits  stats.AtomicCounter
-	badDisk   stats.AtomicCounter
+	hits        stats.AtomicCounter
+	misses      stats.AtomicCounter
+	coalesced   stats.AtomicCounter
+	diskHits    stats.AtomicCounter
+	badDisk     stats.AtomicCounter
+	diskErrs    stats.AtomicCounter
+	quarantined stats.AtomicCounter
 }
 
 type flight struct {
@@ -50,21 +75,36 @@ type flight struct {
 // NewCache builds a cache. dir may be empty for a memory-only cache;
 // otherwise it is created on first persist.
 func NewCache(dir string) *Cache {
+	return NewCacheOpts(CacheOptions{Dir: dir})
+}
+
+// NewCacheOpts builds a cache with an explicit filesystem and breaker.
+func NewCacheOpts(o CacheOptions) *Cache {
+	if o.FS == nil {
+		o.FS = fault.OS{}
+	}
 	return &Cache{
-		dir:      dir,
+		dir:      o.Dir,
+		fs:       o.FS,
+		breaker:  o.Breaker,
 		mem:      make(map[string][]core.Result),
 		inflight: make(map[string]*flight),
 	}
 }
 
+// Breaker returns the disk-layer breaker (nil when unguarded).
+func (c *Cache) Breaker() *fault.Breaker { return c.breaker }
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:      c.hits.Value(),
-		Misses:    c.misses.Value(),
-		Coalesced: c.coalesced.Value(),
-		DiskHits:  c.diskHits.Value(),
-		BadDisk:   c.badDisk.Value(),
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Coalesced:   c.coalesced.Value(),
+		DiskHits:    c.diskHits.Value(),
+		BadDisk:     c.badDisk.Value(),
+		DiskErrs:    c.diskErrs.Value(),
+		Quarantined: c.quarantined.Value(),
 	}
 }
 
@@ -152,57 +192,88 @@ func (c *Cache) path(key string) (string, bool) {
 	return filepath.Join(c.dir, key+".json"), true
 }
 
+// loadDisk reads one entry. Disk health feeds the breaker: a missing
+// file is a healthy miss, a real I/O error a failure, and when the
+// breaker is open the disk is not touched at all (memory-only mode). A
+// corrupt entry is quarantined — renamed to *.corrupt on first
+// detection so it is kept for inspection but never re-read — and
+// treated as a miss, never a failure: the job simply recomputes and
+// persists a fresh entry.
 func (c *Cache) loadDisk(key string) ([]core.Result, bool) {
 	p, ok := c.path(key)
 	if !ok {
 		return nil, false
 	}
-	raw, err := os.ReadFile(p)
-	if err != nil {
+	if !c.breaker.Allow() {
 		return nil, false
 	}
+	raw, err := c.fs.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			c.breaker.Success()
+			return nil, false
+		}
+		c.diskErrs.Inc()
+		c.breaker.Failure()
+		return nil, false
+	}
+	c.breaker.Success()
 	var rs []core.Result
-	// A corrupted or empty entry is a miss, never a failure: the job
-	// simply recomputes and overwrites it.
 	if err := json.Unmarshal(raw, &rs); err != nil || len(rs) == 0 {
 		c.badDisk.Inc()
+		c.quarantine(p)
 		return nil, false
 	}
 	return rs, true
 }
 
+// quarantine renames a corrupt entry aside, best-effort.
+func (c *Cache) quarantine(p string) {
+	if err := c.fs.Rename(p, p+".corrupt"); err == nil {
+		c.quarantined.Inc()
+	}
+}
+
 // storeDisk persists an entry via temp-file rename so readers never
-// observe a half-written file. Persistence failures are deliberately
-// silent: the disk layer is an optimization, not a correctness need.
+// observe a half-written file. Persistence failures only feed the
+// breaker, never the caller: the disk layer is an optimization, not a
+// correctness need.
 func (c *Cache) storeDisk(key string, rs []core.Result) {
 	p, ok := c.path(key)
 	if !ok {
 		return
 	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	if !c.breaker.Allow() {
+		return
+	}
+	if err := c.fs.MkdirAll(c.dir, 0o755); err != nil {
+		c.diskErrs.Inc()
+		c.breaker.Failure()
 		return
 	}
 	raw, err := json.Marshal(rs)
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "."+key+"-*")
-	if err != nil {
+	// The tmp name is deterministic per key: concurrent writers of one
+	// key are already singleflighted, and the final rename is atomic.
+	tmp := p + ".tmp"
+	if err := c.fs.WriteFile(tmp, raw, 0o644); err != nil {
+		c.diskErrs.Inc()
+		c.breaker.Failure()
 		return
 	}
-	_, werr := tmp.Write(raw)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		_ = os.Remove(tmp.Name()) // best-effort cleanup of the temp file
+	if err := c.fs.Rename(tmp, p); err != nil {
+		c.diskErrs.Inc()
+		c.breaker.Failure()
+		_ = c.fs.Remove(tmp) // best-effort cleanup of the temp file
 		return
 	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		_ = os.Remove(tmp.Name()) // best-effort cleanup of the temp file
-	}
+	c.breaker.Success()
 }
 
 // String renders the counters for human-readable summaries.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits %d (disk %d)  misses %d  coalesced %d  corrupt %d  hit-rate %.1f%%",
-		s.Hits, s.DiskHits, s.Misses, s.Coalesced, s.BadDisk, 100*s.HitRate())
+	return fmt.Sprintf("hits %d (disk %d)  misses %d  coalesced %d  corrupt %d (quarantined %d)  disk-errs %d  hit-rate %.1f%%",
+		s.Hits, s.DiskHits, s.Misses, s.Coalesced, s.BadDisk, s.Quarantined, s.DiskErrs, 100*s.HitRate())
 }

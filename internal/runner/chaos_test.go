@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"catch/internal/core"
+	"catch/internal/fault"
+)
+
+// flattenJSON runs jobs through e and returns the Flatten output as
+// canonical bytes — the unit of comparison for every determinism
+// claim in this file.
+func flattenJSON(t *testing.T, e *Engine, ctx context.Context, jobs []Job) []byte {
+	t.Helper()
+	rs, err := Flatten(e.Run(ctx, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestChaosDeterminismUnderFaults is the headline invariant: a seeded
+// fault schedule (disk errors, corrupt entries, transient exec
+// failures, panics, artificial slowness) over a real small sweep
+// produces byte-identical Flatten output to the fault-free run,
+// because every injected fault is transient and the retry/quarantine/
+// breaker machinery recovers it.
+func TestChaosDeterminismUnderFaults(t *testing.T) {
+	jobs := testJobs()
+	ref := flattenJSON(t, New(Options{Workers: 2}), context.Background(), jobs)
+
+	for _, seed := range []uint64{1, 7, 42} {
+		inj := fault.NewInjector(fault.Plan{Seed: seed, Rules: map[fault.Kind]fault.Rule{
+			fault.DiskRead:  {Prob: 0.5},
+			fault.DiskWrite: {Prob: 0.5},
+			fault.Corrupt:   {Prob: 0.5},
+			fault.Exec:      {Prob: 0.5},
+			fault.Panic:     {Prob: 0.3},
+			fault.Slow:      {Prob: 0.5, Delay: time.Millisecond},
+		}})
+		cache := NewCacheOpts(CacheOptions{
+			Dir:     t.TempDir(),
+			FS:      fault.InjectFS{FS: fault.OS{}, Inj: inj},
+			Breaker: fault.NewBreaker(3, 4),
+		})
+		e := New(Options{
+			Workers: 3, Cache: cache, Retries: 3, Fault: inj,
+			Backoff: fault.Backoff{Base: 50 * time.Microsecond, Seed: seed},
+		})
+		got := flattenJSON(t, e, context.Background(), jobs)
+		if string(got) != string(ref) {
+			t.Fatalf("seed %d: output under faults diverged from fault-free run", seed)
+		}
+		if inj.TotalInjected() == 0 {
+			t.Fatalf("seed %d: the chaos run injected nothing", seed)
+		}
+	}
+}
+
+// TestChaosKillResumeCycle: phase 1 runs under faults (every job
+// panics once, half the disk reads fail) and is killed mid-sweep;
+// phase 2 reopens the journal fault-free and completes exactly the
+// remaining jobs, with the full sweep byte-identical to a clean run.
+func TestChaosKillResumeCycle(t *testing.T) {
+	jobs := testJobs()
+	ref := flattenJSON(t, New(Options{Workers: 2}), context.Background(), jobs)
+
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	jpath := filepath.Join(dir, "sweep.journal")
+
+	// Phase 1: chaos + kill.
+	inj := fault.NewInjector(fault.Plan{Seed: 11, Rules: map[fault.Kind]fault.Rule{
+		fault.Panic:    {Prob: 1}, // every job's first attempt panics
+		fault.DiskRead: {Prob: 0.5},
+	}})
+	jl1, err := OpenJournal(jpath, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(Options{Workers: 1, Cache: NewCache(cacheDir), Retries: 2, Fault: inj, Journal: jl1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sims atomic.Int32
+	inner := e1.simulate
+	e1.simulate = func(j *Job) ([]core.Result, error) {
+		rs, err := inner(j)
+		if sims.Add(1) == 2 {
+			cancel() // the "kill": the first job is already journaled
+		}
+		return rs, err
+	}
+	first := e1.Run(ctx, jobs)
+	if err := jl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Injected(fault.Panic); got < 2 {
+		t.Fatalf("phase 1 injected %d panics, want >= 2", got)
+	}
+	var done int
+	for i := range first {
+		switch first[i].Status {
+		case StatusOK:
+			done++
+		case StatusCanceled:
+		default:
+			t.Fatalf("phase 1 job %d: status %q err %q", i, first[i].Status, first[i].Err)
+		}
+	}
+	if done == 0 || done == len(jobs) {
+		t.Fatalf("kill was not mid-sweep: %d/%d done", done, len(jobs))
+	}
+
+	// Phase 2: clean resume in a "new process".
+	jl2, err := OpenJournal(jpath, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if jl2.DoneCount() != done {
+		t.Fatalf("journal has %d done, phase 1 reported %d", jl2.DoneCount(), done)
+	}
+	e2 := New(Options{Workers: 2, Cache: NewCache(cacheDir), Journal: jl2})
+	got := flattenJSON(t, e2, context.Background(), jobs)
+	if string(got) != string(ref) {
+		t.Fatal("resumed sweep diverged from the clean run")
+	}
+	if exec := e2.Executed(); exec != uint64(len(jobs)-done) {
+		t.Fatalf("phase 2 executed %d jobs, want exactly the %d remaining", exec, len(jobs)-done)
+	}
+}
+
+// TestChaosHangRecoversViaTimeout: an injected hang is bounded by the
+// per-attempt timeout and the retry succeeds (the hung goroutine
+// drains when the sweep's context is cancelled).
+func TestChaosHangRecoversViaTimeout(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Seed: 5, Rules: map[fault.Kind]fault.Rule{
+		fault.Hang: {Prob: 1},
+	}})
+	e := New(Options{Workers: 1, Timeout: 30 * time.Millisecond, Retries: 1, Fault: inj})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // releases the hung goroutine
+	rs := e.Run(ctx, testJobs()[:1])
+	if rs[0].Err != "" || rs[0].Status != StatusOK {
+		t.Fatalf("hang did not recover: %+v", rs[0])
+	}
+	if inj.Injected(fault.Hang) != 1 {
+		t.Fatalf("hangs injected = %d", inj.Injected(fault.Hang))
+	}
+}

@@ -2,15 +2,34 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"catch/internal/core"
+	"catch/internal/fault"
 	"catch/internal/stats"
 	"catch/internal/telemetry"
 )
+
+// Job outcome statuses, as reported in JobResult.Status.
+const (
+	// StatusOK marks a job that produced results (computed or cached).
+	StatusOK = "ok"
+	// StatusFailed marks a job that exhausted its attempts with an error.
+	StatusFailed = "failed"
+	// StatusCanceled marks a job cut short by context cancellation or an
+	// engine drain — it was never given its full attempt budget, so it
+	// is retryable work, not a failure.
+	StatusCanceled = "canceled"
+)
+
+// ErrDraining reports that the engine stopped feeding new jobs because
+// Drain was called.
+var ErrDraining = errors.New("engine draining")
 
 // Options configures an Engine.
 type Options struct {
@@ -23,6 +42,20 @@ type Options struct {
 	// Retries is the number of extra attempts after a failed or
 	// timed-out execution.
 	Retries int
+	// Backoff schedules the pause before each retry (exponential with
+	// deterministic seeded jitter). The zero value keeps the engine's
+	// historical immediate retries.
+	Backoff fault.Backoff
+	// Fault, when non-nil, injects deterministic faults (slow, hang,
+	// exec-error and panic kinds) around job execution attempts. Chaos
+	// testing only; nil means faults off.
+	Fault *fault.Injector
+	// Journal, when non-nil, records every completed job so an
+	// interrupted sweep can resume from its last completed key.
+	Journal *Journal
+	// Logf receives rare human-facing diagnostics (panic stacks,
+	// journal write failures); nil discards them.
+	Logf func(format string, args ...any)
 	// Metrics, when non-nil, receives the engine's job counters and
 	// latency histogram (catch_engine_*). Handles are nil-safe, so an
 	// unmetered engine pays nothing.
@@ -41,12 +74,18 @@ type Engine struct {
 
 	executed stats.AtomicCounter
 
+	drain     chan struct{}
+	drainOnce sync.Once
+
 	// Metric handles (nil when Options.Metrics is nil; every update on
 	// a nil handle is a no-op).
 	mInflight   *telemetry.Gauge
 	mCompleted  *telemetry.Counter
 	mFailed     *telemetry.Counter
+	mCanceled   *telemetry.Counter
 	mRetried    *telemetry.Counter
+	mResumed    *telemetry.Counter
+	mJournalErr *telemetry.Counter
 	mJobSeconds *telemetry.Histogram
 }
 
@@ -57,6 +96,10 @@ type JobResult struct {
 	Key     string        `json:"key"`
 	Results []core.Result `json:"results,omitempty"`
 	Err     string        `json:"error,omitempty"`
+	Status  string        `json:"status,omitempty"`
+	// Stack is the goroutine stack of the first panic this job hit
+	// (empty when it never panicked).
+	Stack   string        `json:"stack,omitempty"`
 	Cached  bool          `json:"cached"`
 	Elapsed time.Duration `json:"elapsedNs"`
 }
@@ -66,7 +109,7 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{opts: opts}
+	e := &Engine{opts: opts, drain: make(chan struct{})}
 	e.simulate = func(j *Job) ([]core.Result, error) { return j.Execute() }
 	if r := opts.Metrics; r != nil {
 		e.mInflight = r.Gauge("catch_engine_jobs_inflight",
@@ -75,8 +118,14 @@ func New(opts Options) *Engine {
 			"Jobs resolved successfully (including cache hits).")
 		e.mFailed = r.Counter("catch_engine_jobs_failed_total",
 			"Jobs that exhausted their attempts with an error.")
+		e.mCanceled = r.Counter("catch_engine_jobs_canceled_total",
+			"Jobs cut short by context cancellation or drain (retryable, not failed).")
 		e.mRetried = r.Counter("catch_engine_jobs_retried_total",
 			"Extra simulation attempts after a failure or timeout.")
+		e.mResumed = r.Counter("catch_engine_jobs_resumed_total",
+			"Jobs served from the cache because a journal already recorded them.")
+		e.mJournalErr = r.Counter("catch_engine_journal_errors_total",
+			"Failed journal appends (the sweep continues; a resume may recompute).")
 		e.mJobSeconds = r.Histogram("catch_engine_job_seconds",
 			"Wall-clock latency of one job resolution.",
 			0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120)
@@ -93,19 +142,64 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // Cache returns the engine's cache (nil when uncached).
 func (e *Engine) Cache() *Cache { return e.opts.Cache }
 
+// FaultInjector returns the configured injector (nil when faults are
+// off); the HTTP layer exports its counters.
+func (e *Engine) FaultInjector() *fault.Injector { return e.opts.Fault }
+
+// Drain stops feeding new jobs to the workers: running jobs finish
+// normally, unfed jobs come back with Status Canceled so they can be
+// checkpointed and re-run later. Idempotent; the engine stays drained.
+func (e *Engine) Drain() { e.drainOnce.Do(func() { close(e.drain) }) }
+
+// Draining reports whether Drain has been called.
+func (e *Engine) Draining() bool {
+	select {
+	case <-e.drain:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run executes jobs and returns one JobResult per job, in job order
 // regardless of scheduling. Individual failures are reported in the
 // corresponding JobResult; Run itself only stops early if ctx is
-// cancelled (pending jobs then carry the context error).
+// cancelled or the engine drains (pending jobs then carry Status
+// Canceled). When Options.Journal is set, completed jobs are recorded
+// there and already-recorded jobs are served from the cache.
 func (e *Engine) Run(ctx context.Context, jobs []Job) []JobResult {
+	return e.RunJournaled(ctx, jobs, e.opts.Journal)
+}
+
+// RunJournaled is Run against an explicit journal (overriding the
+// engine-wide Options.Journal): jobs whose keys the journal already
+// records are resolved from the cache without occupying a worker, and
+// every newly completed job is appended to it.
+func (e *Engine) RunJournaled(ctx context.Context, jobs []Job, jl *Journal) []JobResult {
 	out := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return out
 	}
-	workers := e.opts.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	// Resume pass: the journal's done set plus the cache replaces the
+	// computation entirely. A done key whose cached results are gone is
+	// simply recomputed — the journal is a hint, the cache is the data.
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
+		key := jobs[i].Key()
+		if jl.Done(key) {
+			if rs, ok := e.cacheGet(key); ok {
+				out[i] = JobResult{Job: jobs[i], Key: key, Results: rs, Status: StatusOK, Cached: true}
+				e.mResumed.Inc()
+				e.mCompleted.Inc()
+				continue
+			}
+		}
+		pending = append(pending, i)
 	}
+	if len(pending) == 0 {
+		return out
+	}
+	workers := min(e.opts.Workers, len(pending))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -114,14 +208,32 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []JobResult {
 			defer wg.Done()
 			for i := range idx {
 				out[i] = e.runOne(ctx, jobs[i])
+				if out[i].Err == "" {
+					if err := jl.Record(out[i].Key); err != nil {
+						e.mJournalErr.Inc()
+						e.logf("runner: %v", err)
+					}
+				}
 			}
 		}()
 	}
 feed:
-	for i := range jobs {
+	for _, i := range pending {
+		// A signaled stop always wins over handing out the next job;
+		// without this pre-check the select below picks randomly when a
+		// worker is already waiting.
+		select {
+		case <-ctx.Done():
+			break feed
+		case <-e.drain:
+			break feed
+		default:
+		}
 		select {
 		case idx <- i:
 		case <-ctx.Done():
+			break feed
+		case <-e.drain:
 			break feed
 		}
 	}
@@ -129,10 +241,23 @@ feed:
 	wg.Wait()
 	for i := range out {
 		if out[i].Key == "" { // never scheduled
-			out[i] = JobResult{Job: jobs[i], Key: jobs[i].Key(), Err: ctx.Err().Error()}
+			reason := ctx.Err()
+			if reason == nil {
+				reason = ErrDraining
+			}
+			out[i] = JobResult{Job: jobs[i], Key: jobs[i].Key(), Err: reason.Error(), Status: StatusCanceled}
+			e.mCanceled.Inc()
 		}
 	}
 	return out
+}
+
+// cacheGet reads key from the cache without computing anything.
+func (e *Engine) cacheGet(key string) ([]core.Result, bool) {
+	if e.opts.Cache == nil {
+		return nil, false
+	}
+	return e.opts.Cache.Get(key)
 }
 
 // runOne resolves a single job through the cache (when present) with
@@ -143,7 +268,7 @@ func (e *Engine) runOne(ctx context.Context, j Job) JobResult {
 	defer e.mInflight.Add(-1)
 	key := j.Key()
 	jr := JobResult{Job: j, Key: key}
-	compute := func() ([]core.Result, error) { return e.attempts(ctx, &j) }
+	compute := func() ([]core.Result, error) { return e.attempts(ctx, &j, key, &jr) }
 
 	var rs []core.Result
 	var err error
@@ -152,11 +277,20 @@ func (e *Engine) runOne(ctx context.Context, j Job) JobResult {
 	} else {
 		rs, err = compute()
 	}
-	if err != nil {
-		jr.Err = err.Error()
-		e.mFailed.Inc()
-	} else {
+	switch {
+	case err == nil:
+		jr.Status = StatusOK
 		e.mCompleted.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The job never got its full attempt budget: retryable work,
+		// not a failure.
+		jr.Err = err.Error()
+		jr.Status = StatusCanceled
+		e.mCanceled.Inc()
+	default:
+		jr.Err = err.Error()
+		jr.Status = StatusFailed
+		e.mFailed.Inc()
 	}
 	jr.Results = rs
 	jr.Elapsed = time.Since(start)
@@ -165,24 +299,51 @@ func (e *Engine) runOne(ctx context.Context, j Job) JobResult {
 }
 
 // attempts runs the simulation up to 1+Retries times, bounding each
-// attempt by the per-job timeout.
-func (e *Engine) attempts(ctx context.Context, j *Job) ([]core.Result, error) {
+// attempt by the per-job timeout and pausing per the backoff schedule.
+// Permanent errors and context cancellation stop the retry loop early;
+// the first panic's stack is captured into jr and logged exactly once
+// per job, however many attempts panic.
+func (e *Engine) attempts(ctx context.Context, j *Job, site string, jr *JobResult) ([]core.Result, error) {
 	if err := j.Validate(); err != nil {
 		return nil, err // structural errors do not retry
 	}
 	var last error
+	var slept time.Duration
 	for try := 0; try <= e.opts.Retries; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if try > 0 {
+			d := e.opts.Backoff.Delay(site, try)
+			if budget := e.opts.Backoff.Budget; budget > 0 && slept+d > budget {
+				return nil, fmt.Errorf("retry budget %v exhausted: %w", budget, last)
+			}
+			if d > 0 {
+				slept += d
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				}
+			}
 			e.mRetried.Inc()
 		}
-		rs, err := e.attempt(ctx, j)
+		rs, err := e.attempt(ctx, j, site)
 		if err == nil {
 			return rs, nil
 		}
+		var pe *PanicError
+		if errors.As(err, &pe) && jr.Stack == "" {
+			jr.Stack = string(pe.Stack)
+			e.logf("runner: job %s panicked: %v\n%s", shortKey(site), pe.Value, pe.Stack)
+		}
 		last = fmt.Errorf("attempt %d/%d: %w", try+1, e.opts.Retries+1, err)
+		if fault.IsPermanent(err) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, last
+		}
 	}
 	return nil, last
 }
@@ -192,10 +353,10 @@ func (e *Engine) attempts(ctx context.Context, j *Job) ([]core.Result, error) {
 // abandoned to finish (and be discarded) while the job is reported as
 // timed out — the bounded retry/error path keeps a straggler from
 // wedging the whole sweep.
-func (e *Engine) attempt(ctx context.Context, j *Job) ([]core.Result, error) {
-	if e.opts.Timeout <= 0 && ctx.Done() == nil {
+func (e *Engine) attempt(ctx context.Context, j *Job, site string) ([]core.Result, error) {
+	if e.opts.Timeout <= 0 && ctx.Done() == nil && e.opts.Fault == nil {
 		e.executed.Inc()
-		return e.simulate(j)
+		return e.protectedSimulate(ctx, j, site)
 	}
 	type outcome struct {
 		rs  []core.Result
@@ -204,7 +365,7 @@ func (e *Engine) attempt(ctx context.Context, j *Job) ([]core.Result, error) {
 	ch := make(chan outcome, 1)
 	e.executed.Inc()
 	go func() {
-		rs, err := e.simulate(j)
+		rs, err := e.protectedSimulate(ctx, j, site)
 		ch <- outcome{rs, err}
 	}()
 	var timeout <-chan time.Time
@@ -223,6 +384,57 @@ func (e *Engine) attempt(ctx context.Context, j *Job) ([]core.Result, error) {
 	}
 }
 
+// protectedSimulate runs one simulation with the engine's fault hooks
+// and panic containment. An injected hang blocks until the context
+// ends, so chaos runs need a cancelable context or a per-attempt
+// Timeout (the abandoned goroutine drains once the sweep's context is
+// done). The recover here backstops test stubs and injected panics;
+// real simulations already recover inside Job.Execute.
+func (e *Engine) protectedSimulate(ctx context.Context, j *Job, site string) (rs []core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rs, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	if inj := e.opts.Fault; inj != nil {
+		if d := inj.SlowDelay(site); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		if inj.Fire(fault.Hang, site) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		if inj.Fire(fault.Panic, site) {
+			panic(inj.Err(fault.Panic, site))
+		}
+		if inj.Fire(fault.Exec, site) {
+			return nil, inj.Err(fault.Exec, site)
+		}
+	}
+	return e.simulate(j)
+}
+
+// logf forwards to Options.Logf when configured.
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// shortKey abbreviates a content address for log lines.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
 // Executed returns how many simulations the engine actually started
 // (cache hits and coalesced waits do not count).
 func (e *Engine) Executed() uint64 { return e.executed.Value() }
@@ -232,7 +444,7 @@ func FirstError(rs []JobResult) error {
 	for i := range rs {
 		if rs[i].Err != "" {
 			return fmt.Errorf("job %s (%s on %v): %s",
-				rs[i].Key[:12], rs[i].Job.Config.Name, rs[i].Job.Workloads, rs[i].Err)
+				shortKey(rs[i].Key), rs[i].Job.Config.Name, rs[i].Job.Workloads, rs[i].Err)
 		}
 	}
 	return nil

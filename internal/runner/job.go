@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"catch/internal/config"
@@ -96,6 +97,17 @@ func (j *Job) gens() ([]trace.Generator, error) {
 	return out, nil
 }
 
+// PanicError is a recovered job panic: the panic value plus the
+// goroutine stack at the point of recovery, so a crash inside a
+// simulation is diagnosable from the JobResult instead of taking down
+// the worker pool.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
 // Execute runs the job on a fresh private core.System and returns one
 // Result per workload. A fresh system per job keeps results
 // deterministic (no warm state leaks between jobs) and keeps the
@@ -103,7 +115,7 @@ func (j *Job) gens() ([]trace.Generator, error) {
 func (j *Job) Execute() (rs []core.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			rs, err = nil, fmt.Errorf("job panicked: %v", p)
+			rs, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
 	gens, err := j.gens()

@@ -1,0 +1,287 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is an append-only record of completed jobs, keyed by the
+// same content addresses as the result cache: the header line carries
+// the sweep's job manifest, every following line one completed key.
+// Results themselves live in the cache — on resume the journal's done
+// set tells the engine which keys it may serve straight from there,
+// so an interrupted sweep restarts from the last completed job instead
+// of from scratch.
+//
+// The file is line-oriented JSON so a crash mid-append costs at most
+// the torn tail: OpenJournal truncates the file back to the last fully
+// written line and the lost completions are simply recomputed (or
+// re-served by the cache), never trusted.
+type Journal struct {
+	path string
+
+	mu        sync.Mutex
+	f         *os.File
+	jobs      []Job
+	done      map[string]bool
+	pending   int // appends since the last fsync
+	syncEvery int
+	skipped   int // lines discarded as a corrupt tail
+}
+
+// journalHeader is the journal's first line.
+type journalHeader struct {
+	V    int   `json:"v"`
+	Jobs []Job `json:"jobs,omitempty"`
+}
+
+// journalEntry is one completion record.
+type journalEntry struct {
+	Done string `json:"done"`
+}
+
+// OpenJournal opens (or creates) the journal at path. jobs is the
+// sweep's manifest: for a new journal it is stored in the header so a
+// later `-resume` can reconstruct the sweep; when reopening, a
+// non-empty stored manifest must match it key-for-key (resuming a
+// journal against a different sweep is a hard error, not silent
+// corruption). Pass nil jobs to adopt whatever manifest the file
+// holds. syncEvery batches fsyncs: one flush per that many appended
+// records (<=0 means 16); Close always flushes the remainder.
+func OpenJournal(path string, jobs []Job, syncEvery int) (*Journal, error) {
+	if syncEvery <= 0 {
+		syncEvery = 16
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	jl := &Journal{path: path, f: f, jobs: jobs, done: make(map[string]bool), syncEvery: syncEvery}
+	if err := jl.replay(jobs); err != nil {
+		_ = f.Close() // the replay error is the one worth reporting
+		return nil, err
+	}
+	return jl, nil
+}
+
+// replay loads an existing journal, tolerating a torn tail: parsing
+// stops at the first malformed or newline-less line, the file is
+// truncated back to the end of the last good one, and the discarded
+// lines are only counted (SkippedLines), never trusted.
+func (jl *Journal) replay(jobs []Job) error {
+	raw, err := io.ReadAll(jl.f)
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	if len(raw) == 0 {
+		return jl.writeHeader(jobs)
+	}
+	off, lineNo := 0, 0
+	for off < len(raw) {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 { // torn tail: the append never completed
+			jl.skipped += countLines(raw[off:])
+			return jl.truncateTo(off, lineNo == 0, jobs)
+		}
+		line := raw[off : off+nl]
+		if lineNo == 0 {
+			var h journalHeader
+			if json.Unmarshal(line, &h) != nil || h.V != 1 {
+				// An unreadable header means the file never got past
+				// creation (or is not a journal): start it over. No
+				// completion can be lost — none was ever trusted.
+				jl.skipped += countLines(raw[off:])
+				return jl.truncateTo(0, true, jobs)
+			}
+			if err := jl.adoptManifest(h.Jobs, jobs); err != nil {
+				return err
+			}
+		} else {
+			var e journalEntry
+			if json.Unmarshal(line, &e) != nil || e.Done == "" {
+				jl.skipped += countLines(raw[off:])
+				return jl.truncateTo(off, false, jobs)
+			}
+			jl.done[e.Done] = true
+		}
+		off += nl + 1
+		lineNo++
+	}
+	_, err = jl.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// adoptManifest reconciles the stored manifest with the caller's jobs.
+func (jl *Journal) adoptManifest(stored, jobs []Job) error {
+	if len(stored) == 0 {
+		return nil
+	}
+	if jobs == nil {
+		jl.jobs = stored
+		return nil
+	}
+	if len(stored) != len(jobs) {
+		return fmt.Errorf("journal %s: manifest has %d jobs, sweep has %d",
+			jl.path, len(stored), len(jobs))
+	}
+	for i := range jobs {
+		if stored[i].Key() != jobs[i].Key() {
+			return fmt.Errorf("journal %s: job %d does not match the stored manifest", jl.path, i)
+		}
+	}
+	return nil
+}
+
+// truncateTo cuts the file back to off and, when the header itself was
+// lost, rewrites it.
+func (jl *Journal) truncateTo(off int, rewriteHeader bool, jobs []Job) error {
+	if err := jl.f.Truncate(int64(off)); err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	if _, err := jl.f.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	if rewriteHeader {
+		return jl.writeHeader(jobs)
+	}
+	return nil
+}
+
+// writeHeader appends the header line and flushes it; callers hold the
+// file at the write position.
+func (jl *Journal) writeHeader(jobs []Job) error {
+	line, err := json.Marshal(journalHeader{V: 1, Jobs: jobs})
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	if _, err := jl.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	return nil
+}
+
+// countLines counts the (possibly unterminated) lines in a byte tail.
+func countLines(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	n := bytes.Count(b, []byte{'\n'})
+	if b[len(b)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// Record appends one completed key, deduplicating repeats. Appends are
+// fsynced in batches of syncEvery; an error leaves the journal usable
+// (the key is simply not marked done). Nil-safe.
+func (jl *Journal) Record(key string) error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("journal %s: closed", jl.path)
+	}
+	if jl.done[key] {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{Done: key})
+	if err != nil {
+		return err
+	}
+	if _, err := jl.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	jl.done[key] = true
+	jl.pending++
+	if jl.pending >= jl.syncEvery {
+		jl.pending = 0
+		if err := jl.f.Sync(); err != nil {
+			return fmt.Errorf("journal %s: %w", jl.path, err)
+		}
+	}
+	return nil
+}
+
+// Done reports whether key is recorded as completed. Nil-safe.
+func (jl *Journal) Done(key string) bool {
+	if jl == nil {
+		return false
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.done[key]
+}
+
+// DoneCount returns how many distinct completions are recorded.
+func (jl *Journal) DoneCount() int {
+	if jl == nil {
+		return 0
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return len(jl.done)
+}
+
+// Jobs returns the sweep manifest (the caller's, or the one adopted
+// from the file header when opened with nil jobs).
+func (jl *Journal) Jobs() []Job {
+	if jl == nil {
+		return nil
+	}
+	return jl.jobs
+}
+
+// SkippedLines reports how many corrupt-tail lines replay discarded.
+func (jl *Journal) SkippedLines() int {
+	if jl == nil {
+		return 0
+	}
+	return jl.skipped
+}
+
+// Path returns the journal's file path.
+func (jl *Journal) Path() string {
+	if jl == nil {
+		return ""
+	}
+	return jl.path
+}
+
+// Close flushes pending appends and closes the file. Nil-safe and
+// idempotent.
+func (jl *Journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	serr := jl.f.Sync()
+	cerr := jl.f.Close()
+	jl.f = nil
+	if serr != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, cerr)
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/core"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "sweep.journal")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	jobs := testJobs()
+	path := journalPath(t)
+
+	jl, err := OpenJournal(path, jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs[:3] {
+		if err := jl.Record(j.Key()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate records are deduped.
+	if err := jl.Record(jobs[0].Key()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(path, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.DoneCount() != 3 || re.SkippedLines() != 0 {
+		t.Fatalf("done=%d skipped=%d", re.DoneCount(), re.SkippedLines())
+	}
+	for i, j := range jobs {
+		if got, want := re.Done(j.Key()), i < 3; got != want {
+			t.Fatalf("job %d: Done=%v want %v", i, got, want)
+		}
+	}
+	if len(re.Jobs()) != len(jobs) {
+		t.Fatalf("manifest lost: %d jobs", len(re.Jobs()))
+	}
+}
+
+func TestJournalAdoptsManifestWhenOpenedWithNilJobs(t *testing.T) {
+	jobs := testJobs()
+	path := journalPath(t)
+	jl, err := OpenJournal(path, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Record(jobs[0].Key())
+	jl.Close()
+
+	re, err := OpenJournal(path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Jobs()
+	if len(got) != len(jobs) {
+		t.Fatalf("adopted %d jobs, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i].Key() != jobs[i].Key() {
+			t.Fatalf("adopted job %d has a different key", i)
+		}
+	}
+}
+
+func TestJournalRejectsMismatchedManifest(t *testing.T) {
+	jobs := testJobs()
+	path := journalPath(t)
+	jl, err := OpenJournal(path, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	other := testJobs()
+	other[0].Insts++ // different sweep
+	if _, err := OpenJournal(path, other, 0); err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("mismatched manifest accepted: %v", err)
+	}
+	if _, err := OpenJournal(path, jobs[:2], 0); err == nil {
+		t.Fatal("shorter sweep accepted")
+	}
+}
+
+// TestJournalToleratesCorruptTail pins crash-safety: a torn final line
+// is truncated away and only costs the completions it carried.
+func TestJournalToleratesCorruptTail(t *testing.T) {
+	jobs := testJobs()
+	path := journalPath(t)
+	jl, err := OpenJournal(path, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Record(jobs[0].Key())
+	jl.Record(jobs[1].Key())
+	jl.Close()
+
+	// Simulate a crash mid-append: a torn, newline-less record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"done":"abcd`)
+	f.Close()
+
+	re, err := OpenJournal(path, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.DoneCount() != 2 || re.SkippedLines() != 1 {
+		t.Fatalf("done=%d skipped=%d", re.DoneCount(), re.SkippedLines())
+	}
+	// The journal keeps working after the truncation.
+	if err := re.Record(jobs[2].Key()); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+
+	re2, err := OpenJournal(path, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.DoneCount() != 3 || re2.SkippedLines() != 0 {
+		t.Fatalf("after repair: done=%d skipped=%d", re2.DoneCount(), re2.SkippedLines())
+	}
+}
+
+func TestJournalResetsUnreadableHeader(t *testing.T) {
+	path := journalPath(t)
+	if err := os.WriteFile(path, []byte("not a journal at all\n{\"done\":\"x\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs()
+	jl, err := OpenJournal(path, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	if jl.DoneCount() != 0 || jl.SkippedLines() != 2 {
+		t.Fatalf("done=%d skipped=%d", jl.DoneCount(), jl.SkippedLines())
+	}
+	if len(jl.Jobs()) != len(jobs) {
+		t.Fatal("fresh header lost the manifest")
+	}
+}
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var jl *Journal
+	if jl.Done("k") || jl.DoneCount() != 0 || jl.Jobs() != nil ||
+		jl.SkippedLines() != 0 || jl.Path() != "" {
+		t.Fatal("nil journal invented state")
+	}
+	if jl.Record("k") != nil || jl.Close() != nil {
+		t.Fatal("nil journal errored")
+	}
+}
+
+// TestEngineResumesFromJournal is the checkpointing contract: run 1
+// completes a prefix, run 2 over the same journal+cache executes
+// exactly the remaining jobs and returns the full, identical sweep.
+func TestEngineResumesFromJournal(t *testing.T) {
+	jobs := testJobs()
+	dir := t.TempDir()
+	cache1 := NewCache(filepath.Join(dir, "cache"))
+	jl1, err := OpenJournal(filepath.Join(dir, "sweep.journal"), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(Options{Workers: 2, Cache: cache1, Journal: jl1})
+	first := e1.Run(context.Background(), jobs[:4]) // partial sweep
+	if err := FirstError(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process: new cache handle over the same dir, reopened
+	// journal. The first 4 jobs resume; only the last 2 execute.
+	cache2 := NewCache(filepath.Join(dir, "cache"))
+	jl2, err := OpenJournal(filepath.Join(dir, "sweep.journal"), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if jl2.DoneCount() != 4 {
+		t.Fatalf("journal recorded %d jobs, want 4", jl2.DoneCount())
+	}
+	e2 := New(Options{Workers: 2, Cache: cache2, Journal: jl2})
+	second := e2.Run(context.Background(), jobs)
+	if err := FirstError(second); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Executed(); got != uint64(len(jobs)-4) {
+		t.Fatalf("resumed run executed %d jobs, want %d", got, len(jobs)-4)
+	}
+	for i := 0; i < 4; i++ {
+		if !second[i].Cached || second[i].Status != StatusOK {
+			t.Fatalf("job %d not resumed: %+v", i, second[i])
+		}
+	}
+	// Resumed results match the originals byte-for-byte.
+	for i := range first {
+		a, _ := json.Marshal(first[i].Results)
+		b, _ := json.Marshal(second[i].Results)
+		if string(a) != string(b) {
+			t.Fatalf("job %d diverged across resume", i)
+		}
+	}
+	if jl2.DoneCount() != len(jobs) {
+		t.Fatalf("journal now records %d jobs, want %d", jl2.DoneCount(), len(jobs))
+	}
+}
+
+// TestCancelMidSweepMarksCanceledAndResumeCompletes is the satellite
+// contract: cancelling mid-sweep yields partial results whose undone
+// jobs are Canceled (not Failed), and a resumed run completes exactly
+// the remaining set.
+func TestCancelMidSweepMarksCanceledAndResumeCompletes(t *testing.T) {
+	jobs := testJobs()
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	jpath := filepath.Join(dir, "sweep.journal")
+
+	jl1, err := OpenJournal(jpath, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(Options{Workers: 1, Cache: NewCache(cacheDir), Journal: jl1})
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	inner := e1.simulate
+	e1.simulate = func(j *Job) ([]core.Result, error) {
+		ran++
+		if ran == 2 {
+			cancel() // interrupt after the second job starts
+		}
+		return inner(j)
+	}
+	first := e1.Run(ctx, jobs)
+	jl1.Close()
+
+	var done, canceled int
+	for i := range first {
+		switch first[i].Status {
+		case StatusOK:
+			done++
+		case StatusCanceled:
+			canceled++
+		default:
+			t.Fatalf("job %d: status %q (err %q), want ok or canceled",
+				i, first[i].Status, first[i].Err)
+		}
+	}
+	if done == 0 || canceled == 0 || done+canceled != len(jobs) {
+		t.Fatalf("done=%d canceled=%d of %d", done, canceled, len(jobs))
+	}
+
+	jl2, err := OpenJournal(jpath, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if jl2.DoneCount() != done {
+		t.Fatalf("journal has %d done, sweep reported %d", jl2.DoneCount(), done)
+	}
+	e2 := New(Options{Workers: 2, Cache: NewCache(cacheDir), Journal: jl2})
+	second := e2.Run(context.Background(), jobs)
+	if err := FirstError(second); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Executed(); got != uint64(canceled) {
+		t.Fatalf("resume executed %d jobs, want exactly the %d canceled ones", got, canceled)
+	}
+}
+
+// TestDrainStopsFeedingAndMarksCanceled: running jobs finish, unfed
+// jobs come back canceled with ErrDraining.
+func TestDrainStopsFeedingAndMarksCanceled(t *testing.T) {
+	jobs := testJobs()
+	e := New(Options{Workers: 1})
+	inner := e.simulate
+	first := true
+	e.simulate = func(j *Job) ([]core.Result, error) {
+		if first { // drain mid-flight, from inside the first running job
+			first = false
+			e.Drain()
+		}
+		return inner(j)
+	}
+	rs := e.Run(context.Background(), jobs)
+	if !e.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	var ok, canceled int
+	for i := range rs {
+		switch rs[i].Status {
+		case StatusOK:
+			ok++
+		case StatusCanceled:
+			if !strings.Contains(rs[i].Err, ErrDraining.Error()) {
+				t.Fatalf("job %d err = %q", i, rs[i].Err)
+			}
+			canceled++
+		default:
+			t.Fatalf("job %d status %q", i, rs[i].Status)
+		}
+	}
+	if ok == 0 || canceled == 0 {
+		t.Fatalf("ok=%d canceled=%d: drain either killed running jobs or stopped nothing", ok, canceled)
+	}
+}
+
+func TestPanicCapturesStackAndLogsOnce(t *testing.T) {
+	var logs []string
+	e := New(Options{
+		Workers: 1, Retries: 2,
+		Logf: func(format string, args ...any) {
+			logs = append(logs, strings.Split(strings.TrimSpace(format), "\n")[0])
+		},
+	})
+	e.simulate = func(*Job) ([]core.Result, error) { panic("boom at cycle 42") }
+	rs := e.Run(context.Background(), []Job{STJob(config.BaselineExclusive(), "hmmer", tInsts, tWarmup)})
+	if rs[0].Status != StatusFailed || !strings.Contains(rs[0].Err, "job panicked: boom at cycle 42") {
+		t.Fatalf("result = %+v", rs[0])
+	}
+	if !strings.Contains(rs[0].Stack, "runner.") {
+		t.Fatalf("no stack captured: %q", rs[0].Stack)
+	}
+	// Three attempts panicked; the stack is logged exactly once.
+	if len(logs) != 1 {
+		t.Fatalf("panic logged %d times, want 1: %v", len(logs), logs)
+	}
+}

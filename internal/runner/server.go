@@ -1,14 +1,22 @@
 package runner
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"catch/internal/config"
+	"catch/internal/fault"
 	"catch/internal/telemetry"
 	"catch/internal/workloads"
 )
@@ -22,6 +30,7 @@ type ConfigResolver func(name string) (config.SystemConfig, bool)
 //
 //	POST /v1/run          run one job
 //	POST /v1/sweep        run a (configs × workloads) grid
+//	POST /v1/drain        stop feeding new work, finish what's running
 //	GET  /v1/results/{key} fetch a cached result by content address
 //	GET  /healthz         liveness, build info, cache/engine counters
 //	GET  /metrics         Prometheus text exposition (when Metrics set)
@@ -33,9 +42,24 @@ type Server struct {
 	// (beyond it, requests queue until a slot frees or the client
 	// gives up); <=0 means 2× the engine's worker count.
 	MaxInflight int
+	// ShedAfter bounds the queue behind the limiter: once that many
+	// requests are already waiting for a slot, new ones are shed
+	// immediately with 503 + Retry-After instead of piling up. <=0
+	// keeps the historical unbounded blocking queue.
+	ShedAfter int
+	// RequestTimeout bounds one run/sweep request end to end via its
+	// context; jobs cut short report Status Canceled and a fully
+	// canceled run maps to 504. <=0 means no server-side deadline.
+	RequestTimeout time.Duration
+	// JournalDir enables resumable sweeps: a POST /v1/sweep with
+	// {"resumable": true} journals per-job completion under this
+	// directory, keyed by a hash of the sweep's job keys, and a repeat
+	// of the same sweep resumes from the last completed job. Empty
+	// disables journaling.
+	JournalDir string
 	// Metrics, when non-nil, is served at GET /metrics. Handler also
 	// registers the server's own series there (cache traffic, uptime,
-	// request limiter occupancy).
+	// request limiter occupancy, breaker and fault-injection state).
 	Metrics *telemetry.Registry
 	// Version is reported by /healthz and /metrics (build identifier;
 	// empty means "dev").
@@ -43,8 +67,14 @@ type Server struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 
-	sem   chan struct{}
-	start time.Time
+	sem      chan struct{}
+	start    time.Time
+	waiting  atomic.Int64
+	draining atomic.Bool
+	mShed    *telemetry.Counter
+
+	jmu      sync.Mutex
+	journals map[string]bool // sweep journals currently held open
 }
 
 // RunRequest is the body of POST /v1/run. Workload names a
@@ -58,12 +88,15 @@ type RunRequest struct {
 }
 
 // SweepRequest is the body of POST /v1/sweep. Empty Workloads means
-// the full 70-workload study list.
+// the full 70-workload study list. Resumable journals the sweep under
+// the server's JournalDir so an interrupted sweep picks up where it
+// stopped when re-POSTed.
 type SweepRequest struct {
 	Configs   []string `json:"configs"`
 	Workloads []string `json:"workloads,omitempty"`
 	Insts     int64    `json:"insts,omitempty"`
 	Warmup    int64    `json:"warmup,omitempty"`
+	Resumable bool     `json:"resumable,omitempty"`
 }
 
 type errorBody struct {
@@ -79,9 +112,11 @@ func (s *Server) Handler() http.Handler {
 	}
 	s.sem = make(chan struct{}, n)
 	s.start = time.Now()
+	s.journals = make(map[string]bool)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.limited(s.handleRun))
 	mux.HandleFunc("POST /v1/sweep", s.limited(s.handleSweep))
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if s.Metrics != nil {
@@ -106,6 +141,15 @@ func (s *Server) registerServerMetrics(r *telemetry.Registry) {
 		func() float64 { return time.Since(s.start).Seconds() })
 	r.GaugeFunc("catch_http_inflight", "Run/sweep requests currently holding a limiter slot.",
 		func() float64 { return float64(len(s.sem)) })
+	r.GaugeFunc("catch_http_draining", "1 while the server is draining (shedding new run/sweep requests).",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.mShed = r.Counter("catch_http_shed_total",
+		"Run/sweep requests shed with 503 (limiter saturated or draining).")
 	if c := s.Engine.Cache(); c != nil {
 		stat := func(f func(CacheStats) uint64) func() float64 {
 			return func() float64 { return float64(f(c.Stats())) }
@@ -125,22 +169,113 @@ func (s *Server) registerServerMetrics(r *telemetry.Registry) {
 		r.CounterFunc("catch_cache_requests_total{kind=\"bad_disk\"}",
 			"Result-cache traffic by kind.",
 			stat(func(st CacheStats) uint64 { return st.BadDisk }))
+		r.CounterFunc("catch_cache_requests_total{kind=\"disk_err\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.DiskErrs }))
+		r.CounterFunc("catch_cache_requests_total{kind=\"quarantined\"}",
+			"Result-cache traffic by kind.",
+			stat(func(st CacheStats) uint64 { return st.Quarantined }))
+		if b := c.Breaker(); b != nil {
+			r.GaugeFunc("catch_cache_breaker_state",
+				"Disk-cache circuit breaker state: 0 closed, 1 half-open, 2 open (memory-only).",
+				func() float64 { return float64(b.State()) })
+			r.CounterFunc("catch_cache_breaker_trips_total",
+				"Times the disk-cache breaker tripped open.",
+				func() float64 { return float64(b.Trips()) })
+		}
+	}
+	if inj := s.Engine.FaultInjector(); inj != nil {
+		for _, k := range fault.Kinds() {
+			k := k
+			//catchlint:ignore telemetry-discipline one-time registration loop over the static fault kinds, not a hot path
+			r.CounterFunc(fmt.Sprintf("catch_fault_injected_total{kind=%q}", k.String()),
+				"Injected faults by kind (chaos mode only).",
+				func() float64 { return float64(inj.Injected(k)) })
+		}
 	}
 }
 
 // limited applies the concurrency limiter: requests beyond MaxInflight
-// wait for a slot (or for the client to hang up) before running.
+// wait for a slot (or for the client to hang up). When ShedAfter is
+// set, the wait queue itself is bounded and overflow is shed with 503
+// + Retry-After; a draining server sheds everything new. An acquired
+// request runs under RequestTimeout (when set).
 func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{"client gave up waiting for a slot"})
+		if s.draining.Load() {
+			s.shed(w, "server is draining")
 			return
+		}
+		select {
+		case s.sem <- struct{}{}: // free slot, no queueing
+		default:
+			if s.ShedAfter > 0 && s.waiting.Add(1) > int64(s.ShedAfter) {
+				s.waiting.Add(-1)
+				s.shed(w, "server saturated: too many queued requests")
+				return
+			}
+			acquired := false
+			select {
+			case s.sem <- struct{}{}:
+				acquired = true
+			case <-r.Context().Done():
+			}
+			if s.ShedAfter > 0 {
+				s.waiting.Add(-1)
+			}
+			if !acquired {
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{"client gave up waiting for a slot"})
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		if s.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
 		}
 		h(w, r)
 	}
+}
+
+// shed rejects a request the server will not queue, telling the client
+// when to come back.
+func (s *Server) shed(w http.ResponseWriter, msg string) {
+	s.mShed.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{msg})
+}
+
+// BeginDrain flips the server into drain mode: new run/sweep requests
+// are shed, the engine stops feeding queued jobs (they come back
+// Status Canceled, checkpointed by any active journal), and running
+// jobs finish normally. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.Engine.Drain()
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleDrain begins a drain and waits (bounded) for inflight requests
+// to finish before reporting how many remain.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.BeginDrain()
+	deadline := time.Now().Add(5 * time.Second)
+wait:
+	for len(s.sem) > 0 && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			break wait
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining": true,
+		"inflight": len(s.sem),
+	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -155,11 +290,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rs := s.Engine.Run(r.Context(), []Job{job})
-	if rs[0].Err != "" {
+	switch {
+	case rs[0].Status == StatusCanceled:
+		writeJSON(w, http.StatusGatewayTimeout, rs[0])
+	case rs[0].Err != "":
 		writeJSON(w, http.StatusInternalServerError, rs[0])
-		return
+	default:
+		writeJSON(w, http.StatusOK, rs[0])
 	}
-	writeJSON(w, http.StatusOK, rs[0])
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -187,13 +325,85 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		grid.Configs = append(grid.Configs, cfg)
 	}
+	jobs := grid.Jobs()
+
+	var jl *Journal
+	var journalID string
+	resumed := 0
+	if req.Resumable && s.JournalDir != "" {
+		var err error
+		jl, journalID, err = s.openSweepJournal(jobs)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, errorBody{err.Error()})
+			return
+		}
+		defer s.closeSweepJournal(journalID, jl)
+		resumed = jl.DoneCount()
+	}
+
 	start := time.Now()
-	out := s.Engine.Run(r.Context(), grid.Jobs())
-	writeJSON(w, http.StatusOK, map[string]any{
+	var out []JobResult
+	if jl != nil {
+		out = s.Engine.RunJournaled(r.Context(), jobs, jl)
+	} else {
+		out = s.Engine.Run(r.Context(), jobs)
+	}
+	canceled := 0
+	for i := range out {
+		if out[i].Status == StatusCanceled {
+			canceled++
+		}
+	}
+	resp := map[string]any{
 		"jobs":      out,
+		"canceled":  canceled,
 		"elapsedMs": time.Since(start).Milliseconds(),
 		"cache":     s.cacheStats(),
-	})
+	}
+	if jl != nil {
+		resp["journal"] = journalID
+		resp["resumed"] = resumed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepID content-addresses a sweep: a hash over its job keys, so the
+// same grid maps to the same journal across requests and restarts.
+func sweepID(jobs []Job) string {
+	h := sha256.New()
+	for i := range jobs {
+		_, _ = io.WriteString(h, jobs[i].Key()) // hash.Hash writes never fail
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// openSweepJournal opens the per-sweep journal, refusing concurrent
+// use of one journal (two writers would interleave appends).
+func (s *Server) openSweepJournal(jobs []Job) (*Journal, string, error) {
+	id := sweepID(jobs)
+	s.jmu.Lock()
+	if s.journals[id] {
+		s.jmu.Unlock()
+		return nil, "", fmt.Errorf("sweep %s is already running; retry when it finishes", id)
+	}
+	s.journals[id] = true
+	s.jmu.Unlock()
+	jl, err := OpenJournal(filepath.Join(s.JournalDir, id+".journal"), jobs, 0)
+	if err != nil {
+		s.jmu.Lock()
+		delete(s.journals, id)
+		s.jmu.Unlock()
+		return nil, "", err
+	}
+	return jl, id, nil
+}
+
+func (s *Server) closeSweepJournal(id string, jl *Journal) {
+	// Close errors only cost resume coverage, never the response.
+	_ = jl.Close()
+	s.jmu.Lock()
+	delete(s.journals, id)
+	s.jmu.Unlock()
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -216,7 +426,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if version == "" {
 		version = "dev"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":            true,
 		"version":       version,
 		"go":            runtime.Version(),
@@ -226,7 +436,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"cache":         s.cacheStats(),
 		"inflight":      len(s.sem),
 		"maxInflight":   cap(s.sem),
-	})
+		"draining":      s.draining.Load(),
+	}
+	if c := s.Engine.Cache(); c != nil {
+		if b := c.Breaker(); b != nil {
+			body["breaker"] = b.State().String()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) cacheStats() any {
