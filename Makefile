@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos
+.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke
 
 # check gates a change: build + formatting + vet + catchlint + the
 # full test suite under the race detector (this includes
 # internal/telemetry's concurrent counter/histogram/tracer tests and
-# the runner's /metrics tests) + the seeded chaos suite.
-check: build fmtcheck vet lint race chaos
+# the runner's /metrics tests) + the seeded chaos suite + the
+# cluster determinism smoke.
+check: build fmtcheck vet lint race chaos cluster-smoke
+
+# cluster-smoke proves the distribution layer preserves determinism: a
+# 3-node in-memory cluster shards a sweep over the ring and the
+# Flattened output must be byte-identical to the single-node run, with
+# the chaos variants (dead peer, injected peer faults) alongside.
+# Bypasses the go test cache so it always re-proves.
+cluster-smoke:
+	$(GO) test -run 'TestClusterSmoke|TestClusterKillOnePeer|TestClusterPeerFaultInjection' -count=1 ./internal/cluster
 
 # chaos re-proves determinism under injected faults: seeded fault
 # schedules (disk errors, corrupt cache entries, panics, hangs, a
@@ -36,8 +45,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs everything under the race detector; internal/cluster runs
+# twice because its steal/reroute interleavings differ run to run.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/cluster
 
 # bench re-records the committed simulator-throughput baseline.
 bench:

@@ -25,6 +25,19 @@
 // sweep resumes from its last completed job. SIGINT/SIGTERM drain
 // in-flight requests and exit cleanly. -inject enables the
 // deterministic chaos layer (never in production).
+//
+// -peers turns a set of catchd processes into a peer cluster:
+//
+//	catchd -addr :8080 -peers http://a:8080,http://b:8080 -self http://a:8080
+//
+// Sweep jobs shard across the members by consistent hashing on their
+// content-addressed keys, GET /v1/results resolves through a tiered
+// read path (local memory → local disk → the key's owner peer), idle
+// members steal queued jobs from loaded ones (-steal-interval), and
+// GET /v1/cluster/status reports ring membership, tier traffic and
+// per-peer breaker state. A dead peer's shards reroute along the ring;
+// because jobs are pure functions of their key, an N-node sweep is
+// byte-identical to the single-node run.
 package main
 
 import (
@@ -33,11 +46,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"catch/internal/cluster"
 	"catch/internal/experiments"
 	"catch/internal/fault"
 	"catch/internal/runner"
@@ -63,6 +79,27 @@ type options struct {
 	brThresh   int
 	brCooldown int
 	inject     string
+
+	// Cluster mode (all optional; empty peers = single node).
+	peers         string
+	self          string
+	vnodes        int
+	stealInterval time.Duration
+	lentDeadline  time.Duration
+	resultMaxAge  time.Duration
+
+	peerList []string // resolved by validate
+}
+
+// splitPeers parses the comma-separated -peers list, trimming blanks.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // validate checks flag values and combinations.
@@ -100,6 +137,42 @@ func validate(o *options) error {
 	if _, err := fault.ParsePlan(o.inject); err != nil {
 		return fmt.Errorf("-inject: %v", err)
 	}
+	o.peerList = splitPeers(o.peers)
+	if len(o.peerList) > 0 {
+		if o.self == "" {
+			return errors.New("-peers needs -self, this node's own base URL from the list")
+		}
+		found := false
+		for _, p := range o.peerList {
+			if p == o.self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-self %q must appear in -peers %q", o.self, o.peers)
+		}
+		for _, p := range o.peerList {
+			u, err := url.Parse(p)
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return fmt.Errorf("-peers: %q is not a base URL (want e.g. http://host:8080)", p)
+			}
+		}
+	} else if o.self != "" {
+		return errors.New("-self without -peers does nothing; list the cluster membership")
+	}
+	if o.vnodes < 0 {
+		return fmt.Errorf("-vnodes must be >= 0 (0 = default %d; got %d)", cluster.DefaultVNodes, o.vnodes)
+	}
+	if o.stealInterval < 0 {
+		return fmt.Errorf("-steal-interval must be >= 0 (0 = background stealing off; got %v)", o.stealInterval)
+	}
+	if o.lentDeadline < 0 {
+		return fmt.Errorf("-lent-deadline must be >= 0 (0 = default 30s; got %v)", o.lentDeadline)
+	}
+	if o.resultMaxAge < 0 {
+		return fmt.Errorf("-result-max-age must be >= 0 (0 = default; got %v)", o.resultMaxAge)
+	}
 	return nil
 }
 
@@ -119,6 +192,13 @@ func main() {
 		journalDir  = flag.String("journal-dir", "", "directory for resumable-sweep journals (empty = resumable sweeps rejected)")
 		inject      = flag.String("inject", "", "deterministic fault plan, e.g. seed=42,disk-read=0.5,panic=0.1 (chaos testing only)")
 		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+
+		peers         = flag.String("peers", "", "comma-separated base URLs of every cluster member, self included (empty = single node)")
+		self          = flag.String("self", "", "this node's own base URL from -peers")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = default)")
+		stealInterval = flag.Duration("steal-interval", 2*time.Second, "pace of the background work-steal loop (0 = off)")
+		lentDeadline  = flag.Duration("lent-deadline", 0, "how long a shard waits for stolen jobs before reclaiming them (0 = 30s)")
+		resultMaxAge  = flag.Duration("result-max-age", 0, "Cache-Control max-age for GET /v1/results (0 = default 1 year; results are immutable)")
 	)
 	flag.Parse()
 
@@ -126,6 +206,8 @@ func main() {
 		addr: *addr, parallel: *parallel, inflight: *inflight, timeout: *timeout,
 		retries: *retries, shedAfter: *shedAfter, reqTimeout: *reqTimeout,
 		backoff: *backoff, brThresh: *brThresh, brCooldown: *brCooldown, inject: *inject,
+		peers: *peers, self: *self, vnodes: *vnodes,
+		stealInterval: *stealInterval, lentDeadline: *lentDeadline, resultMaxAge: *resultMaxAge,
 	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchd:", err)
@@ -166,14 +248,52 @@ func main() {
 		ShedAfter:      *shedAfter,
 		RequestTimeout: *reqTimeout,
 		JournalDir:     *journalDir,
+		ResultMaxAge:   *resultMaxAge,
 		Metrics:        reg,
 		Version:        version,
 		EnablePprof:    *enablePprof,
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Cluster mode wraps the single-node handler: sweeps shard across
+	// the ring, results resolve through the tiered read path, and the
+	// background steal loop helps drained peers.
+	if len(opts.peerList) > 0 {
+		node, err := cluster.NewNode(cluster.Options{
+			Self:             opts.self,
+			Peers:            opts.peerList,
+			VNodes:           opts.vnodes,
+			Engine:           eng,
+			StealInterval:    opts.stealInterval,
+			LentDeadline:     opts.lentDeadline,
+			BreakerThreshold: opts.brThresh,
+			BreakerCooldown:  opts.brCooldown,
+			Fault:            inj,
+			Metrics:          reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "catchd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catchd:", err)
+			os.Exit(2)
+		}
+		handler = (&cluster.Server{
+			Node:         node,
+			Resolve:      experiments.ConfigByName,
+			Inner:        handler,
+			JournalDir:   *journalDir,
+			ResultMaxAge: *resultMaxAge,
+			Version:      version,
+		}).Handler()
+		node.Start(ctx)
+		fmt.Fprintf(os.Stderr, "catchd: cluster of %d (self %s, %d vnodes)\n",
+			len(opts.peerList), opts.self, node.Ring().VNodes())
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()

@@ -38,6 +38,24 @@ func TestValidate(t *testing.T) {
 		{"negative breaker-cooldown", func(o *options) { o.brCooldown = -1 }, "-breaker-cooldown must be >= 0"},
 		{"malformed inject plan", func(o *options) { o.inject = "panic=2.5" }, "-inject"},
 		{"unknown inject kind", func(o *options) { o.inject = "frobnicate=0.5" }, "-inject"},
+		{"cluster pair passes", func(o *options) {
+			o.peers = "http://a:8080, http://b:8080"
+			o.self = "http://a:8080"
+		}, ""},
+		{"peers without self", func(o *options) { o.peers = "http://a:8080,http://b:8080" }, "-peers needs -self"},
+		{"self not in peers", func(o *options) {
+			o.peers = "http://a:8080,http://b:8080"
+			o.self = "http://c:8080"
+		}, "-self"},
+		{"self without peers", func(o *options) { o.self = "http://a:8080" }, "-self without -peers"},
+		{"peer not a base URL", func(o *options) {
+			o.peers = "http://a:8080,b:8080"
+			o.self = "http://a:8080"
+		}, "-peers"},
+		{"negative vnodes", func(o *options) { o.vnodes = -1 }, "-vnodes must be >= 0"},
+		{"negative steal-interval", func(o *options) { o.stealInterval = -time.Second }, "-steal-interval must be >= 0"},
+		{"negative lent-deadline", func(o *options) { o.lentDeadline = -time.Second }, "-lent-deadline must be >= 0"},
+		{"negative result-max-age", func(o *options) { o.resultMaxAge = -time.Second }, "-result-max-age must be >= 0"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

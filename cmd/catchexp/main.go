@@ -22,16 +22,21 @@
 // it has not finished (the journal here is manifest-less: it is a done
 // set over the content-addressed keys, so it composes across
 // experiments). Pair it with -cache, which holds the actual results.
+// An interrupted journaled run — Ctrl-C included — prints the exact
+// command that continues it, mirroring catchsim's -resume hint.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"slices"
 	"strings"
+	"syscall"
 	"time"
 
 	"catch/internal/experiments"
@@ -79,6 +84,35 @@ func validate(o *options) error {
 			o.exp, strings.Join(experiments.IDs(), ", "))
 	}
 	return nil
+}
+
+// runExperiment runs one experiment, converting the drivers' panic
+// path (they construct jobs from a static registry, so they panic on
+// failure rather than threading errors) back into an error the CLI can
+// report — a canceled sweep must end with the resume hint, not a stack
+// trace.
+func runExperiment(id string, b experiments.Budget) (tables []experiments.Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%s: %v", id, p)
+		}
+	}()
+	return experiments.Run(id, b)
+}
+
+// resumeCommand reconstructs the exact invocation that continues an
+// interrupted evaluation: same experiment, same budget (keys depend on
+// it), same journal and cache.
+func resumeCommand(o *options, cacheDir, journal string, jsonOut bool) string {
+	cmd := fmt.Sprintf("catchexp -exp %s -insts %d -warmup %d -workloads %d -mixes %d -parallel %d -journal %q",
+		o.exp, o.insts, o.warmup, o.nwl, o.mixes, o.parallel, journal)
+	if cacheDir != "" {
+		cmd += fmt.Sprintf(" -cache %q", cacheDir)
+	}
+	if jsonOut {
+		cmd += " -json"
+	}
+	return cmd
 }
 
 func main() {
@@ -138,14 +172,25 @@ func main() {
 	})
 	experiments.UseEngine(eng)
 
+	// A cancelable context lets Ctrl-C stop the evaluation cleanly:
+	// finished jobs are already journaled, undone ones come back
+	// Canceled, and an identical re-run resumes exactly the remainder.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	experiments.UseContext(ctx)
+
 	b := experiments.Budget{Insts: *insts, Warmup: *warmup, Workloads: *nwl, Mixes: *mixes}
 	ids := opts.ids
 	start := time.Now()
 	var all []experiments.Table
 	for _, id := range ids {
-		tables, err := experiments.Run(id, b)
+		tables, err := runExperiment(id, b)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "catchexp:", err)
+			if ctx.Err() != nil && jl != nil {
+				fmt.Fprintf(os.Stderr, "catchexp: interrupted; continue with %s\n",
+					resumeCommand(&opts, *cacheDir, *journal, *jsonOut))
+			}
 			os.Exit(1)
 		}
 		if *jsonOut {

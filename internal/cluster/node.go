@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"catch/internal/core"
+	"catch/internal/fault"
+	"catch/internal/runner"
+	"catch/internal/telemetry"
+)
+
+// Options configures a Node.
+type Options struct {
+	// Self is this node's advertised base URL (must appear in Peers).
+	Self string
+	// Peers is the static cluster membership: every node's base URL,
+	// including Self. A single-element list is a cluster of one.
+	Peers []string
+	// VNodes is the virtual-node count per peer (<=0: DefaultVNodes).
+	VNodes int
+	// Engine executes local jobs (compute tier) and owns the local
+	// cache whose memory and disk layers become the top two tiers.
+	Engine *runner.Engine
+	// Client talks to peers; nil builds a default one.
+	Client *Client
+	// StealBatch bounds jobs taken per steal (<=0: 4).
+	StealBatch int
+	// StealInterval paces the background steal loop started by Start;
+	// <=0 disables background stealing (StealOnce still works).
+	StealInterval time.Duration
+	// LentDeadline bounds how long a shard waits for stolen jobs to be
+	// filled before reclaiming them for local compute (<=0: 30s).
+	LentDeadline time.Duration
+	// BreakerThreshold/BreakerCooldown parameterize the per-tier
+	// breakers (non-positive: fault.NewBreaker defaults).
+	BreakerThreshold int
+	BreakerCooldown  int
+	// Fault injects deterministic peer-call failures into the default
+	// client (chaos only; ignored when Client is supplied).
+	Fault *fault.Injector
+	// Metrics, when non-nil, receives the cluster series.
+	Metrics *telemetry.Registry
+	// Logf receives rare diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Node is one cluster member: the ring, the tiered read path over the
+// local cache and the owner peer, the steal queue, and the shard
+// executor. It is constructed once per process and shared by the HTTP
+// layer.
+type Node struct {
+	opts   Options
+	ring   *Ring
+	client *Client
+	tiers  *Tiered
+	queue  *stealQueue
+
+	mSteals      *telemetry.Counter
+	mStolenJobs  *telemetry.Counter
+	mFills       *telemetry.Counter
+	mShardsIn    *telemetry.Counter
+	mRerouted    *telemetry.Counter
+	mPeerCompute *telemetry.Counter
+}
+
+// NewNode builds a node. The engine must have a cache: the cluster's
+// whole point is a shared content-addressed result space.
+func NewNode(o Options) (*Node, error) {
+	if o.Engine == nil || o.Engine.Cache() == nil {
+		return nil, fmt.Errorf("cluster: node needs an engine with a result cache")
+	}
+	if o.Self == "" {
+		return nil, fmt.Errorf("cluster: node needs -self, its advertised base URL")
+	}
+	ring := NewRing(o.Peers, o.VNodes)
+	found := false
+	for _, m := range ring.Members() {
+		if m == o.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", o.Self, ring.Members())
+	}
+	if o.StealBatch <= 0 {
+		o.StealBatch = 4
+	}
+	if o.LentDeadline <= 0 {
+		o.LentDeadline = 30 * time.Second
+	}
+	n := &Node{opts: o, ring: ring, client: o.Client, queue: newStealQueue()}
+	if n.client == nil {
+		n.client = NewClient(ClientOptions{
+			Fault:            o.Fault,
+			BreakerThreshold: o.BreakerThreshold,
+			BreakerCooldown:  o.BreakerCooldown,
+			Metrics:          o.Metrics,
+		})
+	}
+	cache := o.Engine.Cache()
+	newBreaker := func(name string) *fault.Breaker {
+		// Local tiers ride the cache's own disk breaker; only the peer
+		// tier gets a tier-level breaker here (peer calls already feed
+		// per-peer breakers too, so the tier breaker is the aggregate
+		// "remote fetches are not helping" switch).
+		if name != "peer" {
+			return nil
+		}
+		return fault.NewBreaker(o.BreakerThreshold, o.BreakerCooldown)
+	}
+	n.tiers = NewTiered([]Tier{
+		memTier{c: cache},
+		diskTier{c: cache},
+		&peerTier{node: n},
+	}, newBreaker, o.Metrics)
+	if r := o.Metrics; r != nil {
+		n.mSteals = r.Counter("catch_cluster_steals_total", "Successful steal calls against peers.")
+		n.mStolenJobs = r.Counter("catch_cluster_stolen_jobs_total", "Jobs this node stole and computed for peers.")
+		n.mFills = r.Counter("catch_cluster_fills_total", "Stolen-job results returned to this node.")
+		n.mShardsIn = r.Counter("catch_cluster_shards_total", "Shard requests served for sweep coordinators.")
+		n.mRerouted = r.Counter("catch_cluster_reroutes_total", "Shards rerouted after a peer failure (ring exclusion).")
+		n.mPeerCompute = r.Counter("catch_cluster_lent_reclaimed_total", "Lent jobs reclaimed and recomputed locally.")
+		r.GaugeFunc("catch_cluster_queue_len", "Pending jobs in the steal queue.",
+			func() float64 { return float64(n.queue.queueLen()) })
+		r.GaugeFunc("catch_cluster_peers", "Static cluster size.",
+			func() float64 { return float64(len(ring.Members())) })
+	}
+	return n, nil
+}
+
+// Ring exposes the node's ring (status endpoint, tests).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Self returns this node's advertised URL.
+func (n *Node) Self() string { return n.opts.Self }
+
+// Tiers exposes the tiered read path.
+func (n *Node) Tiers() *Tiered { return n.tiers }
+
+// peerTier is the third cache level: fetch the result from the key's
+// owner peer. Keys this node owns are a structural miss (there is no
+// better copy elsewhere), as is a cluster of one.
+type peerTier struct{ node *Node }
+
+func (p *peerTier) Name() string              { return "peer" }
+func (p *peerTier) Local() bool               { return false }
+func (p *peerTier) Put(string, []core.Result) {}
+
+func (p *peerTier) Get(ctx context.Context, key string) ([]core.Result, error) {
+	n := p.node
+	owner := n.ring.Owner(key, nil)
+	if owner == "" || owner == n.opts.Self {
+		return nil, nil
+	}
+	rs, found, err := n.client.FetchResult(ctx, owner, key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return rs, nil
+}
+
+// Lookup resolves key through the tiered read path without computing:
+// local memory, local disk, then (unless localOnly) the owner peer.
+// The serving tier's name is returned for observability.
+func (n *Node) Lookup(ctx context.Context, key string, localOnly bool) ([]core.Result, string, bool) {
+	return n.tiers.Get(ctx, key, localOnly)
+}
+
+// ExecuteShard runs one shard of a sweep on this node: jobs feed the
+// steal queue, local workers pop from the head, and peers may steal
+// from the tail. Completed jobs land in the engine's cache (and jl,
+// when journaled); the returned results are in job order, so a
+// coordinator can splice shards back together deterministically.
+func (n *Node) ExecuteShard(ctx context.Context, jobs []runner.Job, jl *runner.Journal) []runner.JobResult {
+	items, armed := n.queue.begin(jobs)
+	if !armed {
+		// Another shard is active: run engine-only. Correct, just not
+		// stealable.
+		return n.opts.Engine.RunJournaled(ctx, jobs, jl)
+	}
+	defer n.queue.end()
+
+	out := make([]runner.JobResult, len(jobs))
+	workers := n.opts.Engine.Workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				it, ok := n.queue.pop()
+				if !ok {
+					return
+				}
+				out[it.idx] = n.opts.Engine.RunJournaled(ctx, []runner.Job{it.job}, jl)[0]
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+
+	// The local queue is dry. Wait for outstanding stolen jobs; then
+	// reclaim and recompute whatever a stealer never returned.
+	if n.queue.lentCount() > 0 {
+		reclaimed := n.queue.awaitLent(ctx, n.opts.LentDeadline)
+		for _, it := range reclaimed {
+			n.mPeerCompute.Inc()
+			out[it.idx] = n.opts.Engine.RunJournaled(ctx, []runner.Job{it.job}, jl)[0]
+		}
+	}
+	// Splice in the filled (stolen) results.
+	for _, it := range items {
+		if out[it.idx].Key != "" {
+			continue
+		}
+		if rs, ok := n.queue.takeFilled(it.key); ok {
+			n.cacheAndJournal(it.key, rs, jl)
+			out[it.idx] = runner.JobResult{
+				Job: it.job, Key: it.key, Results: rs, Status: runner.StatusOK, Cached: true,
+			}
+			continue
+		}
+		// Neither computed nor filled: the context ended first.
+		reason := ctx.Err()
+		if reason == nil {
+			reason = fmt.Errorf("job was never scheduled")
+		}
+		out[it.idx] = runner.JobResult{Job: it.job, Key: it.key, Err: reason.Error(), Status: runner.StatusCanceled}
+	}
+	return out
+}
+
+// cacheAndJournal lands an externally computed result exactly where a
+// local compute would have put it.
+func (n *Node) cacheAndJournal(key string, rs []core.Result, jl *runner.Journal) {
+	n.opts.Engine.Cache().Put(key, rs)
+	if err := jl.Record(key); err != nil {
+		n.logf("cluster: %v", err)
+	}
+}
+
+// HandleSteal serves a peer's steal request from the local queue.
+func (n *Node) HandleSteal(max int) []runner.Job {
+	if max <= 0 || max > 64 {
+		max = n.opts.StealBatch
+	}
+	return n.queue.steal(max)
+}
+
+// HandleFill accepts a stolen job's results from the stealer.
+func (n *Node) HandleFill(key string, rs []core.Result) error {
+	if !runner.ValidKey(key) || len(rs) == 0 {
+		return fmt.Errorf("cluster: fill needs a valid key and non-empty results")
+	}
+	n.mFills.Inc()
+	if !n.queue.fill(key, rs) {
+		// Not outstanding (reclaimed, or a very late stealer): the
+		// results are still valid and content-addressed, keep them.
+		n.opts.Engine.Cache().Put(key, rs)
+	}
+	return nil
+}
+
+// StealOnce polls the peers' queue lengths and steals one batch from
+// the most loaded, computing each job and filling the result back to
+// its owner. It returns the number of jobs computed (0 when no peer
+// had pending work).
+func (n *Node) StealOnce(ctx context.Context) (int, error) {
+	victim, qlen := "", 0
+	for _, peer := range n.ring.Members() {
+		if peer == n.opts.Self {
+			continue
+		}
+		st, err := n.client.Status(ctx, peer)
+		if err != nil {
+			continue // unreachable peers are simply not victims
+		}
+		if st.QueueLen > qlen {
+			victim, qlen = peer, st.QueueLen
+		}
+	}
+	if victim == "" {
+		return 0, nil
+	}
+	jobs, err := n.client.Steal(ctx, victim, n.opts.StealBatch)
+	if err != nil || len(jobs) == 0 {
+		return 0, err
+	}
+	n.mSteals.Inc()
+	computed := 0
+	for i := range jobs {
+		rs := n.opts.Engine.Run(ctx, jobs[i:i+1])
+		if rs[0].Err != "" {
+			// The victim reclaims it after the lent deadline; nothing
+			// else to do here.
+			continue
+		}
+		n.mStolenJobs.Inc()
+		computed++
+		if err := n.client.Fill(ctx, victim, rs[0].Key, rs[0].Results); err != nil {
+			n.logf("cluster: fill %s to %s failed: %v", shortKey(rs[0].Key), victim, err)
+		}
+	}
+	return computed, nil
+}
+
+// Start launches the background steal loop (when StealInterval is
+// set). It returns immediately; the loop ends with ctx.
+func (n *Node) Start(ctx context.Context) {
+	if n.opts.StealInterval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(n.opts.StealInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if n.queue.queueLen() > 0 {
+					continue // busy locally; don't steal
+				}
+				if _, err := n.StealOnce(ctx); err != nil {
+					n.logf("cluster: steal: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// RunSweep coordinates a sweep across the cluster: jobs group by ring
+// owner, each peer shard is dispatched in parallel, and a failed peer
+// is excluded from the ring for the rest of the sweep — its jobs
+// reroute (next live owner, ultimately self) until every job has a
+// result. The output is in job order, so Flatten is byte-identical to
+// a single-node run.
+func (n *Node) RunSweep(ctx context.Context, jobs []runner.Job, jl *runner.Journal) []runner.JobResult {
+	out := make([]runner.JobResult, len(jobs))
+	remaining := make([]int, len(jobs))
+	for i := range jobs {
+		remaining[i] = i
+	}
+	down := make(map[string]bool)
+
+	for len(remaining) > 0 {
+		if ctx.Err() != nil {
+			for _, i := range remaining {
+				out[i] = runner.JobResult{Job: jobs[i], Key: jobs[i].Key(), Err: ctx.Err().Error(), Status: runner.StatusCanceled}
+			}
+			return out
+		}
+		// Group the remaining jobs by live owner, keeping job order
+		// within each group. Owners iterate in sorted order so the
+		// dispatch schedule is deterministic.
+		groups := make(map[string][]int)
+		var owners []string
+		for _, i := range remaining {
+			owner := n.ring.Owner(jobs[i].Key(), down)
+			if owner == "" {
+				owner = n.opts.Self
+			}
+			if _, ok := groups[owner]; !ok {
+				owners = append(owners, owner)
+			}
+			groups[owner] = append(groups[owner], i)
+		}
+		sort.Strings(owners)
+
+		type shardOut struct {
+			owner   string
+			idxs    []int
+			results []runner.JobResult
+			err     error
+		}
+		ch := make(chan shardOut, len(owners))
+		for _, owner := range owners {
+			idxs := groups[owner]
+			if owner == n.opts.Self {
+				go func() {
+					shard := make([]runner.Job, len(idxs))
+					for k, i := range idxs {
+						shard[k] = jobs[i]
+					}
+					ch <- shardOut{owner: n.opts.Self, idxs: idxs, results: n.ExecuteShard(ctx, shard, jl)}
+				}()
+				continue
+			}
+			go func(owner string, idxs []int) {
+				shard := make([]runner.Job, len(idxs))
+				for k, i := range idxs {
+					shard[k] = jobs[i]
+				}
+				rs, err := n.client.RunShard(ctx, owner, shard, jl != nil)
+				ch <- shardOut{owner: owner, idxs: idxs, results: rs, err: err}
+			}(owner, idxs)
+		}
+
+		var next []int
+		for range owners {
+			so := <-ch
+			if so.err != nil {
+				// The peer is out for this sweep: exclude it from the
+				// ring and reroute its jobs next round.
+				n.logf("cluster: shard on %s failed (%v); rerouting %d jobs", so.owner, so.err, len(so.idxs))
+				n.mRerouted.Inc()
+				down[so.owner] = true
+				next = append(next, so.idxs...)
+				continue
+			}
+			for k, i := range so.idxs {
+				out[i] = so.results[k]
+				if so.owner != n.opts.Self && so.results[k].Status == runner.StatusOK {
+					// Remote results also land in the local cache so
+					// the results API serves them from tier "mem".
+					n.opts.Engine.Cache().Put(so.results[k].Key, so.results[k].Results)
+				}
+			}
+		}
+		sort.Ints(next)
+		remaining = next
+	}
+	return out
+}
+
+// Down reports the peers whose breakers are currently open (status
+// endpoint).
+func (n *Node) peerStates() []PeerState {
+	members := n.ring.Members()
+	out := make([]PeerState, 0, len(members))
+	for _, m := range members {
+		ps := PeerState{Peer: m, Self: m == n.opts.Self}
+		if !ps.Self {
+			ps.Breaker = n.client.BreakerState(m).String()
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Logf != nil {
+		n.opts.Logf(format, args...)
+	}
+}
+
+// shortKey abbreviates a content address for log lines.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

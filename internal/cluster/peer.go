@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"catch/internal/core"
+	"catch/internal/fault"
+	"catch/internal/runner"
+	"catch/internal/telemetry"
+)
+
+// localOnlyHeader marks cluster-internal requests: a peer answering
+// one must resolve it from its local tiers only, so two nodes can
+// never fetch from each other in a cycle.
+const localOnlyHeader = "X-Catch-Cluster-Local"
+
+// Client is the HTTP client one node uses to talk to its peers. Every
+// peer has its own circuit breaker: a dead peer fails fast after a few
+// attempts instead of stalling each lookup, and heals through the
+// standard half-open probe. A fault.Injector (chaos mode) can make any
+// peer call fail deterministically via the fault.Peer kind.
+type Client struct {
+	http     *http.Client
+	inj      *fault.Injector
+	thresh   int
+	cooldown int
+
+	mu  sync.Mutex
+	brs map[string]*fault.Breaker
+
+	mFetchSeconds *telemetry.Histogram
+	mCalls        *telemetry.Counter
+	mErrs         *telemetry.Counter
+}
+
+// ClientOptions configures a peer client.
+type ClientOptions struct {
+	// HTTPClient is the transport; nil means a client with a 10s
+	// overall timeout.
+	HTTPClient *http.Client
+	// Fault injects deterministic peer-call failures (chaos only).
+	Fault *fault.Injector
+	// BreakerThreshold/BreakerCooldown parameterize each peer's
+	// breaker; non-positive values take fault.NewBreaker's defaults.
+	BreakerThreshold int
+	BreakerCooldown  int
+	// Metrics, when non-nil, receives the peer-call series (latency
+	// histogram, call/error counters).
+	Metrics *telemetry.Registry
+}
+
+// NewClient builds a peer client.
+func NewClient(o ClientOptions) *Client {
+	hc := o.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	c := &Client{
+		http:     hc,
+		inj:      o.Fault,
+		thresh:   o.BreakerThreshold,
+		cooldown: o.BreakerCooldown,
+		brs:      make(map[string]*fault.Breaker),
+	}
+	if r := o.Metrics; r != nil {
+		c.mFetchSeconds = r.Histogram("catch_cluster_peer_fetch_seconds",
+			"Wall-clock latency of one peer call (result fetch, shard, steal, fill).",
+			0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10)
+		c.mCalls = r.Counter("catch_cluster_peer_calls_total", "Peer calls attempted.")
+		c.mErrs = r.Counter("catch_cluster_peer_errors_total", "Peer calls that failed (breaker fodder).")
+	}
+	return c
+}
+
+// breaker returns the breaker guarding peer, creating it on first use.
+func (c *Client) breaker(peer string) *fault.Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	br, ok := c.brs[peer]
+	if !ok {
+		br = fault.NewBreaker(c.thresh, c.cooldown)
+		c.brs[peer] = br
+	}
+	return br
+}
+
+// BreakerState exposes a peer's breaker state for /v1/cluster/status.
+func (c *Client) BreakerState(peer string) fault.BreakerState {
+	return c.breaker(peer).State()
+}
+
+// do runs one peer call under the peer's breaker, the injector and the
+// latency histogram. op names the call site for fault selection, so a
+// chaos plan picks the same calls in every run.
+func (c *Client) do(peer, op, site string, call func() error) error {
+	br := c.breaker(peer)
+	if !br.Allow() {
+		return fmt.Errorf("peer %s: circuit open", peer)
+	}
+	c.mCalls.Inc()
+	if c.inj != nil && c.inj.Fire(fault.Peer, op+":"+site) {
+		br.Failure()
+		c.mErrs.Inc()
+		return c.inj.Err(fault.Peer, op+":"+site)
+	}
+	//catchlint:ignore determinism peer-call latency is observability-only and never reaches a simulation result
+	start := time.Now()
+	err := call()
+	//catchlint:ignore determinism peer-call latency is observability-only and never reaches a simulation result
+	c.mFetchSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		br.Failure()
+		c.mErrs.Inc()
+		return err
+	}
+	br.Success()
+	return nil
+}
+
+// getJSON performs a GET and decodes the 200 body into out. A 404
+// reports found=false with no error; any other status is an error.
+func (c *Client) getJSON(ctx context.Context, peer, op, site, url string, out any) (found bool, err error) {
+	err = c.do(peer, op, site, func() error {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if rerr != nil {
+			return rerr
+		}
+		req.Header.Set(localOnlyHeader, "1")
+		resp, rerr := c.http.Do(req)
+		if rerr != nil {
+			return rerr
+		}
+		defer func() { _ = resp.Body.Close() }()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			found = true
+			return json.NewDecoder(resp.Body).Decode(out)
+		case http.StatusNotFound:
+			return nil
+		default:
+			return peerStatusError(peer, resp)
+		}
+	})
+	return found, err
+}
+
+// postJSON performs a POST with a JSON body and decodes the 200
+// response into out (when non-nil).
+func (c *Client) postJSON(ctx context.Context, peer, op, site, url string, in, out any) error {
+	return c.do(peer, op, site, func() error {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(localOnlyHeader, "1")
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			return peerStatusError(peer, resp)
+		}
+		if out == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+}
+
+// peerStatusError folds a non-200 peer response into an error carrying
+// a bounded slice of the body for diagnosis.
+func peerStatusError(peer string, resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return fmt.Errorf("peer %s: %s: %s", peer, resp.Status, bytes.TrimSpace(raw))
+}
+
+// resultDoc is the results-API response body.
+type resultDoc struct {
+	Key     string        `json:"key"`
+	Results []core.Result `json:"results"`
+}
+
+// FetchResult asks peer for a cached result by key (its local tiers
+// only). found=false is a clean miss.
+func (c *Client) FetchResult(ctx context.Context, peer, key string) ([]core.Result, bool, error) {
+	var doc resultDoc
+	found, err := c.getJSON(ctx, peer, "fetch", key, peer+"/v1/results/"+key, &doc)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, false, nil
+	}
+	return doc.Results, true, nil
+}
+
+// Status fetches a peer's cluster status.
+func (c *Client) Status(ctx context.Context, peer string) (StatusDoc, error) {
+	var doc StatusDoc
+	found, err := c.getJSON(ctx, peer, "status", peer, peer+"/v1/cluster/status", &doc)
+	if err != nil {
+		return StatusDoc{}, err
+	}
+	if !found {
+		return StatusDoc{}, fmt.Errorf("peer %s: no cluster status", peer)
+	}
+	return doc, nil
+}
+
+// RunShard dispatches a job shard to its owner peer and returns the
+// per-job results in request order.
+func (c *Client) RunShard(ctx context.Context, peer string, jobs []runner.Job, resumable bool) ([]runner.JobResult, error) {
+	var resp shardResponse
+	err := c.postJSON(ctx, peer, "shard", shardSite(jobs), peer+"/v1/cluster/shard",
+		shardRequest{Jobs: jobs, Resumable: resumable}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Jobs) != len(jobs) {
+		return nil, fmt.Errorf("peer %s: shard returned %d results for %d jobs", peer, len(resp.Jobs), len(jobs))
+	}
+	return resp.Jobs, nil
+}
+
+// shardSite derives a stable fault site for a shard dispatch from its
+// first job key.
+func shardSite(jobs []runner.Job) string {
+	if len(jobs) == 0 {
+		return "empty"
+	}
+	return jobs[0].Key()
+}
+
+// Steal asks peer to hand over up to max pending jobs from its queue.
+func (c *Client) Steal(ctx context.Context, peer string, max int) ([]runner.Job, error) {
+	var resp stealResponse
+	if err := c.postJSON(ctx, peer, "steal", peer, peer+"/v1/cluster/steal",
+		stealRequest{Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Fill returns a stolen job's results to its owner.
+func (c *Client) Fill(ctx context.Context, peer, key string, rs []core.Result) error {
+	return c.postJSON(ctx, peer, "fill", key, peer+"/v1/cluster/fill",
+		fillRequest{Key: key, Results: rs}, nil)
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761+17)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"http://c:1", "http://a:1", "http://b:1"}
+	a := NewRing(members, 0)
+	b := NewRing([]string{"http://b:1", "http://a:1", "http://c:1", "http://a:1"}, 0)
+	if a.VNodes() != DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want default %d", a.VNodes(), DefaultVNodes)
+	}
+	for _, k := range ringKeys(500) {
+		if a.Owner(k, nil) != b.Owner(k, nil) {
+			t.Fatalf("key %s owned differently by permuted/deduplicated ring", k[:12])
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(members, 0)
+	counts := make(map[string]int)
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k, nil)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.0f%% of keys; want a rough third", m, 100*share)
+		}
+	}
+}
+
+// TestRingMembershipStability pins the consistent-hashing property:
+// adding one member moves only keys onto the new member, never between
+// survivors; excluding a member at lookup time moves only its keys.
+func TestRingMembershipStability(t *testing.T) {
+	three := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	four := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 0)
+	moved := 0
+	for _, k := range ringKeys(2000) {
+		before, after := three.Owner(k, nil), four.Owner(k, nil)
+		if before != after {
+			moved++
+			if after != "http://d:1" {
+				t.Fatalf("key %s moved between surviving members (%s -> %s)", k[:12], before, after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new member; the ring is not spreading")
+	}
+
+	down := map[string]bool{"http://b:1": true}
+	for _, k := range ringKeys(2000) {
+		owner := three.Owner(k, nil)
+		rerouted := three.Owner(k, down)
+		if rerouted == "http://b:1" {
+			t.Fatalf("key %s still routed to the excluded member", k[:12])
+		}
+		if owner != "http://b:1" && rerouted != owner {
+			t.Fatalf("key %s not owned by the down member moved anyway (%s -> %s)", k[:12], owner, rerouted)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if got := NewRing(nil, 8).Owner("deadbeefdeadbeef", nil); got != "" {
+		t.Fatalf("empty ring Owner() = %q, want \"\"", got)
+	}
+	one := NewRing([]string{"http://a:1"}, 8)
+	if got := one.Owner("deadbeefdeadbeef", nil); got != "http://a:1" {
+		t.Fatalf("single-member ring Owner() = %q", got)
+	}
+	if got := one.Owner("deadbeefdeadbeef", map[string]bool{"http://a:1": true}); got != "" {
+		t.Fatalf("all-down ring Owner() = %q, want \"\"", got)
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/runner"
+)
+
+func stealJobs(n int) []runner.Job {
+	jobs := make([]runner.Job, n)
+	for i := range jobs {
+		jobs[i] = runner.STJob(config.BaselineExclusive(), "mcf", int64(1000+i), 400)
+	}
+	return jobs
+}
+
+func TestStealQueueRoundtrip(t *testing.T) {
+	q := newStealQueue()
+	jobs := stealJobs(5)
+	items, ok := q.begin(jobs)
+	if !ok || len(items) != 5 {
+		t.Fatalf("begin = (%d items, %v)", len(items), ok)
+	}
+	if _, again := q.begin(jobs); again {
+		t.Fatal("second concurrent begin succeeded; shards must serialize")
+	}
+
+	// A stealer takes the tail; local workers keep the head.
+	stolen := q.steal(2)
+	if len(stolen) != 2 || stolen[0].Key() != items[3].key || stolen[1].Key() != items[4].key {
+		t.Fatalf("steal(2) returned %d jobs, want the queue tail", len(stolen))
+	}
+	if q.queueLen() != 3 || q.lentCount() != 2 {
+		t.Fatalf("after steal: queueLen=%d lent=%d, want 3/2", q.queueLen(), q.lentCount())
+	}
+	if it, ok := q.pop(); !ok || it.idx != 0 {
+		t.Fatalf("pop() = (%d, %v), want head item 0", it.idx, ok)
+	}
+
+	// Fill both; awaitLent returns immediately with nothing to reclaim.
+	rs := []core.Result{{Workload: "mcf", IPC: 1}}
+	if !q.fill(items[3].key, rs) {
+		t.Fatal("fill of a lent key reported not-outstanding")
+	}
+	if !q.fill(items[4].key, rs) {
+		t.Fatal("fill of a lent key reported not-outstanding")
+	}
+	if got := q.awaitLent(context.Background(), time.Minute); len(got) != 0 {
+		t.Fatalf("awaitLent reclaimed %d filled jobs", len(got))
+	}
+	if got, ok := q.takeFilled(items[3].key); !ok || len(got) != 1 {
+		t.Fatal("filled results were not retrievable")
+	}
+
+	q.end()
+	if q.steal(1) != nil {
+		t.Fatal("steal from an inactive queue returned jobs")
+	}
+	stolenN, _ := q.counters()
+	if stolenN != 2 {
+		t.Fatalf("stolen counter = %d, want 2", stolenN)
+	}
+}
+
+// TestStealQueueReclaim pins the no-lost-work guarantee: a stealer that
+// never fills is timed out and its jobs come back in shard order.
+func TestStealQueueReclaim(t *testing.T) {
+	q := newStealQueue()
+	jobs := stealJobs(4)
+	items, _ := q.begin(jobs)
+	defer q.end()
+
+	if n := len(q.steal(3)); n != 3 {
+		t.Fatalf("steal(3) = %d jobs", n)
+	}
+	rs := []core.Result{{Workload: "mcf", IPC: 1}}
+	if !q.fill(items[2].key, rs) {
+		t.Fatal("fill of a lent key reported not-outstanding")
+	}
+	start := time.Now()
+	reclaimed := q.awaitLent(context.Background(), 30*time.Millisecond)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("awaitLent ignored its deadline")
+	}
+	if len(reclaimed) != 2 || reclaimed[0].idx != 1 || reclaimed[1].idx != 3 {
+		t.Fatalf("reclaimed %d items (%v), want shard-ordered items 1 and 3", len(reclaimed), reclaimed)
+	}
+	_, reclaimedN := q.counters()
+	if reclaimedN != 2 {
+		t.Fatalf("reclaimed counter = %d, want 2", reclaimedN)
+	}
+
+	// A very late fill after reclaim is accepted harmlessly.
+	if q.fill(items[1].key, rs) {
+		t.Fatal("fill after reclaim still counted as outstanding")
+	}
+}
+
+func TestStealQueueCanceledContext(t *testing.T) {
+	q := newStealQueue()
+	items, _ := q.begin(stealJobs(2))
+	defer q.end()
+	q.steal(2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reclaimed := q.awaitLent(ctx, time.Minute)
+	if len(reclaimed) != 2 || reclaimed[0].idx != items[0].idx {
+		t.Fatalf("canceled awaitLent reclaimed %d items", len(reclaimed))
+	}
+}
+
+// TestHandleFillUnsolicited pins that a fill for a key that was never
+// lent (or was already reclaimed) still lands in the cache: the result
+// is content-addressed, so it is valid wherever it came from.
+func TestHandleFillUnsolicited(t *testing.T) {
+	eng := runner.New(runner.Options{Workers: 1, Cache: runner.NewCache("")})
+	n, err := NewNode(Options{Self: "http://a:1", Peers: []string{"http://a:1"}, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := stealJobs(1)[0].Key()
+	rs := []core.Result{{Workload: "mcf", IPC: 1}}
+	if err := n.HandleFill(key, rs); err != nil {
+		t.Fatalf("HandleFill: %v", err)
+	}
+	if got, ok := eng.Cache().Get(key); !ok || len(got) != 1 {
+		t.Fatal("unsolicited fill did not land in the cache")
+	}
+	if err := n.HandleFill("not hex!", rs); err == nil {
+		t.Fatal("HandleFill accepted a malformed key")
+	}
+	if err := n.HandleFill(key, nil); err == nil {
+		t.Fatal("HandleFill accepted empty results")
+	}
+}

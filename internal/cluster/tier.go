@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"catch/internal/core"
+	"catch/internal/fault"
+	"catch/internal/runner"
+	"catch/internal/stats"
+	"catch/internal/telemetry"
+)
+
+// Tier is one level of the cluster's result-cache hierarchy. Get
+// returns (nil, nil) on a clean miss and a non-nil error on a tier
+// failure (the tier's breaker then counts it; enough in a row and the
+// tier is skipped entirely until a probe succeeds). Put inserts an
+// entry — tiers above a hit receive the promoted entry so the next
+// read stops earlier.
+type Tier interface {
+	// Name identifies the tier in stats, telemetry and responses
+	// ("mem", "disk", "peer").
+	Name() string
+	// Local reports whether the tier is served from this node. Remote
+	// tiers are skipped for cluster-internal fetches, so two peers can
+	// never chase each other's caches in a cycle.
+	Local() bool
+	Get(ctx context.Context, key string) ([]core.Result, error)
+	Put(key string, rs []core.Result)
+}
+
+// TierStats snapshots one tier's traffic counters.
+type TierStats struct {
+	Tier       string `json:"tier"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Errors     uint64 `json:"errors"`
+	Promotions uint64 `json:"promotions"` // entries promoted INTO this tier
+	Skipped    uint64 `json:"skipped"`    // lookups skipped by an open breaker
+}
+
+// tierSlot pairs a tier with its breaker and counters.
+type tierSlot struct {
+	t  Tier
+	br *fault.Breaker
+
+	hits       stats.AtomicCounter
+	misses     stats.AtomicCounter
+	errors     stats.AtomicCounter
+	promotions stats.AtomicCounter
+	skipped    stats.AtomicCounter
+}
+
+// Tiered is the ordered lookup path over the cache hierarchy: memory,
+// then disk, then the owner peer. A hit at level i is promoted into
+// every level above it; a failing level degrades (breaker) instead of
+// failing the request — the worst case is always "compute locally".
+type Tiered struct {
+	slots []*tierSlot
+}
+
+// NewTiered builds the lookup path in tier order. newBreaker supplies
+// one breaker per tier (nil for unguarded tiers); reg, when non-nil,
+// gets per-tier hit/miss/promotion series.
+func NewTiered(tiers []Tier, newBreaker func(name string) *fault.Breaker, reg *telemetry.Registry) *Tiered {
+	td := &Tiered{}
+	for _, t := range tiers {
+		s := &tierSlot{t: t}
+		if newBreaker != nil {
+			s.br = newBreaker(t.Name())
+		}
+		td.slots = append(td.slots, s)
+		if reg != nil {
+			registerTierMetrics(reg, s)
+		}
+	}
+	return td
+}
+
+// registerTierMetrics surfaces one tier's counters as baked-label
+// series, read at exposition time.
+func registerTierMetrics(reg *telemetry.Registry, s *tierSlot) {
+	name := s.t.Name()
+	read := func(c *stats.AtomicCounter) func() float64 {
+		return func() float64 { return float64(c.Value()) }
+	}
+	reg.CounterFunc(fmt.Sprintf("catch_cluster_tier_requests_total{tier=%q,kind=\"hit\"}", name),
+		"Tiered result-cache lookups by tier and outcome.", read(&s.hits))
+	reg.CounterFunc(fmt.Sprintf("catch_cluster_tier_requests_total{tier=%q,kind=\"miss\"}", name),
+		"Tiered result-cache lookups by tier and outcome.", read(&s.misses))
+	reg.CounterFunc(fmt.Sprintf("catch_cluster_tier_requests_total{tier=%q,kind=\"error\"}", name),
+		"Tiered result-cache lookups by tier and outcome.", read(&s.errors))
+	reg.CounterFunc(fmt.Sprintf("catch_cluster_tier_requests_total{tier=%q,kind=\"skipped\"}", name),
+		"Tiered result-cache lookups by tier and outcome.", read(&s.skipped))
+	reg.CounterFunc(fmt.Sprintf("catch_cluster_tier_promotions_total{tier=%q}", name),
+		"Entries promoted into this tier from a lower-tier hit.", read(&s.promotions))
+	if s.br != nil {
+		reg.GaugeFunc(fmt.Sprintf("catch_cluster_tier_breaker_state{tier=%q}", name),
+			"Per-tier circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return float64(s.br.State()) })
+	}
+}
+
+// Get walks the tiers in order and returns the first hit plus the name
+// of the tier that served it. localOnly restricts the walk to local
+// tiers (cluster-internal fetches must not recurse through peers).
+// A tier whose breaker is open is skipped; a tier error feeds its
+// breaker and the walk continues — degradation, never failure.
+func (td *Tiered) Get(ctx context.Context, key string, localOnly bool) ([]core.Result, string, bool) {
+	for i, s := range td.slots {
+		if localOnly && !s.t.Local() {
+			continue
+		}
+		if !s.br.Allow() {
+			s.skipped.Inc()
+			continue
+		}
+		rs, err := s.t.Get(ctx, key)
+		if err != nil {
+			s.errors.Inc()
+			s.br.Failure()
+			continue
+		}
+		s.br.Success()
+		if len(rs) == 0 {
+			s.misses.Inc()
+			continue
+		}
+		s.hits.Inc()
+		td.promote(i, key, rs)
+		return rs, s.t.Name(), true
+	}
+	return nil, "", false
+}
+
+// promote copies a hit into every tier above the one that served it.
+func (td *Tiered) promote(hit int, key string, rs []core.Result) {
+	for j := 0; j < hit; j++ {
+		td.slots[j].t.Put(key, rs)
+		td.slots[j].promotions.Inc()
+	}
+}
+
+// Stats snapshots every tier in lookup order.
+func (td *Tiered) Stats() []TierStats {
+	out := make([]TierStats, 0, len(td.slots))
+	for _, s := range td.slots {
+		out = append(out, TierStats{
+			Tier:       s.t.Name(),
+			Hits:       s.hits.Value(),
+			Misses:     s.misses.Value(),
+			Errors:     s.errors.Value(),
+			Promotions: s.promotions.Value(),
+			Skipped:    s.skipped.Value(),
+		})
+	}
+	return out
+}
+
+// memTier adapts the runner cache's in-memory layer: the existing
+// content-addressed cache slots into the hierarchy unchanged.
+type memTier struct{ c *runner.Cache }
+
+func (t memTier) Name() string { return "mem" }
+func (t memTier) Local() bool  { return true }
+func (t memTier) Get(_ context.Context, key string) ([]core.Result, error) {
+	rs, _ := t.c.GetMem(key)
+	return rs, nil
+}
+func (t memTier) Put(key string, rs []core.Result) { t.c.PutMem(key, rs) }
+
+// diskTier adapts the runner cache's disk layer. Disk I/O health is
+// already fed into the cache's own breaker, so tier-level errors stay
+// folded into misses here.
+type diskTier struct{ c *runner.Cache }
+
+func (t diskTier) Name() string { return "disk" }
+func (t diskTier) Local() bool  { return true }
+func (t diskTier) Get(_ context.Context, key string) ([]core.Result, error) {
+	rs, _ := t.c.GetDisk(key)
+	return rs, nil
+}
+func (t diskTier) Put(key string, rs []core.Result) { t.c.PutDisk(key, rs) }

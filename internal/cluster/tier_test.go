@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"catch/internal/core"
+	"catch/internal/fault"
+	"catch/internal/runner"
+)
+
+// fakeTier is a scriptable tier for hierarchy tests.
+type fakeTier struct {
+	name  string
+	local bool
+
+	mu      sync.Mutex
+	entries map[string][]core.Result
+	fail    bool
+	gets    int
+	puts    int
+}
+
+func newFakeTier(name string, local bool) *fakeTier {
+	return &fakeTier{name: name, local: local, entries: make(map[string][]core.Result)}
+}
+
+func (f *fakeTier) Name() string { return f.name }
+func (f *fakeTier) Local() bool  { return f.local }
+
+func (f *fakeTier) Get(_ context.Context, key string) ([]core.Result, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	if f.fail {
+		return nil, fmt.Errorf("tier %s down", f.name)
+	}
+	return f.entries[key], nil
+}
+
+func (f *fakeTier) Put(key string, rs []core.Result) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	f.entries[key] = rs
+}
+
+func (f *fakeTier) has(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries[key]) > 0
+}
+
+func tierResults() []core.Result {
+	return []core.Result{{Workload: "mcf", IPC: 1.25}}
+}
+
+func TestTieredPromotesHitsUpward(t *testing.T) {
+	mem := newFakeTier("mem", true)
+	disk := newFakeTier("disk", true)
+	peer := newFakeTier("peer", false)
+	td := NewTiered([]Tier{mem, disk, peer}, nil, nil)
+
+	key := "feedfacefeedface"
+	peer.Put(key, tierResults())
+	peer.puts = 0
+
+	rs, tier, ok := td.Get(context.Background(), key, false)
+	if !ok || tier != "peer" || len(rs) != 1 {
+		t.Fatalf("Get = (%d results, %q, %v), want peer hit", len(rs), tier, ok)
+	}
+	if !mem.has(key) || !disk.has(key) {
+		t.Fatal("peer hit was not promoted into mem and disk")
+	}
+	// The next read stops at the top tier.
+	if _, tier, _ := td.Get(context.Background(), key, false); tier != "mem" {
+		t.Fatalf("second Get served from %q, want mem", tier)
+	}
+	st := td.Stats()
+	if st[0].Promotions != 1 || st[1].Promotions != 1 || st[2].Hits != 1 {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+}
+
+func TestTieredLocalOnlySkipsRemote(t *testing.T) {
+	mem := newFakeTier("mem", true)
+	peer := newFakeTier("peer", false)
+	td := NewTiered([]Tier{mem, peer}, nil, nil)
+	peer.Put("feedfacefeedface", tierResults())
+
+	if _, _, ok := td.Get(context.Background(), "feedfacefeedface", true); ok {
+		t.Fatal("localOnly lookup reached the remote tier")
+	}
+	if peer.gets != 0 {
+		t.Fatalf("remote tier saw %d gets under localOnly", peer.gets)
+	}
+}
+
+// TestTieredBreakerDegradation pins graceful degradation: a failing
+// tier trips its breaker and is skipped (not queried) until the
+// cooldown admits a half-open probe; the walk itself keeps working.
+func TestTieredBreakerDegradation(t *testing.T) {
+	mem := newFakeTier("mem", true)
+	peer := newFakeTier("peer", false)
+	const threshold, cooldown = 2, 3
+	td := NewTiered([]Tier{mem, peer}, func(name string) *fault.Breaker {
+		if name != "peer" {
+			return nil
+		}
+		return fault.NewBreaker(threshold, cooldown)
+	}, nil)
+
+	peer.fail = true
+	key := "feedfacefeedface"
+	for i := 0; i < threshold; i++ {
+		if _, _, ok := td.Get(context.Background(), key, false); ok {
+			t.Fatal("failing tier produced a hit")
+		}
+	}
+	gets := peer.gets
+	if _, _, ok := td.Get(context.Background(), key, false); ok {
+		t.Fatal("open-breaker lookup produced a hit")
+	}
+	if peer.gets != gets {
+		t.Fatal("open breaker still let the lookup through to the failing tier")
+	}
+	st := td.Stats()
+	if st[1].Errors != threshold || st[1].Skipped == 0 {
+		t.Fatalf("peer tier stats after trip: %+v", st[1])
+	}
+
+	// Heal the tier; the cooldown admits a half-open probe which closes
+	// the breaker again.
+	peer.fail = false
+	peer.Put(key, tierResults())
+	var served string
+	for i := 0; i < cooldown+1; i++ {
+		if _, tier, ok := td.Get(context.Background(), key, false); ok {
+			served = tier
+			break
+		}
+	}
+	if served != "peer" {
+		t.Fatalf("healed tier never served (got %q)", served)
+	}
+}
+
+func TestCacheTierAdapters(t *testing.T) {
+	c := runner.NewCache(t.TempDir())
+	key := "feedfacefeedface"
+	td := NewTiered([]Tier{memTier{c: c}, diskTier{c: c}}, nil, nil)
+
+	// Disk-only entry: promote into memory on first read.
+	diskTier{c: c}.Put(key, tierResults())
+	rs, tier, ok := td.Get(context.Background(), key, false)
+	if !ok || tier != "disk" || len(rs) != 1 {
+		t.Fatalf("Get = (%d results, %q, %v), want disk hit", len(rs), tier, ok)
+	}
+	if _, tier, _ = td.Get(context.Background(), key, false); tier != "mem" {
+		t.Fatalf("promoted entry served from %q, want mem", tier)
+	}
+}

@@ -18,8 +18,9 @@ import (
 // cache directory is configured) are served from the content-addressed
 // result cache instead of being re-simulated.
 var (
-	engMu sync.Mutex
-	eng   *runner.Engine
+	engMu   sync.Mutex
+	eng     *runner.Engine
+	execCtx context.Context
 )
 
 // UseEngine routes all experiment drivers through e (cmd/catchexp
@@ -28,6 +29,26 @@ func UseEngine(e *runner.Engine) {
 	engMu.Lock()
 	defer engMu.Unlock()
 	eng = e
+}
+
+// UseContext makes every experiment driver run its jobs under ctx, so
+// a command-line interrupt cancels the sweep instead of orphaning it
+// (cmd/catchexp installs its signal context; undone jobs come back
+// Canceled and a journaled re-run resumes exactly the remainder).
+func UseContext(ctx context.Context) {
+	engMu.Lock()
+	defer engMu.Unlock()
+	execCtx = ctx
+}
+
+// execContext returns the installed context, or Background.
+func execContext() context.Context {
+	engMu.Lock()
+	defer engMu.Unlock()
+	if execCtx == nil {
+		return context.Background()
+	}
+	return execCtx
 }
 
 // Engine returns the active engine, lazily creating a default one
@@ -49,7 +70,7 @@ func Engine() *runner.Engine {
 // here is a programming error, matching the panics the direct-call
 // path used for unknown names.
 func runJobs(jobs []runner.Job) []core.Result {
-	rs, err := runner.Flatten(Engine().Run(context.Background(), jobs))
+	rs, err := runner.Flatten(Engine().Run(execContext(), jobs))
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
@@ -82,7 +103,7 @@ func runMixes(cfg config.SystemConfig, mixes []workloads.Mix, b Budget) [][]core
 	for i := range mixes {
 		jobs = append(jobs, runner.MPJob(cfg, mixNames(&mixes[i]), b.Insts, b.Warmup))
 	}
-	out := Engine().Run(context.Background(), jobs)
+	out := Engine().Run(execContext(), jobs)
 	if err := runner.FirstError(out); err != nil {
 		panic("experiments: " + err.Error())
 	}

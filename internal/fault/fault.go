@@ -44,6 +44,11 @@ const (
 	Hang
 	// Exec fails a job execution attempt with a transient error.
 	Exec
+	// Peer makes a cluster peer call (result fetch, shard dispatch,
+	// steal, fill) fail with a transient error, so the chaos suite can
+	// prove the ring reroutes and the tiered read path degrades to
+	// local compute.
+	Peer
 
 	nKinds
 )
@@ -56,6 +61,7 @@ var kindNames = [nKinds]string{
 	Slow:      "slow",
 	Hang:      "hang",
 	Exec:      "exec",
+	Peer:      "peer",
 }
 
 func (k Kind) String() string {

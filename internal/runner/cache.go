@@ -115,21 +115,72 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // Get returns the cached results for key (memory first, then disk)
-// without computing anything.
+// without computing anything. An empty entry is never returned as a
+// hit: a quarantine racing a concurrent read can briefly surface a
+// result-less record, and serving it would look like a successful
+// lookup with no data.
 func (c *Cache) Get(key string) ([]core.Result, bool) {
-	c.mu.Lock()
-	if rs, ok := c.mem[key]; ok {
-		c.mu.Unlock()
+	if rs, ok := c.GetMem(key); ok {
 		return rs, true
 	}
-	c.mu.Unlock()
-	if rs, ok := c.loadDisk(key); ok {
+	if rs, ok := c.GetDisk(key); ok {
 		c.mu.Lock()
 		c.mem[key] = rs
 		c.mu.Unlock()
 		return rs, true
 	}
 	return nil, false
+}
+
+// GetMem returns the in-memory entry for key only, never touching the
+// disk layer. It is the top tier of the cluster's tiered read path.
+func (c *Cache) GetMem(key string) ([]core.Result, bool) {
+	c.mu.Lock()
+	rs, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok || len(rs) == 0 {
+		return nil, false
+	}
+	return rs, true
+}
+
+// GetDisk reads the on-disk entry for key only, without populating the
+// memory layer (tier promotion is the caller's decision). Disk health
+// feeds the cache's breaker exactly as in the combined path.
+func (c *Cache) GetDisk(key string) ([]core.Result, bool) {
+	rs, ok := c.loadDisk(key)
+	if !ok || len(rs) == 0 {
+		return nil, false
+	}
+	return rs, true
+}
+
+// Put inserts an externally computed result (a peer fetch or a
+// work-steal fill) into both layers, exactly as a local compute would
+// have. Empty result sets are rejected: an entry with no results is
+// indistinguishable from the quarantine race Get guards against.
+func (c *Cache) Put(key string, rs []core.Result) {
+	c.PutMem(key, rs)
+	c.PutDisk(key, rs)
+}
+
+// PutMem inserts into the memory layer only (tier promotion).
+func (c *Cache) PutMem(key string, rs []core.Result) {
+	if len(rs) == 0 || !ValidKey(key) {
+		return
+	}
+	c.mu.Lock()
+	c.mem[key] = rs
+	c.mu.Unlock()
+}
+
+// PutDisk persists to the disk layer only (tier promotion; breaker
+// rules as in the compute path — persistence failures never surface).
+func (c *Cache) PutDisk(key string, rs []core.Result) {
+	if len(rs) == 0 || !ValidKey(key) {
+		return
+	}
+	c.storeDisk(key, rs)
 }
 
 // Do returns the results for key, computing them at most once across
@@ -182,6 +233,12 @@ func (c *Cache) settle(key string, f *flight, rs []core.Result, err error) {
 }
 
 var keyPattern = regexp.MustCompile(`^[0-9a-f]{16,64}$`)
+
+// ValidKey reports whether key has the shape of a content address (a
+// plain lowercase-hex digest). The HTTP layers validate client-supplied
+// keys with it up front so a malformed key is a 400, never a disk probe
+// or a 500.
+func ValidKey(key string) bool { return keyPattern.MatchString(key) }
 
 // path maps a key to its on-disk file, rejecting anything that is not
 // a plain hex key (the HTTP layer passes client-supplied keys through).

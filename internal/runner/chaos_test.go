@@ -146,7 +146,10 @@ func TestChaosHangRecoversViaTimeout(t *testing.T) {
 	inj := fault.NewInjector(fault.Plan{Seed: 5, Rules: map[fault.Kind]fault.Rule{
 		fault.Hang: {Prob: 1},
 	}})
-	e := New(Options{Workers: 1, Timeout: 30 * time.Millisecond, Retries: 1, Fault: inj})
+	// The timeout bounds both the hung attempt (test runtime) and the
+	// clean retry: generous enough that a loaded -race run still
+	// finishes the retry inside it.
+	e := New(Options{Workers: 1, Timeout: 500 * time.Millisecond, Retries: 1, Fault: inj})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel() // releases the hung goroutine
 	rs := e.Run(ctx, testJobs()[:1])

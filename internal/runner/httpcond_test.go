@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"catch/internal/core"
+)
+
+func TestNoneMatch(t *testing.T) {
+	etag := ETagFor("deadbeefdeadbeef")
+	tests := []struct {
+		name   string
+		header string
+		want   bool
+	}{
+		{"empty header never matches", "", false},
+		{"exact strong match", etag, true},
+		{"weak prefix compares equal", "W/" + etag, true},
+		{"wildcard matches anything", "*", true},
+		{"match inside a list", `"aaaa", ` + etag + `, "bbbb"`, true},
+		{"list without a match", `"aaaa", "bbbb"`, false},
+		{"unquoted key is not an entity tag", "deadbeefdeadbeef", false},
+		{"different key", `"feedfacefeedface"`, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NoneMatch(tt.header, etag); got != tt.want {
+				t.Fatalf("NoneMatch(%q) = %v, want %v", tt.header, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestServeResultConditional(t *testing.T) {
+	key := "deadbeefdeadbeef"
+	doc := map[string]any{"key": key}
+
+	// Unconditional read: 200 with validator and freshness headers.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/results/"+key, nil)
+	ServeResult(rec, req, key, doc, 0)
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("unconditional ServeResult = %d (%d bytes)", rec.Code, rec.Body.Len())
+	}
+	if got := rec.Header().Get("Cache-Control"); got != "public, max-age=31536000, immutable" {
+		t.Fatalf("default Cache-Control = %q", got)
+	}
+
+	// Conditional read with a current validator: body-less 304 that
+	// still carries the caching headers.
+	rec = httptest.NewRecorder()
+	req.Header.Set("If-None-Match", ETagFor(key))
+	ServeResult(rec, req, key, doc, 45*time.Second)
+	if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Fatalf("conditional ServeResult = %d (%d bytes), want body-less 304", rec.Code, rec.Body.Len())
+	}
+	if got := rec.Header().Get("ETag"); got != ETagFor(key) {
+		t.Fatalf("304 ETag = %q", got)
+	}
+	if got := rec.Header().Get("Cache-Control"); got != "public, max-age=45, immutable" {
+		t.Fatalf("configured Cache-Control = %q", got)
+	}
+	if got := rec.Header().Get("Vary"); got != "Accept-Encoding" {
+		t.Fatalf("Vary = %q", got)
+	}
+}
+
+// TestResultsEndpointContract pins the /v1/results/{key} status-code
+// contract end to end: malformed keys are the client's error, a
+// quarantined or evicted entry is a consistent 404 (never a 200 with an
+// empty body), and a warm client revalidates into a 304.
+func TestResultsEndpointContract(t *testing.T) {
+	eng := New(Options{Workers: 1, Cache: NewCache("")})
+	ts := newTestServer(eng)
+	defer ts.Close()
+
+	key := "deadbeefdeadbeef"
+	for _, bad := range []string{"nope", "DEADBEEFDEADBEEF", "xyz!", "abc123"} {
+		resp, raw := getURL(t, ts.URL+"/v1/results/"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("results/%s = %d: %s", bad, resp.StatusCode, raw)
+		}
+	}
+
+	// An entry that a quarantine race would empty is rejected at Put, so
+	// the read path stays a 404 — never a 200 with no results.
+	eng.Cache().Put(key, nil)
+	resp, raw := getURL(t, ts.URL+"/v1/results/"+key)
+	if resp.StatusCode != http.StatusNotFound || len(raw) == 0 {
+		t.Fatalf("empty entry read = %d (%d bytes), want JSON 404", resp.StatusCode, len(raw))
+	}
+
+	eng.Cache().Put(key, []core.Result{{Workload: "mcf", IPC: 1}})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/results/"+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", ETagFor(key))
+	cond, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation = %d, want 304", cond.StatusCode)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"catch/internal/config"
@@ -350,5 +351,72 @@ func TestPanicCapturesStackAndLogsOnce(t *testing.T) {
 	// Three attempts panicked; the stack is logged exactly once.
 	if len(logs) != 1 {
 		t.Fatalf("panic logged %d times, want 1: %v", len(logs), logs)
+	}
+}
+
+// TestJournalTornTailUnderConcurrentWriters drives the crash-recovery
+// path the way a sharded sweep actually writes it: many workers
+// recording completions concurrently (with overlapping keys), a crash
+// that tears the final record, and a reopen that must recover every
+// fully written completion while discarding only the torn tail.
+func TestJournalTornTailUnderConcurrentWriters(t *testing.T) {
+	jobs := testJobs()
+	path := journalPath(t)
+	jl, err := OpenJournal(path, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every writer records every key: heavy interleaving plus
+			// the duplicate-suppression path under contention.
+			for i := range jobs {
+				if err := jl.Record(jobs[(i+w)%len(jobs)].Key()); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-append: a torn, newline-less record at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"done":"0123abc`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(path, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.DoneCount() != len(jobs) || re.SkippedLines() != 1 {
+		t.Fatalf("after recovery: done=%d skipped=%d, want %d/1", re.DoneCount(), re.SkippedLines(), len(jobs))
+	}
+	for _, j := range jobs {
+		if !re.Done(j.Key()) {
+			t.Fatalf("completion for %s lost in recovery", j.Key()[:12])
+		}
 	}
 }

@@ -57,6 +57,10 @@ type Server struct {
 	// of the same sweep resumes from the last completed job. Empty
 	// disables journaling.
 	JournalDir string
+	// ResultMaxAge is the Cache-Control max-age stamped on GET
+	// /v1/results/{key} responses; <=0 means DefaultResultMaxAge
+	// (results are content-addressed, hence immutable).
+	ResultMaxAge time.Duration
 	// Metrics, when non-nil, is served at GET /metrics. Handler also
 	// registers the server's own series there (cache traffic, uptime,
 	// request limiter occupancy, breaker and fault-injection state).
@@ -377,6 +381,15 @@ func sweepID(jobs []Job) string {
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
+// OpenShardJournal opens the content-addressed journal for a job set
+// under dir — the same dir+sweepID layout the sweep endpoint uses, so
+// a shard re-dispatched to the same node resumes from its own journal.
+// Unlike openSweepJournal it does no concurrent-use bookkeeping; the
+// cluster layer serializes shard execution per node.
+func OpenShardJournal(dir string, jobs []Job) (*Journal, error) {
+	return OpenJournal(filepath.Join(dir, sweepID(jobs)+".journal"), jobs, 0)
+}
+
 // openSweepJournal opens the per-sweep journal, refusing concurrent
 // use of one journal (two writers would interleave appends).
 func (s *Server) openSweepJournal(jobs []Job) (*Journal, string, error) {
@@ -408,17 +421,27 @@ func (s *Server) closeSweepJournal(id string, jl *Journal) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	// Key shape is validated before anything touches the cache: a
+	// malformed key is the client's error (400), not a lookup miss and
+	// never a server fault.
+	if !ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, errorBody{"malformed result key (want 16-64 lowercase hex digits): " + key})
+		return
+	}
 	cache := s.Engine.Cache()
 	if cache == nil {
 		writeJSON(w, http.StatusNotFound, errorBody{"server runs without a result cache"})
 		return
 	}
+	// Get never returns an empty entry (a quarantine racing this read
+	// could briefly expose one), so a hit always has a body and a miss
+	// is consistently 404.
 	rs, ok := cache.Get(key)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{"no cached result for key " + key})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"key": key, "results": rs})
+	ServeResult(w, r, key, map[string]any{"key": key, "results": rs}, s.ResultMaxAge)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
