@@ -1,13 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke
+.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke batch-smoke
 
 # check gates a change: build + formatting + vet + catchlint + the
 # full test suite under the race detector (this includes
 # internal/telemetry's concurrent counter/histogram/tracer tests and
 # the runner's /metrics tests) + the seeded chaos suite + the
-# cluster determinism smoke.
-check: build fmtcheck vet lint race chaos cluster-smoke
+# cluster determinism smoke + the batch-kernel determinism smoke.
+check: build fmtcheck vet lint race chaos cluster-smoke batch-smoke
+
+# batch-smoke proves the lock-step batch kernel preserves determinism:
+# the fig13 experiment run through a batching engine must hash to the
+# same committed golden value as the scalar run, while actually taking
+# the batch path. Bypasses the go test cache so it always re-proves.
+batch-smoke:
+	$(GO) test -run 'TestBatchSmokeFig13' -count=1 ./internal/experiments
 
 # cluster-smoke proves the distribution layer preserves determinism: a
 # 3-node in-memory cluster shards a sweep over the ring and the
@@ -51,14 +58,17 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/cluster
 
-# bench re-records the committed simulator-throughput baseline.
+# bench re-records the committed simulator-throughput baseline from the
+# per-metric medians of 5 samples per benchmark.
 bench:
-	$(GO) run ./cmd/catchbench -out BENCH_sim.json
+	$(GO) run ./cmd/catchbench -count 5 -out BENCH_sim.json
 
-# benchcmp runs the Sim* benchmarks fresh and fails if any throughput
+# benchcmp runs the Sim* benchmarks fresh (5 samples each, compared by
+# median so one noisy sample cannot fail the gate), prints the
+# per-benchmark throughput deltas, and fails if any median throughput
 # dropped more than 10% against the committed baseline.
 benchcmp:
-	$(GO) run ./cmd/catchbench -compare BENCH_sim.json
+	$(GO) run ./cmd/catchbench -count 5 -compare BENCH_sim.json
 
 # benchall regenerates every table/figure benchmark (slow).
 benchall:

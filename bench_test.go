@@ -10,11 +10,14 @@
 package catch_test
 
 import (
+	"fmt"
 	"testing"
 
+	"catch/internal/cache"
 	"catch/internal/config"
 	"catch/internal/core"
 	"catch/internal/experiments"
+	"catch/internal/trace"
 	"catch/internal/workloads"
 )
 
@@ -137,6 +140,72 @@ func BenchmarkSimMP(b *testing.B) {
 		sys := core.NewSystem(cfg)
 		sys.RunMP(mix.Gens(), 30_000, 10_000)
 	}
+}
+
+// batchBenchConfigs is the 8-configuration LLC-latency grid used to
+// compare the lock-step batch kernel against independent scalar runs.
+func batchBenchConfigs(b *testing.B) []config.SystemConfig {
+	b.Helper()
+	base, ok := experiments.ConfigByName("baseline-excl")
+	if !ok {
+		b.Fatal("config baseline-excl")
+	}
+	cfgs := make([]config.SystemConfig, 8)
+	for i := range cfgs {
+		cfgs[i] = config.WithLatencyDelta(base, cache.HitLLC, int64(i),
+			fmt.Sprintf("baseline-excl+llc%d", i))
+	}
+	return cfgs
+}
+
+const (
+	batchBenchInsts  = 100_000
+	batchBenchWarmup = 20_000
+)
+
+// BenchmarkSimBatch measures the lock-step kernel: 8 configurations
+// stepped through one memoized hmmer trace via core.RunBatch. The
+// instrs/s metric aggregates all 8 systems, so it is directly
+// comparable to BenchmarkSimScalar8 below — the ratio of the two is
+// the batch speedup.
+func BenchmarkSimBatch(b *testing.B) {
+	cfgs := batchBenchConfigs(b)
+	w, _ := workloads.ByName("hmmer")
+	m, err := trace.NewStore("").Materialize(&w, batchBenchInsts+batchBenchWarmup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := core.RunBatch(m, cfgs, batchBenchInsts, batchBenchWarmup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs[0].IPC <= 0 {
+			b.Fatal("no progress")
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*batchBenchInsts*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSimScalar8 runs the same 8-configuration grid as
+// BenchmarkSimBatch through independent scalar RunST calls (each with
+// its own generated trace) — the pre-batch execution model and the
+// denominator of the batch speedup.
+func BenchmarkSimScalar8(b *testing.B) {
+	cfgs := batchBenchConfigs(b)
+	w, _ := workloads.ByName("hmmer")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			sys := core.NewSystem(cfg)
+			res := sys.RunST(w.NewGen(), batchBenchInsts, batchBenchWarmup)
+			if res.IPC <= 0 {
+				b.Fatal("no progress")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*batchBenchInsts*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 // BenchmarkSystemConstruction measures system build cost (cache

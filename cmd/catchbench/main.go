@@ -13,8 +13,12 @@
 // (bench_test.go at the repo root), parses the output into a
 // machine-readable report, and either writes it (-out) or compares it
 // against a committed baseline (-compare), exiting non-zero when any
-// benchmark's throughput dropped by more than -tol. `make bench` and
-// `make benchcmp` wrap the two modes.
+// benchmark's throughput dropped by more than -tol. With -count > 1 the
+// samples are collapsed to per-metric medians before reporting, which
+// is how `make benchcmp` (-count 5) keeps the gate stable on noisy
+// machines; compare mode also prints the per-benchmark throughput
+// delta against the baseline. `make bench` and `make benchcmp` wrap
+// the two modes.
 //
 // -chaos instead runs the deterministic chaos suite (`go test -run
 // Chaos` over the runner and fault packages): seeded fault schedules —
@@ -36,9 +40,9 @@ import (
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", "Sim(Baseline|CATCH|MP)$", "benchmark regexp passed to go test -bench")
+		benchRe   = flag.String("bench", "Sim(Baseline|CATCH|MP|Batch|Scalar8)$", "benchmark regexp passed to go test -bench")
 		benchTime = flag.String("benchtime", "2s", "go test -benchtime")
-		count     = flag.Int("count", 1, "go test -count")
+		count     = flag.Int("count", 1, "go test -count (with count > 1 the report carries per-metric medians)")
 		out       = flag.String("out", "", "write the parsed report as JSON to this path")
 		compare   = flag.String("compare", "", "baseline JSON to compare the fresh run against")
 		tol       = flag.Float64("tol", 0.10, "tolerated fractional throughput drop before failing")
@@ -68,6 +72,11 @@ func main() {
 	if len(rep.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "catchbench: no benchmarks matched %q\n", *benchRe)
 		os.Exit(1)
+	}
+	if *count > 1 {
+		// Collapse the -count samples to per-benchmark medians so one
+		// noisy sample neither fails the gate nor lands in the baseline.
+		rep = rep.Medians()
 	}
 	for _, r := range rep.Results {
 		if r.InstrsPerSec > 0 {
@@ -99,6 +108,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "catchbench:", err)
 			os.Exit(1)
+		}
+		for _, d := range perf.Deltas(base, rep) {
+			fmt.Println("  delta", d)
 		}
 		regs := perf.Compare(base, rep, *tol)
 		if len(regs) > 0 {

@@ -9,6 +9,7 @@
 //	catchexp -exp all -cache /tmp/catch # persist results across runs
 //	catchexp -exp fig10 -json           # machine-readable tables
 //	catchexp -exp all -cache /tmp/catch -journal /tmp/catch/exp.journal
+//	catchexp -exp fig13 -batch          # lock-step batch kernel
 //	catchexp -list
 //
 // Simulations run through the parallel execution engine: jobs shard
@@ -103,7 +104,7 @@ func runExperiment(id string, b experiments.Budget) (tables []experiments.Table,
 // resumeCommand reconstructs the exact invocation that continues an
 // interrupted evaluation: same experiment, same budget (keys depend on
 // it), same journal and cache.
-func resumeCommand(o *options, cacheDir, journal string, jsonOut bool) string {
+func resumeCommand(o *options, cacheDir, journal string, jsonOut, batch bool) string {
 	cmd := fmt.Sprintf("catchexp -exp %s -insts %d -warmup %d -workloads %d -mixes %d -parallel %d -journal %q",
 		o.exp, o.insts, o.warmup, o.nwl, o.mixes, o.parallel, journal)
 	if cacheDir != "" {
@@ -111,6 +112,9 @@ func resumeCommand(o *options, cacheDir, journal string, jsonOut bool) string {
 	}
 	if jsonOut {
 		cmd += " -json"
+	}
+	if batch {
+		cmd += " -batch"
 	}
 	return cmd
 }
@@ -127,6 +131,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
 		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
 		journal  = flag.String("journal", "", "checkpoint completed job keys to this file; a re-run resumes (use with -cache)")
+		batch    = flag.Bool("batch", false, "lock-step configurations sharing a workload through one memoized trace (results are byte-identical to scalar)")
 	)
 	flag.Parse()
 
@@ -166,6 +171,7 @@ func main() {
 		Workers: *parallel,
 		Cache:   runner.NewCache(*cacheDir),
 		Journal: jl,
+		Batch:   *batch,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "catchexp: "+format+"\n", args...)
 		},
@@ -189,7 +195,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "catchexp:", err)
 			if ctx.Err() != nil && jl != nil {
 				fmt.Fprintf(os.Stderr, "catchexp: interrupted; continue with %s\n",
-					resumeCommand(&opts, *cacheDir, *journal, *jsonOut))
+					resumeCommand(&opts, *cacheDir, *journal, *jsonOut, *batch))
 			}
 			os.Exit(1)
 		}
@@ -209,7 +215,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "catchexp: %v elapsed, %d workers, %d simulations, cache: %s\n",
+	fmt.Fprintf(os.Stderr, "catchexp: %v elapsed, %d workers, %d simulations, %d batched, cache: %s\n",
 		time.Since(start).Round(time.Millisecond), eng.Workers(), eng.Executed(),
-		eng.Cache().Stats())
+		eng.Batched(), eng.Cache().Stats())
 }

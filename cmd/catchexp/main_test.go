@@ -74,14 +74,14 @@ func TestValidateResolvesIDs(t *testing.T) {
 // pasting it resumes the same sweep against the same journal.
 func TestResumeCommand(t *testing.T) {
 	o := validOptions()
-	got := resumeCommand(&o, "", "run.journal", false)
+	got := resumeCommand(&o, "", "run.journal", false, false)
 	want := `catchexp -exp fig10 -insts 10000 -warmup 1000 -workloads 0 -mixes 4 -parallel 2 -journal "run.journal"`
 	if got != want {
 		t.Fatalf("resumeCommand =\n  %s\nwant\n  %s", got, want)
 	}
 
-	got = resumeCommand(&o, "/tmp/cache dir", "j.journal", true)
-	for _, part := range []string{`-cache "/tmp/cache dir"`, "-json", `-journal "j.journal"`} {
+	got = resumeCommand(&o, "/tmp/cache dir", "j.journal", true, true)
+	for _, part := range []string{`-cache "/tmp/cache dir"`, "-json", `-journal "j.journal"`, "-batch"} {
 		if !strings.Contains(got, part) {
 			t.Fatalf("resumeCommand %q lacks %q", got, part)
 		}

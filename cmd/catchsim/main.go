@@ -10,6 +10,7 @@
 //	catchsim -workload mcf -config catch -dump-critpath    # critical-path table
 //	catchsim -workload mcf,hmmer -config catch -cache /tmp/cc -journal sweep.journal
 //	catchsim -resume sweep.journal -cache /tmp/cc          # continue an interrupted sweep
+//	catchsim -workload mcf -config catch,baseline-excl,nol2-6.5 -batch
 //	catchsim -list            # list workloads
 //	catchsim -configs         # list configurations
 //
@@ -25,6 +26,13 @@
 // be continued with -resume, which reads the job list back from the
 // journal and executes only what is missing. Pair both with -cache so
 // completed results survive the process.
+//
+// -batch executes single-thread jobs sharing a (workload, -n, -warmup)
+// key through the lock-step batch kernel: the instruction trace is
+// generated once per workload and every configuration steps through the
+// shared recording. Results, cache keys and journal records are
+// byte-identical to the scalar path — batching is purely an execution
+// strategy.
 package main
 
 import (
@@ -66,6 +74,7 @@ type options struct {
 	cacheDir    string
 	journal     string
 	resume      string
+	batch       bool
 
 	cfgs []config.SystemConfig // resolved by validate
 }
@@ -118,6 +127,9 @@ func validate(o *options) error {
 	if (o.traceOut != "" || o.dumpCrit) && (o.journal != "" || o.resume != "") {
 		return errors.New("-trace/-dump-critpath run in-process and cannot be combined with -journal/-resume")
 	}
+	if o.batch && (o.traceOut != "" || o.dumpCrit) {
+		return errors.New("-batch runs through the engine and cannot be combined with -trace/-dump-critpath")
+	}
 	return nil
 }
 
@@ -152,6 +164,7 @@ func main() {
 		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
 		journal  = flag.String("journal", "", "checkpoint completed jobs to this file; continue later with -resume")
 		resume   = flag.String("resume", "", "resume the sweep stored in this journal (the job grid comes from its manifest)")
+		batch    = flag.Bool("batch", false, "lock-step configurations sharing a workload through one memoized trace (results are byte-identical to scalar)")
 	)
 	flag.Parse()
 
@@ -190,6 +203,7 @@ func main() {
 		cacheDir:    *cacheDir,
 		journal:     *journal,
 		resume:      *resume,
+		batch:       *batch,
 	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchsim:", err)
@@ -246,6 +260,7 @@ func main() {
 		Workers: *parallel,
 		Cache:   runner.NewCache(opts.cacheDir),
 		Journal: jl,
+		Batch:   opts.batch,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "catchsim: "+format+"\n", args...)
 		},

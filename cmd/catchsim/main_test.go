@@ -60,6 +60,17 @@ func TestValidate(t *testing.T) {
 		{"critpath with resume", func(o *options) {
 			o.dumpCrit, o.resume = true, "sweep.journal"
 		}, "cannot be combined with -journal/-resume"},
+		{"batch grid passes", func(o *options) {
+			o.batch = true
+			o.configs = []string{"baseline-excl", "catch"}
+		}, ""},
+		{"batch with journal passes", func(o *options) { o.batch, o.journal = true, "sweep.journal" }, ""},
+		{"batch with trace", func(o *options) {
+			o.batch, o.traceOut = true, "t.json"
+		}, "-batch runs through the engine"},
+		{"batch with critpath", func(o *options) {
+			o.batch, o.dumpCrit = true, true
+		}, "-batch runs through the engine"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -42,6 +42,12 @@ type CoreSim struct {
 	streamBuf []uint64
 	lastLine  uint64
 
+	// batchIn is the lock-step kernel's scratch record for predictor
+	// cores: Step's pointer argument escapes (it flows into the Ports
+	// closures), so a stack local in stepChunk would heap-allocate once
+	// per chunk. A field on the already-heap CoreSim does not.
+	batchIn trace.Inst
+
 	convDone uint64
 	retired  int64
 }

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"catch/internal/runner"
+)
+
+// TestBatchSmokeFig13 is the end-to-end gate for the lock-step kernel:
+// the full fig13 experiment executed through a batching engine must
+// render byte-for-byte the same tables as the scalar golden run — the
+// same committed hash — while actually taking the batch path.
+func TestBatchSmokeFig13(t *testing.T) {
+	eng := runner.New(runner.Options{
+		Workers: runtime.GOMAXPROCS(0),
+		Cache:   runner.NewCache(""),
+		Batch:   true,
+	})
+	UseEngine(eng)
+	defer UseEngine(nil)
+	if got := fig13Hash(t, goldenFig13Budget); got != goldenFig13Hash {
+		t.Errorf("batched fig13 output hash diverged from the scalar golden run:\n got %s\nwant %s",
+			got, goldenFig13Hash)
+	}
+	if eng.Batched() == 0 {
+		t.Error("engine batched no jobs; the smoke test exercised only the scalar path")
+	}
+	if n := eng.BatchFallbacks(); n != 0 {
+		t.Errorf("engine fell back to scalar %d times, want 0", n)
+	}
+}

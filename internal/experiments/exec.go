@@ -87,6 +87,27 @@ func runSys(cfg config.SystemConfig, b Budget) []core.Result {
 	return runJobs(jobs)
 }
 
+// runGrid runs every study workload on each configuration through a
+// single engine submission and returns per-config result slices. One
+// submission (rather than one per config) lets a batching engine group
+// the configurations sharing a workload into lock-step units, and gives
+// the worker pool the whole grid to spread at once.
+func runGrid(cfgs []config.SystemConfig, b Budget) [][]core.Result {
+	wls := b.workloads()
+	jobs := make([]runner.Job, 0, len(cfgs)*len(wls))
+	for _, cfg := range cfgs {
+		for _, w := range wls {
+			jobs = append(jobs, runner.STJob(cfg, w.WName, b.Insts, b.Warmup))
+		}
+	}
+	flat := runJobs(jobs)
+	out := make([][]core.Result, len(cfgs))
+	for k := range cfgs {
+		out[k] = flat[k*len(wls) : (k+1)*len(wls)]
+	}
+	return out
+}
+
 // runConfig runs every study workload on one named configuration.
 func runConfig(cfgName string, b Budget) []core.Result {
 	cfg, ok := ConfigByName(cfgName)

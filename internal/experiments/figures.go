@@ -246,7 +246,6 @@ func ratio(a, b float64) float64 {
 // +Deep +5.9%, +Feeder +2.7%).
 func Fig13(b Budget) []Table {
 	noL2Cfg, _ := ConfigByName("nol2-6.5")
-	base := runSys(noL2Cfg, b)
 	t := Table{
 		ID:      "fig13",
 		Title:   "Performance gain from each TACT component (over noL2)",
@@ -261,14 +260,18 @@ func Fig13(b Budget) []Table {
 		{"+Deep", true, true, true, false},
 		{"+Feeder", true, true, true, true},
 	}
+	cfgs := []config.SystemConfig{noL2Cfg}
 	for _, s := range steps {
 		cfg := config.WithCATCH(noL2Cfg, "nol2-catch-"+s.label)
 		cfg.Tact.EnableCode = s.code
 		cfg.Tact.EnableCross = s.cross
 		cfg.Tact.EnableDeep = s.deep
 		cfg.Tact.EnableFeeder = s.feeder
-		rs := runSys(cfg, b)
-		t.Rows = append(t.Rows, speedupRow(s.label, rs, base))
+		cfgs = append(cfgs, cfg)
+	}
+	rs := runGrid(cfgs, b)
+	for i, s := range steps {
+		t.Rows = append(t.Rows, speedupRow(s.label, rs[i+1], rs[0]))
 	}
 	return []Table{t}
 }

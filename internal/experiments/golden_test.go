@@ -7,16 +7,20 @@ import (
 	"testing"
 )
 
-// TestGoldenFig13 pins the rendered fig13 table at a small budget to a
-// committed hash. The simulator is fully deterministic, so any change
-// to instruction timing, cache behaviour, criticality detection or
-// TACT issue order shows up here as a hash mismatch. Performance work
-// on the hot path must keep this byte-identical; if an intentional
-// model change moves the output, re-record the hash with the command
-// in the failure message.
-func TestGoldenFig13(t *testing.T) {
-	const want = "dfdd0ed304d33a0285f989c7ae3a6a65991ef14e59c63d0e15e129fc1ce70d43"
-	b := Budget{Insts: 30_000, Warmup: 15_000, Workloads: 8}
+// goldenFig13Hash pins the rendered fig13 tables at goldenFig13Budget.
+// The simulator is fully deterministic, so any change to instruction
+// timing, cache behaviour, criticality detection or TACT issue order
+// shows up as a mismatch against this hash — both in the scalar golden
+// test below and in the batch smoke test (batch_test.go), which must
+// reproduce the same bytes through the lock-step kernel.
+const goldenFig13Hash = "dfdd0ed304d33a0285f989c7ae3a6a65991ef14e59c63d0e15e129fc1ce70d43"
+
+var goldenFig13Budget = Budget{Insts: 30_000, Warmup: 15_000, Workloads: 8}
+
+// fig13Hash runs the fig13 experiment at the given budget and returns
+// the SHA-256 of its rendered tables.
+func fig13Hash(t *testing.T, b Budget) string {
+	t.Helper()
 	tables, err := Run("fig13", b)
 	if err != nil {
 		t.Fatal(err)
@@ -26,10 +30,16 @@ func TestGoldenFig13(t *testing.T) {
 		sb.WriteString(tb.Print())
 	}
 	sum := sha256.Sum256([]byte(sb.String()))
-	if got := hex.EncodeToString(sum[:]); got != want {
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenFig13 pins the scalar path to the committed hash.
+// Performance work on the hot path must keep this byte-identical; if an
+// intentional model change moves the output, re-record goldenFig13Hash.
+func TestGoldenFig13(t *testing.T) {
+	if got := fig13Hash(t, goldenFig13Budget); got != goldenFig13Hash {
 		t.Errorf("fig13 output hash changed:\n got %s\nwant %s\n"+
-			"output was:\n%s\n"+
-			"If the simulation model intentionally changed, update the hash in golden_test.go.",
-			got, want, sb.String())
+			"If the simulation model intentionally changed, update goldenFig13Hash in golden_test.go.",
+			got, goldenFig13Hash)
 	}
 }

@@ -123,6 +123,104 @@ func parseBenchLine(line string) (Result, bool) {
 	return res, true
 }
 
+// Medians collapses repeated results for the same benchmark (as
+// produced by `go test -count=N`) into one result per name carrying the
+// per-metric median. The median of an even run count is the mean of the
+// two middle samples. Runs sums the per-sample iteration counts, and
+// first-appearance order is kept so the report reads like the raw
+// stream. Comparing medians instead of single samples is what keeps the
+// `make benchcmp` gate stable on noisy machines: one slow sample out of
+// five no longer fails the build.
+func (rep Report) Medians() Report {
+	type group struct {
+		ns, instrs, bytes, allocs []float64
+		runs                      int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rep.Results {
+		g, ok := groups[r.Name]
+		if !ok {
+			g = &group{}
+			groups[r.Name] = g
+			order = append(order, r.Name)
+		}
+		g.ns = append(g.ns, r.NsPerOp)
+		g.instrs = append(g.instrs, r.InstrsPerSec)
+		g.bytes = append(g.bytes, r.BytesPerOp)
+		g.allocs = append(g.allocs, r.AllocsPerOp)
+		g.runs += r.Runs
+	}
+	out := rep
+	out.Results = make([]Result, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		out.Results = append(out.Results, Result{
+			Name:         name,
+			Runs:         g.runs,
+			NsPerOp:      median(g.ns),
+			InstrsPerSec: median(g.instrs),
+			BytesPerOp:   median(g.bytes),
+			AllocsPerOp:  median(g.allocs),
+		})
+	}
+	return out
+}
+
+// median returns the middle value of vs (mean of the two middle values
+// for even lengths). vs is not modified.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Delta is one benchmark's throughput movement between two reports.
+type Delta struct {
+	Name     string
+	Old, New float64 // throughput (bigger is better)
+	Pct      float64 // (New/Old - 1) * 100
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s: %.0f -> %.0f (%+.1f%%)", d.Name, d.Old, d.New, d.Pct)
+}
+
+// Deltas reports the per-benchmark throughput change from baseline to
+// current for every benchmark present in both, sorted by name. Unlike
+// Compare it reports all movement, improvements included, so a gate run
+// can print the whole picture rather than only the failures.
+func Deltas(baseline, current Report) []Delta {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var ds []Delta
+	for _, cur := range current.Results {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		oldT, okOld := throughput(old)
+		curT, okCur := throughput(cur)
+		if !okOld || !okCur {
+			continue
+		}
+		ds = append(ds, Delta{
+			Name: cur.Name, Old: oldT, New: curT, Pct: (curT/oldT - 1) * 100,
+		})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	return ds
+}
+
 // WriteJSON renders the report as stable, indented JSON (results
 // sorted by name so reruns diff cleanly).
 func (rep Report) WriteJSON(w io.Writer) error {

@@ -117,6 +117,75 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestMedians(t *testing.T) {
+	// Five samples of one benchmark (as from -count=5) with one slow
+	// outlier, interleaved with a single-sample benchmark.
+	rep := Report{CPU: "test", Results: []Result{
+		{Name: "BenchmarkSimBaseline", Runs: 100, NsPerOp: 10, InstrsPerSec: 1000, AllocsPerOp: 5},
+		{Name: "BenchmarkSimMP", Runs: 7, NsPerOp: 70},
+		{Name: "BenchmarkSimBaseline", Runs: 100, NsPerOp: 11, InstrsPerSec: 900, AllocsPerOp: 5},
+		{Name: "BenchmarkSimBaseline", Runs: 100, NsPerOp: 55, InstrsPerSec: 200, AllocsPerOp: 5},
+		{Name: "BenchmarkSimBaseline", Runs: 100, NsPerOp: 9, InstrsPerSec: 1100, AllocsPerOp: 5},
+		{Name: "BenchmarkSimBaseline", Runs: 100, NsPerOp: 12, InstrsPerSec: 950, AllocsPerOp: 5},
+	}}
+	got := rep.Medians()
+	if got.CPU != "test" {
+		t.Fatalf("header lost: %+v", got)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("want 2 collapsed results, got %+v", got.Results)
+	}
+	b := got.Results[0]
+	if b.Name != "BenchmarkSimBaseline" || b.Runs != 500 {
+		t.Fatalf("first result: %+v", b)
+	}
+	// The outlier (55 ns, 200 instrs/s) must not be the reported value.
+	if b.NsPerOp != 11 || b.InstrsPerSec != 950 || b.AllocsPerOp != 5 {
+		t.Fatalf("medians: %+v", b)
+	}
+	if got.Results[1].Name != "BenchmarkSimMP" || got.Results[1].NsPerOp != 70 {
+		t.Fatalf("single-sample result changed: %+v", got.Results[1])
+	}
+
+	// Even sample count: median is the mean of the middle two.
+	even := Report{Results: []Result{
+		{Name: "B", Runs: 1, NsPerOp: 10},
+		{Name: "B", Runs: 1, NsPerOp: 20},
+		{Name: "B", Runs: 1, NsPerOp: 40},
+		{Name: "B", Runs: 1, NsPerOp: 80},
+	}}
+	if m := even.Medians().Results[0].NsPerOp; m != 30 {
+		t.Fatalf("even median = %v, want 30", m)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 10_000_000},
+		{Name: "BenchmarkSimMP", NsPerOp: 100},
+		{Name: "BenchmarkRemoved", InstrsPerSec: 1},
+	}}
+	cur := Report{Results: []Result{
+		{Name: "BenchmarkSimMP", NsPerOp: 80},
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 9_000_000},
+		{Name: "BenchmarkNew", InstrsPerSec: 1},
+	}}
+	ds := Deltas(base, cur)
+	if len(ds) != 2 {
+		t.Fatalf("want 2 deltas (common benchmarks only), got %v", ds)
+	}
+	if ds[0].Name != "BenchmarkSimBaseline" || ds[0].Pct > -9.9 || ds[0].Pct < -10.1 {
+		t.Fatalf("first delta: %+v", ds[0])
+	}
+	// ns/op 100 -> 80 is a +25% throughput improvement.
+	if ds[1].Name != "BenchmarkSimMP" || ds[1].Pct < 24.9 || ds[1].Pct > 25.1 {
+		t.Fatalf("second delta: %+v", ds[1])
+	}
+	if s := ds[1].String(); !strings.Contains(s, "+25.0%") {
+		t.Fatalf("String: %q", s)
+	}
+}
+
 func writeTemp(t *testing.T, data []byte) (string, error) {
 	t.Helper()
 	f := t.TempDir() + "/bench.json"

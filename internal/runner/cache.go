@@ -132,6 +132,29 @@ func (c *Cache) Get(key string) ([]core.Result, bool) {
 	return nil, false
 }
 
+// GetCounted is Get with hit/miss accounting. It is for callers that
+// resolve a miss by computing outside the cache's singleflight — the
+// batch scheduler's unit pre-check — so the traffic counters tell the
+// same story in batch and scalar mode. Plain Get stays uncounted for
+// probes that do not imply a computation (the cluster tier walk, the
+// journal resume pass).
+func (c *Cache) GetCounted(key string) ([]core.Result, bool) {
+	if rs, ok := c.GetMem(key); ok {
+		c.hits.Inc()
+		return rs, true
+	}
+	if rs, ok := c.GetDisk(key); ok {
+		c.hits.Inc()
+		c.diskHits.Inc()
+		c.mu.Lock()
+		c.mem[key] = rs
+		c.mu.Unlock()
+		return rs, true
+	}
+	c.misses.Inc()
+	return nil, false
+}
+
 // GetMem returns the in-memory entry for key only, never touching the
 // disk layer. It is the top tier of the cluster's tiered read path.
 func (c *Cache) GetMem(key string) ([]core.Result, bool) {

@@ -13,6 +13,7 @@ import (
 	"catch/internal/fault"
 	"catch/internal/stats"
 	"catch/internal/telemetry"
+	"catch/internal/trace"
 )
 
 // Job outcome statuses, as reported in JobResult.Status.
@@ -60,7 +61,25 @@ type Options struct {
 	// latency histogram (catch_engine_*). Handles are nil-safe, so an
 	// unmetered engine pays nothing.
 	Metrics *telemetry.Registry
+	// Batch groups single-thread jobs that share a (workload, insts,
+	// warmup) budget and resolves each group through one lock-step
+	// core.RunBatch call over a shared materialized trace. Results are
+	// byte-identical to the scalar path and fan back out to the same
+	// per-job cache keys and journal records; any batch-level error
+	// falls back to scalar execution job by job.
+	Batch bool
+	// BatchSize caps the configurations per RunBatch call; <=0 means
+	// DefaultBatchSize.
+	BatchSize int
+	// Traces is the shared trace store the batch path materializes
+	// through; nil (with Batch set) creates a memory-only store.
+	Traces *trace.Store
 }
+
+// DefaultBatchSize is the lock-step group width when Options.BatchSize
+// is unset: wide enough to amortize the trace decode, narrow enough
+// that the batch's combined simulator state stays cache-resident.
+const DefaultBatchSize = 8
 
 // Engine shards jobs across a bounded worker pool. Each execution
 // builds a private core.System (System is not goroutine-safe and warm
@@ -72,7 +91,9 @@ type Engine struct {
 	// delay executions.
 	simulate func(*Job) ([]core.Result, error)
 
-	executed stats.AtomicCounter
+	executed      stats.AtomicCounter
+	batched       stats.AtomicCounter
+	batchFallback stats.AtomicCounter
 
 	drain     chan struct{}
 	drainOnce sync.Once
@@ -109,6 +130,12 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.Batch && opts.Traces == nil {
+		opts.Traces = trace.NewStore("")
+	}
 	e := &Engine{opts: opts, drain: make(chan struct{})}
 	e.simulate = func(j *Job) ([]core.Result, error) { return j.Execute() }
 	if r := opts.Metrics; r != nil {
@@ -132,6 +159,12 @@ func New(opts Options) *Engine {
 		r.CounterFunc("catch_engine_executions_total",
 			"Simulations actually started (cache hits and coalesced waits excluded).",
 			func() float64 { return float64(e.executed.Value()) })
+		r.CounterFunc("catch_engine_jobs_batched_total",
+			"Jobs resolved by the lock-step batch kernel.",
+			func() float64 { return float64(e.batched.Value()) })
+		r.CounterFunc("catch_engine_batch_fallbacks_total",
+			"Batch units that fell back to scalar per-job execution.",
+			func() float64 { return float64(e.batchFallback.Value()) })
 	}
 	return e
 }
@@ -199,27 +232,24 @@ func (e *Engine) RunJournaled(ctx context.Context, jobs []Job, jl *Journal) []Jo
 	if len(pending) == 0 {
 		return out
 	}
-	workers := min(e.opts.Workers, len(pending))
-	idx := make(chan int)
+	// The scheduler hands workers whole units: singletons on the scalar
+	// path, (workload, insts, warmup) groups when batching is on.
+	units := e.planUnits(jobs, pending)
+	workers := min(e.opts.Workers, len(units))
+	feedCh := make(chan []int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				out[i] = e.runOne(ctx, jobs[i])
-				if out[i].Err == "" {
-					if err := jl.Record(out[i].Key); err != nil {
-						e.mJournalErr.Inc()
-						e.logf("runner: %v", err)
-					}
-				}
+			for unit := range feedCh {
+				e.runUnit(ctx, jobs, unit, out, jl)
 			}
 		}()
 	}
 feed:
-	for _, i := range pending {
-		// A signaled stop always wins over handing out the next job;
+	for _, unit := range units {
+		// A signaled stop always wins over handing out the next unit;
 		// without this pre-check the select below picks randomly when a
 		// worker is already waiting.
 		select {
@@ -230,14 +260,14 @@ feed:
 		default:
 		}
 		select {
-		case idx <- i:
+		case feedCh <- unit:
 		case <-ctx.Done():
 			break feed
 		case <-e.drain:
 			break feed
 		}
 	}
-	close(idx)
+	close(feedCh)
 	wg.Wait()
 	for i := range out {
 		if out[i].Key == "" { // never scheduled
@@ -258,6 +288,15 @@ func (e *Engine) cacheGet(key string) ([]core.Result, bool) {
 		return nil, false
 	}
 	return e.opts.Cache.Get(key)
+}
+
+// cacheGetCounted is cacheGet with hit/miss accounting, used where a
+// miss means the engine is about to compute the job itself.
+func (e *Engine) cacheGetCounted(key string) ([]core.Result, bool) {
+	if e.opts.Cache == nil {
+		return nil, false
+	}
+	return e.opts.Cache.GetCounted(key)
 }
 
 // runOne resolves a single job through the cache (when present) with
@@ -396,28 +435,40 @@ func (e *Engine) protectedSimulate(ctx context.Context, j *Job, site string) (rs
 			rs, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
-	if inj := e.opts.Fault; inj != nil {
-		if d := inj.SlowDelay(site); d > 0 {
-			t := time.NewTimer(d)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return nil, ctx.Err()
-			}
-		}
-		if inj.Fire(fault.Hang, site) {
-			<-ctx.Done()
-			return nil, ctx.Err()
-		}
-		if inj.Fire(fault.Panic, site) {
-			panic(inj.Err(fault.Panic, site))
-		}
-		if inj.Fire(fault.Exec, site) {
-			return nil, inj.Err(fault.Exec, site)
-		}
+	if err := e.injectFaults(ctx, site); err != nil {
+		return nil, err
 	}
 	return e.simulate(j)
+}
+
+// injectFaults applies the configured injector's slow, hang, panic and
+// exec faults for site (panic faults panic, to be recovered by the
+// caller's containment). A nil injector injects nothing.
+func (e *Engine) injectFaults(ctx context.Context, site string) error {
+	inj := e.opts.Fault
+	if inj == nil {
+		return nil
+	}
+	if d := inj.SlowDelay(site); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if inj.Fire(fault.Hang, site) {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if inj.Fire(fault.Panic, site) {
+		panic(inj.Err(fault.Panic, site))
+	}
+	if inj.Fire(fault.Exec, site) {
+		return inj.Err(fault.Exec, site)
+	}
+	return nil
 }
 
 // logf forwards to Options.Logf when configured.
@@ -438,6 +489,14 @@ func shortKey(key string) string {
 // Executed returns how many simulations the engine actually started
 // (cache hits and coalesced waits do not count).
 func (e *Engine) Executed() uint64 { return e.executed.Value() }
+
+// Batched returns how many jobs were resolved by the lock-step batch
+// kernel.
+func (e *Engine) Batched() uint64 { return e.batched.Value() }
+
+// BatchFallbacks returns how many batch units fell back to scalar
+// per-job execution after a batch-level error.
+func (e *Engine) BatchFallbacks() uint64 { return e.batchFallback.Value() }
 
 // FirstError returns the first failed job's error, or nil.
 func FirstError(rs []JobResult) error {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"strings"
 
 	"catch/internal/config"
 	"catch/internal/core"
@@ -76,23 +77,40 @@ func (j *Job) Validate() error {
 	if j.Warmup < 0 {
 		return fmt.Errorf("job warmup must be non-negative, got %d", j.Warmup)
 	}
-	for _, name := range j.Workloads {
-		if _, ok := workloads.ByName(name); !ok {
-			return fmt.Errorf("unknown workload %q", name)
+	_, err := resolveWorkloads(j.Workloads)
+	return err
+}
+
+// resolveWorkloads maps workload names to their definitions. It is the
+// single lookup shared by validation, execution and the batch
+// scheduler, so the three can never disagree about which names
+// resolve; every unknown name is reported at once.
+func resolveWorkloads(names []string) ([]trace.Workload, error) {
+	ws := make([]trace.Workload, len(names))
+	var unknown []string
+	for k, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			unknown = append(unknown, fmt.Sprintf("%q", name))
+			continue
 		}
+		ws[k] = w
 	}
-	return nil
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown workload(s): %s", strings.Join(unknown, ", "))
+	}
+	return ws, nil
 }
 
 // gens resolves the job's workload names to fresh generators.
 func (j *Job) gens() ([]trace.Generator, error) {
-	out := make([]trace.Generator, 0, len(j.Workloads))
-	for _, name := range j.Workloads {
-		w, ok := workloads.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", name)
-		}
-		out = append(out, w.NewGen())
+	ws, err := resolveWorkloads(j.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trace.Generator, len(ws))
+	for k := range ws {
+		out[k] = ws[k].NewGen()
 	}
 	return out, nil
 }

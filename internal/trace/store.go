@@ -1,0 +1,387 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"catch/internal/stats"
+)
+
+// TraceKey identifies one materialized instruction stream. A workload
+// generator is a pure function of its (name, seed) pair, so a recorded
+// prefix is fully determined by the key — the store never has to
+// compare instruction bytes to decide whether a copy is reusable.
+type TraceKey struct {
+	Name  string
+	Seed  uint64
+	Insts int64 // recorded stream length (warmup + measured instructions)
+}
+
+// StoreStats counts store traffic. Coalesced requests waited on an
+// identical in-flight materialization instead of recording their own.
+type StoreStats struct {
+	Recorded  uint64 `json:"recorded"`
+	MemHits   uint64 `json:"memHits"`
+	Coalesced uint64 `json:"coalesced"`
+	DiskHits  uint64 `json:"diskHits"`
+	BadDisk   uint64 `json:"badDisk"` // corrupted on-disk traces replaced by a fresh recording
+}
+
+// Store is a content-addressed memo of materialized traces. Each
+// (workload, seed, length) key is recorded at most once per process —
+// concurrent requests for one key coalesce onto a single recording —
+// and every replayer then shares the one in-memory copy. With a
+// directory configured, recordings also persist as flat binary files
+// so later processes skip the kernel scheduling entirely. The disk
+// layer is an optimization: every I/O failure silently degrades to
+// recording in memory.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	done     map[TraceKey]*Materialized
+	inflight map[TraceKey]*traceFlight
+
+	recorded  stats.AtomicCounter
+	memHits   stats.AtomicCounter
+	coalesced stats.AtomicCounter
+	diskHits  stats.AtomicCounter
+	badDisk   stats.AtomicCounter
+}
+
+type traceFlight struct {
+	ch  chan struct{}
+	m   *Materialized
+	err error
+}
+
+// NewStore builds a trace store. dir may be empty for a memory-only
+// store; otherwise it is created on first persist.
+func NewStore(dir string) *Store {
+	return &Store{
+		dir:      dir,
+		done:     make(map[TraceKey]*Materialized),
+		inflight: make(map[TraceKey]*traceFlight),
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Recorded:  s.recorded.Value(),
+		MemHits:   s.memHits.Value(),
+		Coalesced: s.coalesced.Value(),
+		DiskHits:  s.diskHits.Value(),
+		BadDisk:   s.badDisk.Value(),
+	}
+}
+
+// Materialize returns the recorded first `total` instructions of w,
+// recording (or loading from disk) at most once across all concurrent
+// callers. The returned Materialized is shared: its instruction slice
+// is read-only to every consumer.
+func (s *Store) Materialize(w *Workload, total int64) (*Materialized, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("trace: materialize length must be positive, got %d", total)
+	}
+	key := TraceKey{Name: w.WName, Seed: w.Seed, Insts: total}
+	s.mu.Lock()
+	if m := s.done[key]; m != nil {
+		s.mu.Unlock()
+		s.memHits.Inc()
+		return m, nil
+	}
+	if f := s.inflight[key]; f != nil {
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		<-f.ch
+		return f.m, f.err
+	}
+	f := &traceFlight{ch: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	m, err := s.materialize(w, key)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.done[key] = m
+	}
+	s.mu.Unlock()
+	f.m, f.err = m, err
+	close(f.ch)
+	return m, err
+}
+
+// materialize loads key from disk or records it fresh (persisting the
+// recording, best-effort, when a directory is configured).
+func (s *Store) materialize(w *Workload, key TraceKey) (*Materialized, error) {
+	if m, ok := s.loadDisk(w, key); ok {
+		s.diskHits.Inc()
+		return m, nil
+	}
+	g := w.NewGen()
+	insts := make([]Inst, key.Insts)
+	for i := range insts {
+		if !g.Next(&insts[i]) {
+			return nil, fmt.Errorf("trace: workload %s exhausted after %d of %d instructions",
+				key.Name, i, key.Insts)
+		}
+	}
+	s.recorded.Inc()
+	s.storeDisk(key, insts)
+	return newMaterialized(w, g, insts), nil
+}
+
+// Materialized is one recorded instruction stream plus the workload's
+// build-time memory-content and prewarm declarations, shared read-only
+// by every replayer. The ValueAt source is the generator the stream was
+// recorded from (or an identically built fresh one for disk loads):
+// ValueRange functions are pure functions of the address and the
+// kernel's build-time state, so concurrent reads are safe and replayed
+// ValueAt answers are identical to a fresh generator's.
+type Materialized struct {
+	w       *Workload
+	insts   []Inst
+	src     ValueSource
+	prewarm []Region
+}
+
+// newMaterialized captures g's value source and prewarm regions. g must
+// be a generator of w that has completed Reset (emission state does not
+// matter: values and prewarm regions are fixed at build time).
+func newMaterialized(w *Workload, g Generator, insts []Inst) *Materialized {
+	m := &Materialized{w: w, insts: insts}
+	if vs, ok := g.(ValueSource); ok {
+		m.src = vs
+	}
+	if pw, ok := g.(Prewarmer); ok {
+		m.prewarm = pw.PrewarmRegions()
+	}
+	return m
+}
+
+// Name returns the recorded workload's name.
+func (m *Materialized) Name() string { return m.w.WName }
+
+// Category returns the recorded workload's category.
+func (m *Materialized) Category() string { return m.w.WCategory }
+
+// Len returns the recorded stream length.
+func (m *Materialized) Len() int64 { return int64(len(m.insts)) }
+
+// Insts returns the shared recorded stream. Callers must treat it as
+// read-only: every replayer and every lock-step batch kernel iterates
+// this one slice.
+func (m *Materialized) Insts() []Inst { return m.insts }
+
+// NewReplay returns a fresh cursor over the shared stream.
+func (m *Materialized) NewReplay() *Replay { return &Replay{m: m} }
+
+// Replay is a zero-allocation Generator over a materialized trace. It
+// also implements ValueSource and Prewarmer with the recorded
+// workload's exact semantics, so core.CoreSim.SetWorkload treats it
+// like the original generator. Unlike workload generators, a replay is
+// finite: Next returns false once the recording is exhausted.
+type Replay struct {
+	m   *Materialized
+	pos int
+}
+
+// Name returns the recorded workload's name.
+func (r *Replay) Name() string { return r.m.w.WName }
+
+// Category returns the recorded workload's category.
+func (r *Replay) Category() string { return r.m.w.WCategory }
+
+// Reset rewinds the cursor to the start of the recording.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// Next copies out the next recorded instruction.
+//
+//catch:hotpath
+func (r *Replay) Next(i *Inst) bool {
+	if r.pos >= len(r.m.insts) {
+		return false
+	}
+	*i = r.m.insts[r.pos]
+	r.pos++
+	return true
+}
+
+// ValueAt reports the program-defined memory value at addr, delegating
+// to the recorded workload's value ranges.
+func (r *Replay) ValueAt(addr uint64) (uint64, bool) {
+	if r.m.src == nil {
+		return 0, false
+	}
+	return r.m.src.ValueAt(addr)
+}
+
+// PrewarmRegions returns the recorded workload's steady-state-resident
+// regions.
+func (r *Replay) PrewarmRegions() []Region { return r.m.prewarm }
+
+// Flat binary encoding: a self-describing header, then one fixed-width
+// 32-byte record per instruction, then an FNV-1a checksum over the
+// record bytes. Fixed-width records keep encode/decode a straight
+// memory walk and make the file size a pure function of the key.
+//
+//	magic   8B  "CATCHTR1" (format version folded into the magic)
+//	seed    8B  little-endian uint64
+//	count   8B  little-endian uint64
+//	nameLen 2B  little-endian uint16, then nameLen bytes of name
+//	records count × 32B (PC, Addr, Data u64; Op, Dst, Src1, Src2 u8;
+//	        flags u8 (bit0 Taken, bit1 Mispred); 3B zero pad)
+//	check   8B  FNV-1a over the record bytes
+const (
+	traceMagic  = "CATCHTR1"
+	recordBytes = 32
+)
+
+// path maps a key to its on-disk file: a content address over the key
+// itself, so the filename needs no escaping and collisions would need a
+// SHA-256 collision.
+func (s *Store) path(key TraceKey) (string, bool) {
+	if s.dir == "" || len(key.Name) > 1<<16-1 {
+		return "", false
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%d", key.Name, key.Seed, key.Insts)))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".trace"), true
+}
+
+// loadDisk reads a persisted recording. Any mismatch or corruption
+// removes the file and reports a miss, so the caller re-records and
+// overwrites it with a fresh copy.
+func (s *Store) loadDisk(w *Workload, key TraceKey) (*Materialized, bool) {
+	p, ok := s.path(key)
+	if !ok {
+		return nil, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	insts, err := decodeTrace(key, raw)
+	if err != nil {
+		s.badDisk.Inc()
+		_ = os.Remove(p) // superseded by the fresh recording below
+		return nil, false
+	}
+	// A fresh generator (built, never stepped) supplies the ValueAt and
+	// prewarm state the file cannot carry: both are deterministic
+	// functions of the workload's build, not of emission progress.
+	return newMaterialized(w, w.NewGen(), insts), true
+}
+
+// storeDisk persists a recording via temp-file rename so readers never
+// observe a half-written file. Failures are silent: the disk layer is
+// an optimization, the in-memory recording is the data.
+func (s *Store) storeDisk(key TraceKey, insts []Inst) {
+	p, ok := s.path(key)
+	if !ok {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, encodeTrace(key, insts), 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		_ = os.Remove(tmp) // best-effort cleanup of the temp file
+	}
+}
+
+// encodeTrace renders the recording in the flat binary layout.
+func encodeTrace(key TraceKey, insts []Inst) []byte {
+	n := len(traceMagic) + 8 + 8 + 2 + len(key.Name) + len(insts)*recordBytes + 8
+	buf := make([]byte, 0, n)
+	buf = append(buf, traceMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, key.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(insts)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key.Name)))
+	buf = append(buf, key.Name...)
+	recs := len(buf)
+	for i := range insts {
+		buf = appendInst(buf, &insts[i])
+	}
+	return binary.LittleEndian.AppendUint64(buf, fnv1a(buf[recs:]))
+}
+
+func appendInst(buf []byte, in *Inst) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, in.PC)
+	buf = binary.LittleEndian.AppendUint64(buf, in.Addr)
+	buf = binary.LittleEndian.AppendUint64(buf, in.Data)
+	var flags byte
+	if in.Taken {
+		flags |= 1
+	}
+	if in.Mispred {
+		flags |= 2
+	}
+	return append(buf, byte(in.Op), byte(in.Dst), byte(in.Src1), byte(in.Src2), flags, 0, 0, 0)
+}
+
+// decodeTrace parses and validates a persisted recording against the
+// key it was looked up under.
+func decodeTrace(key TraceKey, raw []byte) ([]Inst, error) {
+	hdr := len(traceMagic) + 8 + 8 + 2
+	if len(raw) < hdr || string(raw[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	off := len(traceMagic)
+	seed := binary.LittleEndian.Uint64(raw[off:])
+	count := binary.LittleEndian.Uint64(raw[off+8:])
+	nameLen := int(binary.LittleEndian.Uint16(raw[off+16:]))
+	off += 18
+	if len(raw) < off+nameLen {
+		return nil, fmt.Errorf("trace: truncated name")
+	}
+	name := string(raw[off : off+nameLen])
+	off += nameLen
+	if name != key.Name || seed != key.Seed || count != uint64(key.Insts) {
+		return nil, fmt.Errorf("trace: header (%s, %d, %d) does not match key (%s, %d, %d)",
+			name, seed, count, key.Name, key.Seed, key.Insts)
+	}
+	want := off + int(count)*recordBytes + 8
+	if len(raw) != want {
+		return nil, fmt.Errorf("trace: file is %d bytes, want %d", len(raw), want)
+	}
+	recs := raw[off : len(raw)-8]
+	if fnv1a(recs) != binary.LittleEndian.Uint64(raw[len(raw)-8:]) {
+		return nil, fmt.Errorf("trace: checksum mismatch")
+	}
+	insts := make([]Inst, count)
+	for i := range insts {
+		decodeInst(&insts[i], recs[i*recordBytes:])
+	}
+	return insts, nil
+}
+
+func decodeInst(in *Inst, rec []byte) {
+	in.PC = binary.LittleEndian.Uint64(rec)
+	in.Addr = binary.LittleEndian.Uint64(rec[8:])
+	in.Data = binary.LittleEndian.Uint64(rec[16:])
+	in.Op = Op(rec[24])
+	in.Dst, in.Src1, in.Src2 = int8(rec[25]), int8(rec[26]), int8(rec[27])
+	in.Taken = rec[28]&1 != 0
+	in.Mispred = rec[28]&2 != 0
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so decoding needs no
+// hash.Hash64 indirection.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
