@@ -1,13 +1,22 @@
 GO ?= go
 
-.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke batch-smoke
+.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke batch-smoke sample-smoke
 
 # check gates a change: build + formatting + vet + catchlint + the
 # full test suite under the race detector (this includes
 # internal/telemetry's concurrent counter/histogram/tracer tests and
 # the runner's /metrics tests) + the seeded chaos suite + the
-# cluster determinism smoke + the batch-kernel determinism smoke.
-check: build fmtcheck vet lint race chaos cluster-smoke batch-smoke
+# cluster determinism smoke + the batch-kernel determinism smoke +
+# the sampling accuracy smoke.
+check: build fmtcheck vet lint race chaos cluster-smoke batch-smoke sample-smoke
+
+# sample-smoke proves representative-interval sampling stays honest:
+# the fig13 grid run through a sampling engine must reproduce every
+# per-workload normalized performance ratio within 2% of the exact run
+# while measuring at least 10x fewer instructions, with zero fallbacks
+# to full simulation. Bypasses the go test cache so it always re-proves.
+sample-smoke:
+	$(GO) test -run 'TestSampleSmokeFig13' -count=1 ./internal/experiments
 
 # batch-smoke proves the lock-step batch kernel preserves determinism:
 # the fig13 experiment run through a batching engine must hash to the
@@ -52,11 +61,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs everything under the race detector; internal/cluster runs
-# twice because its steal/reroute interleavings differ run to run.
+# race runs everything under the race detector; internal/cluster and
+# internal/sample run twice because their interleavings (work stealing,
+# concurrent snapshot-store access) differ run to run.
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/cluster
+	$(GO) test -race -count=2 ./internal/sample
 
 # bench re-records the committed simulator-throughput baseline from the
 # per-metric medians of 5 samples per benchmark.
@@ -65,8 +76,11 @@ bench:
 
 # benchcmp runs the Sim* benchmarks fresh (5 samples each, compared by
 # median so one noisy sample cannot fail the gate), prints the
-# per-benchmark throughput deltas, and fails if any median throughput
-# dropped more than 10% against the committed baseline.
+# per-benchmark throughput deltas, and fails if any benchmark's
+# throughput normalized to BenchmarkSimBaseline (measured in the same
+# run, so machine-speed drift cancels in the ratio) dropped more than
+# 10% against the committed baseline. Re-record with `make bench` only
+# after an intentional performance change.
 benchcmp:
 	$(GO) run ./cmd/catchbench -count 5 -compare BENCH_sim.json
 

@@ -17,6 +17,7 @@ import (
 	"catch/internal/config"
 	"catch/internal/core"
 	"catch/internal/experiments"
+	"catch/internal/sample"
 	"catch/internal/trace"
 	"catch/internal/workloads"
 )
@@ -206,6 +207,41 @@ func BenchmarkSimScalar8(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(cfgs))*batchBenchInsts*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSimSampled measures the representative-interval sampling
+// path in its steady-state sweep regime: the planner's profile and
+// warm-snapshot caches are primed, so each iteration restores warm
+// state, steps the gaps and measures only the representative windows.
+// The instrs/s metric counts the full budget each run estimates
+// (effective simulated instructions per second); the ratio against
+// BenchmarkSimCATCH is the end-to-end sampled speedup.
+func BenchmarkSimSampled(b *testing.B) {
+	cfg, ok := experiments.ConfigByName("catch")
+	if !ok {
+		b.Fatal("config catch")
+	}
+	w, ok := workloads.ByName("hmmer")
+	if !ok {
+		b.Fatal("workload hmmer")
+	}
+	const insts, warmup = 100_000, 20_000
+	spec := sample.Spec{Interval: 2_000, K: 5}
+	p := sample.NewPlanner(trace.NewStore(""), sample.NewStore(""))
+	if _, err := p.Run(cfg, &w, insts, warmup, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(cfg, &w, insts, warmup, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IPC <= 0 {
+			b.Fatal("no progress")
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 // BenchmarkSystemConstruction measures system build cost (cache

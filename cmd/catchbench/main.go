@@ -20,6 +20,13 @@
 // delta against the baseline. `make bench` and `make benchcmp` wrap
 // the two modes.
 //
+// The compare gate is drift-robust by default: every benchmark's
+// throughput is divided by the -ref benchmark's throughput from the
+// same run before comparing, so a uniformly slower or faster machine
+// (different CI host, throttling) moves nothing, while a code change
+// that slows one path relative to the reference still fails. Pass
+// -ref "" for the old absolute comparison.
+//
 // -chaos instead runs the deterministic chaos suite (`go test -run
 // Chaos` over the runner and fault packages): seeded fault schedules —
 // disk errors, corrupt cache entries, panics, hangs, a kill/resume
@@ -40,12 +47,13 @@ import (
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", "Sim(Baseline|CATCH|MP|Batch|Scalar8)$", "benchmark regexp passed to go test -bench")
+		benchRe   = flag.String("bench", "Sim(Baseline|CATCH|MP|Batch|Scalar8|Sampled)$", "benchmark regexp passed to go test -bench")
 		benchTime = flag.String("benchtime", "2s", "go test -benchtime")
 		count     = flag.Int("count", 1, "go test -count (with count > 1 the report carries per-metric medians)")
 		out       = flag.String("out", "", "write the parsed report as JSON to this path")
 		compare   = flag.String("compare", "", "baseline JSON to compare the fresh run against")
 		tol       = flag.Float64("tol", 0.10, "tolerated fractional throughput drop before failing")
+		ref       = flag.String("ref", "BenchmarkSimBaseline", "reference benchmark for the drift-robust gate: throughputs are compared as ratios to it, so machine-speed changes cancel (empty = absolute comparison)")
 		verbose   = flag.Bool("v", false, "echo raw go test output")
 		chaos     = flag.Bool("chaos", false, "run the seeded chaos suite instead of benchmarks")
 	)
@@ -112,16 +120,27 @@ func main() {
 		for _, d := range perf.Deltas(base, rep) {
 			fmt.Println("  delta", d)
 		}
-		regs := perf.Compare(base, rep, *tol)
+		var regs []perf.Regression
+		gate := "absolute throughput"
+		if *ref != "" {
+			gate = "throughput normalized to " + *ref
+			regs, err = perf.CompareNormalized(base, rep, *ref, *tol)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "catchbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			regs = perf.Compare(base, rep, *tol)
+		}
 		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "catchbench: %d throughput regression(s) beyond %.0f%% vs %s:\n",
-				len(regs), *tol*100, *compare)
+			fmt.Fprintf(os.Stderr, "catchbench: %d regression(s) beyond %.0f%% in %s vs %s:\n",
+				len(regs), *tol*100, gate, *compare)
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "  ", r)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("ok: no throughput regression beyond %.0f%% vs %s\n", *tol*100, *compare)
+		fmt.Printf("ok: no regression beyond %.0f%% in %s vs %s\n", *tol*100, gate, *compare)
 	}
 }
 

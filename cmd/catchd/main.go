@@ -26,6 +26,15 @@
 // in-flight requests and exit cleanly. -inject enables the
 // deterministic chaos layer (never in production).
 //
+// -sample resolves eligible jobs by representative-interval sampling
+// (profile → cluster → measure representatives from warm snapshots →
+// extrapolate); -snap-dir persists the warm-state snapshots so
+// repeated sweeps over the same workloads restore instead of
+// re-warming. Sampled results are approximate, carry error estimates,
+// and cache under different keys than exact results; sampling failures
+// fall back to full simulation and are counted in /healthz and
+// /metrics.
+//
 // -peers turns a set of catchd processes into a peer cluster:
 //
 //	catchd -addr :8080 -peers http://a:8080,http://b:8080 -self http://a:8080
@@ -57,6 +66,7 @@ import (
 	"catch/internal/experiments"
 	"catch/internal/fault"
 	"catch/internal/runner"
+	"catch/internal/sample"
 	"catch/internal/telemetry"
 )
 
@@ -79,6 +89,9 @@ type options struct {
 	brThresh   int
 	brCooldown int
 	inject     string
+	sample     bool
+	sampleIv   int64
+	sampleK    int
 
 	// Cluster mode (all optional; empty peers = single node).
 	peers         string
@@ -137,6 +150,17 @@ func validate(o *options) error {
 	if _, err := fault.ParsePlan(o.inject); err != nil {
 		return fmt.Errorf("-inject: %v", err)
 	}
+	if !o.sample && (o.sampleIv != 0 || o.sampleK != 0) {
+		return errors.New("-sample-interval/-sample-k only apply with -sample")
+	}
+	if o.sampleIv < 0 {
+		return fmt.Errorf("-sample-interval must be >= 0 (0 derives %d intervals per job; got %d)",
+			runner.DefaultSampleIntervals, o.sampleIv)
+	}
+	if o.sampleK < 0 {
+		return fmt.Errorf("-sample-k must be >= 0 (0 defaults to %d; got %d)",
+			runner.DefaultSampleK, o.sampleK)
+	}
 	o.peerList = splitPeers(o.peers)
 	if len(o.peerList) > 0 {
 		if o.self == "" {
@@ -193,6 +217,11 @@ func main() {
 		inject      = flag.String("inject", "", "deterministic fault plan, e.g. seed=42,disk-read=0.5,panic=0.1 (chaos testing only)")
 		enablePprof = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 
+		sampleOn = flag.Bool("sample", false, "resolve eligible jobs by representative-interval sampling (approximate results with error bars; failures fall back to full simulation)")
+		sampleIv = flag.Int64("sample-interval", 0, "sampling interval length in instructions (0 derives insts/16 per job)")
+		sampleK  = flag.Int("sample-k", 0, "representative intervals to measure per job (0 defaults to 4)")
+		snapDir  = flag.String("snap-dir", "", "warm-snapshot store directory for -sample (empty = in-memory only)")
+
 		peers         = flag.String("peers", "", "comma-separated base URLs of every cluster member, self included (empty = single node)")
 		self          = flag.String("self", "", "this node's own base URL from -peers")
 		vnodes        = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = default)")
@@ -206,6 +235,7 @@ func main() {
 		addr: *addr, parallel: *parallel, inflight: *inflight, timeout: *timeout,
 		retries: *retries, shedAfter: *shedAfter, reqTimeout: *reqTimeout,
 		backoff: *backoff, brThresh: *brThresh, brCooldown: *brCooldown, inject: *inject,
+		sample: *sampleOn, sampleIv: *sampleIv, sampleK: *sampleK,
 		peers: *peers, self: *self, vnodes: *vnodes,
 		stealInterval: *stealInterval, lentDeadline: *lentDeadline, resultMaxAge: *resultMaxAge,
 	}
@@ -229,13 +259,21 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	var snaps *sample.Store
+	if *sampleOn && *snapDir != "" {
+		snaps = sample.NewStore(*snapDir)
+	}
 	eng := runner.New(runner.Options{
-		Workers: *parallel,
-		Cache:   runner.NewCacheOpts(runner.CacheOptions{Dir: *cacheDir, FS: fs, Breaker: breaker}),
-		Timeout: *timeout,
-		Retries: *retries,
-		Backoff: fault.Backoff{Base: *backoff, Seed: plan.Seed},
-		Fault:   inj,
+		Workers:        *parallel,
+		Cache:          runner.NewCacheOpts(runner.CacheOptions{Dir: *cacheDir, FS: fs, Breaker: breaker}),
+		Timeout:        *timeout,
+		Retries:        *retries,
+		Backoff:        fault.Backoff{Base: *backoff, Seed: plan.Seed},
+		Fault:          inj,
+		Sample:         *sampleOn,
+		SampleInterval: *sampleIv,
+		SampleK:        *sampleK,
+		Snapshots:      snaps,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "catchd: "+format+"\n", args...)
 		},

@@ -56,6 +56,22 @@ func TestValidate(t *testing.T) {
 		{"negative steal-interval", func(o *options) { o.stealInterval = -time.Second }, "-steal-interval must be >= 0"},
 		{"negative lent-deadline", func(o *options) { o.lentDeadline = -time.Second }, "-lent-deadline must be >= 0"},
 		{"negative result-max-age", func(o *options) { o.resultMaxAge = -time.Second }, "-result-max-age must be >= 0"},
+		{"sample passes", func(o *options) { o.sample = true }, ""},
+		{"sample tuned passes", func(o *options) {
+			o.sample, o.sampleIv, o.sampleK = true, 1_000, 3
+		}, ""},
+		{"sample-interval without sample", func(o *options) {
+			o.sampleIv = 1_000
+		}, "-sample-interval/-sample-k only apply with -sample"},
+		{"sample-k without sample", func(o *options) {
+			o.sampleK = 4
+		}, "-sample-interval/-sample-k only apply with -sample"},
+		{"negative sample-interval", func(o *options) {
+			o.sample, o.sampleIv = true, -1
+		}, "-sample-interval must be >= 0"},
+		{"negative sample-k", func(o *options) {
+			o.sample, o.sampleK = true, -2
+		}, "-sample-k must be >= 0"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

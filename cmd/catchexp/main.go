@@ -10,6 +10,7 @@
 //	catchexp -exp fig10 -json           # machine-readable tables
 //	catchexp -exp all -cache /tmp/catch -journal /tmp/catch/exp.journal
 //	catchexp -exp fig13 -batch          # lock-step batch kernel
+//	catchexp -exp fig13 -sample         # representative-interval sampling
 //	catchexp -list
 //
 // Simulations run through the parallel execution engine: jobs shard
@@ -30,6 +31,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +56,9 @@ type options struct {
 	nwl      int
 	mixes    int
 	parallel int
+	sample   bool
+	sampleIv int64
+	sampleK  int
 
 	ids []string // resolved by validate
 }
@@ -74,6 +79,20 @@ func validate(o *options) error {
 	}
 	if o.parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1 (got %d)", o.parallel)
+	}
+	if !o.sample && (o.sampleIv != 0 || o.sampleK != 0) {
+		return errors.New("-sample-interval/-sample-k only apply with -sample")
+	}
+	if o.sampleIv < 0 {
+		return fmt.Errorf("-sample-interval must be >= 0 (0 derives %d intervals; got %d)",
+			runner.DefaultSampleIntervals, o.sampleIv)
+	}
+	if o.sampleK < 0 {
+		return fmt.Errorf("-sample-k must be >= 0 (0 defaults to %d; got %d)",
+			runner.DefaultSampleK, o.sampleK)
+	}
+	if o.sample && o.sampleIv > 0 && o.insts%o.sampleIv != 0 {
+		return fmt.Errorf("-sample-interval %d must divide -insts %d", o.sampleIv, o.insts)
 	}
 	switch {
 	case o.exp == "all":
@@ -116,6 +135,15 @@ func resumeCommand(o *options, cacheDir, journal string, jsonOut, batch bool) st
 	if batch {
 		cmd += " -batch"
 	}
+	if o.sample {
+		cmd += " -sample"
+		if o.sampleIv > 0 {
+			cmd += fmt.Sprintf(" -sample-interval %d", o.sampleIv)
+		}
+		if o.sampleK > 0 {
+			cmd += fmt.Sprintf(" -sample-k %d", o.sampleK)
+		}
+	}
 	return cmd
 }
 
@@ -132,6 +160,10 @@ func main() {
 		cacheDir = flag.String("cache", "", "result cache directory (empty = in-memory only)")
 		journal  = flag.String("journal", "", "checkpoint completed job keys to this file; a re-run resumes (use with -cache)")
 		batch    = flag.Bool("batch", false, "lock-step configurations sharing a workload through one memoized trace (results are byte-identical to scalar)")
+
+		sampleOn = flag.Bool("sample", false, "representative-interval sampling: measure only clustered representatives from warm snapshots (approximate results with error bars)")
+		sampleIv = flag.Int64("sample-interval", 0, "sampling interval length in instructions (0 derives -insts/16; must divide -insts)")
+		sampleK  = flag.Int("sample-k", 0, "representative intervals to measure per job (0 defaults to 4)")
 	)
 	flag.Parse()
 
@@ -142,7 +174,10 @@ func main() {
 		return
 	}
 
-	opts := options{exp: *exp, insts: *insts, warmup: *warmup, nwl: *nwl, mixes: *mixes, parallel: *parallel}
+	opts := options{
+		exp: *exp, insts: *insts, warmup: *warmup, nwl: *nwl, mixes: *mixes, parallel: *parallel,
+		sample: *sampleOn, sampleIv: *sampleIv, sampleK: *sampleK,
+	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchexp:", err)
 		os.Exit(2)
@@ -168,10 +203,13 @@ func main() {
 		}()
 	}
 	eng := runner.New(runner.Options{
-		Workers: *parallel,
-		Cache:   runner.NewCache(*cacheDir),
-		Journal: jl,
-		Batch:   *batch,
+		Workers:        *parallel,
+		Cache:          runner.NewCache(*cacheDir),
+		Journal:        jl,
+		Batch:          *batch,
+		Sample:         *sampleOn,
+		SampleInterval: *sampleIv,
+		SampleK:        *sampleK,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "catchexp: "+format+"\n", args...)
 		},
@@ -218,4 +256,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "catchexp: %v elapsed, %d workers, %d simulations, %d batched, cache: %s\n",
 		time.Since(start).Round(time.Millisecond), eng.Workers(), eng.Executed(),
 		eng.Batched(), eng.Cache().Stats())
+	if *sampleOn {
+		fmt.Fprintf(os.Stderr, "catchexp: %d jobs sampled, %d fell back to full simulation\n",
+			eng.Sampled(), eng.SampleFallbacks())
+	}
 }

@@ -26,6 +26,25 @@ func TestValidate(t *testing.T) {
 		{"negative workloads", func(o *options) { o.nwl = -1 }, "-workloads must be >= 0"},
 		{"negative mixes", func(o *options) { o.mixes = -1 }, "-mixes must be >= 0"},
 		{"zero parallel", func(o *options) { o.parallel = 0 }, "-parallel must be >= 1"},
+		{"sample passes", func(o *options) { o.sample = true }, ""},
+		{"sample tuned passes", func(o *options) {
+			o.sample, o.sampleIv, o.sampleK = true, 1_000, 3
+		}, ""},
+		{"sample-interval without sample", func(o *options) {
+			o.sampleIv = 1_000
+		}, "-sample-interval/-sample-k only apply with -sample"},
+		{"sample-k without sample", func(o *options) {
+			o.sampleK = 4
+		}, "-sample-interval/-sample-k only apply with -sample"},
+		{"negative sample-interval", func(o *options) {
+			o.sample, o.sampleIv = true, -1
+		}, "-sample-interval must be >= 0"},
+		{"negative sample-k", func(o *options) {
+			o.sample, o.sampleK = true, -2
+		}, "-sample-k must be >= 0"},
+		{"indivisible sample-interval", func(o *options) {
+			o.sample, o.sampleIv = true, 3_000 // insts = 10_000
+		}, "must divide -insts"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -83,6 +102,17 @@ func TestResumeCommand(t *testing.T) {
 	got = resumeCommand(&o, "/tmp/cache dir", "j.journal", true, true)
 	for _, part := range []string{`-cache "/tmp/cache dir"`, "-json", `-journal "j.journal"`, "-batch"} {
 		if !strings.Contains(got, part) {
+			t.Fatalf("resumeCommand %q lacks %q", got, part)
+		}
+	}
+
+	// Sampling flags are part of the job keys, so the resume command
+	// must carry them too.
+	o = validOptions()
+	o.sample, o.sampleIv, o.sampleK = true, 1_000, 3
+	got = resumeCommand(&o, "", "j.journal", false, false)
+	for _, part := range []string{"-sample ", "-sample-interval 1000", "-sample-k 3"} {
+		if !strings.Contains(got+" ", part) {
 			t.Fatalf("resumeCommand %q lacks %q", got, part)
 		}
 	}

@@ -11,6 +11,7 @@
 //	catchsim -workload mcf,hmmer -config catch -cache /tmp/cc -journal sweep.journal
 //	catchsim -resume sweep.journal -cache /tmp/cc          # continue an interrupted sweep
 //	catchsim -workload mcf -config catch,baseline-excl,nol2-6.5 -batch
+//	catchsim -workload mcf -config catch -sample -sample-interval 1000 -sample-k 3
 //	catchsim -list            # list workloads
 //	catchsim -configs         # list configurations
 //
@@ -33,6 +34,15 @@
 // shared recording. Results, cache keys and journal records are
 // byte-identical to the scalar path — batching is purely an execution
 // strategy.
+//
+// -sample resolves eligible jobs by representative-interval sampling:
+// the workload is profiled once, intervals cluster into -sample-k
+// groups, and only one representative per group is simulated (restored
+// from a warm microarchitectural snapshot) before extrapolating the
+// full-run statistics. Sampled results are approximate — they carry a
+// SampleMeta block with per-metric error estimates — and cache under
+// different keys than exact ones. Any sampling failure falls back to
+// full simulation of the same job.
 package main
 
 import (
@@ -75,6 +85,9 @@ type options struct {
 	journal     string
 	resume      string
 	batch       bool
+	sample      bool
+	sampleIv    int64
+	sampleK     int
 
 	cfgs []config.SystemConfig // resolved by validate
 }
@@ -130,6 +143,23 @@ func validate(o *options) error {
 	if o.batch && (o.traceOut != "" || o.dumpCrit) {
 		return errors.New("-batch runs through the engine and cannot be combined with -trace/-dump-critpath")
 	}
+	if o.sample && (o.traceOut != "" || o.dumpCrit) {
+		return errors.New("-sample runs through the engine and cannot be combined with -trace/-dump-critpath")
+	}
+	if !o.sample && (o.sampleIv != 0 || o.sampleK != 0) {
+		return errors.New("-sample-interval/-sample-k only apply with -sample")
+	}
+	if o.sampleIv < 0 {
+		return fmt.Errorf("-sample-interval must be >= 0 (0 derives %d intervals; got %d)",
+			runner.DefaultSampleIntervals, o.sampleIv)
+	}
+	if o.sampleK < 0 {
+		return fmt.Errorf("-sample-k must be >= 0 (0 defaults to %d; got %d)",
+			runner.DefaultSampleK, o.sampleK)
+	}
+	if o.sample && o.sampleIv > 0 && o.n%o.sampleIv != 0 {
+		return fmt.Errorf("-sample-interval %d must divide -n %d", o.sampleIv, o.n)
+	}
 	return nil
 }
 
@@ -165,6 +195,10 @@ func main() {
 		journal  = flag.String("journal", "", "checkpoint completed jobs to this file; continue later with -resume")
 		resume   = flag.String("resume", "", "resume the sweep stored in this journal (the job grid comes from its manifest)")
 		batch    = flag.Bool("batch", false, "lock-step configurations sharing a workload through one memoized trace (results are byte-identical to scalar)")
+
+		sampleOn = flag.Bool("sample", false, "representative-interval sampling: profile, cluster, simulate only representatives from warm snapshots (extrapolated results carry error bars)")
+		sampleIv = flag.Int64("sample-interval", 0, "sampling interval length in instructions (0 derives -n/16; must divide -n)")
+		sampleK  = flag.Int("sample-k", 0, "representative intervals to measure per job (0 defaults to 4)")
 	)
 	flag.Parse()
 
@@ -204,6 +238,9 @@ func main() {
 		journal:     *journal,
 		resume:      *resume,
 		batch:       *batch,
+		sample:      *sampleOn,
+		sampleIv:    *sampleIv,
+		sampleK:     *sampleK,
 	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchsim:", err)
@@ -257,15 +294,22 @@ func main() {
 	}
 
 	eng := runner.New(runner.Options{
-		Workers: *parallel,
-		Cache:   runner.NewCache(opts.cacheDir),
-		Journal: jl,
-		Batch:   opts.batch,
+		Workers:        *parallel,
+		Cache:          runner.NewCache(opts.cacheDir),
+		Journal:        jl,
+		Batch:          opts.batch,
+		Sample:         opts.sample,
+		SampleInterval: opts.sampleIv,
+		SampleK:        opts.sampleK,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "catchsim: "+format+"\n", args...)
 		},
 	})
 	jrs := eng.Run(ctx, jobs)
+	if opts.sample {
+		fmt.Fprintf(os.Stderr, "catchsim: %d jobs sampled, %d fell back to full simulation\n",
+			eng.Sampled(), eng.SampleFallbacks())
+	}
 	if cerr := jl.Close(); cerr != nil {
 		fmt.Fprintln(os.Stderr, "catchsim:", cerr)
 	}
@@ -368,6 +412,11 @@ func printResult(r *core.Result) {
 	fmt.Printf("workload      %s (%s)\n", r.Workload, r.Category)
 	fmt.Printf("config        %s\n", r.Config)
 	fmt.Printf("instructions  %d\n", r.Insts)
+	if s := r.Sample; s != nil {
+		fmt.Printf("sampled       %d of %d insts measured (k=%d x %d)  est rel err: IPC %.2f%%  L1D miss %.2f%%  mem loads %.2f%%\n",
+			s.MeasuredInsts, s.TotalInsts, s.K, s.Interval,
+			100*s.RelErrIPC, 100*s.RelErrL1DMiss, 100*s.RelErrMemLoads)
+	}
 	fmt.Printf("cycles        %d\n", r.Cycles)
 	fmt.Printf("IPC           %.4f\n", r.IPC)
 	fmt.Printf("mispredicts   %d\n", r.Mispredicts)

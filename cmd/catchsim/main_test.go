@@ -71,6 +71,32 @@ func TestValidate(t *testing.T) {
 		{"batch with critpath", func(o *options) {
 			o.batch, o.dumpCrit = true, true
 		}, "-batch runs through the engine"},
+		{"sample passes", func(o *options) { o.sample = true }, ""},
+		{"sample tuned passes", func(o *options) {
+			o.sample, o.sampleIv, o.sampleK = true, 1_000, 3
+		}, ""},
+		{"sample with journal passes", func(o *options) { o.sample, o.journal = true, "sweep.journal" }, ""},
+		{"sample with trace", func(o *options) {
+			o.sample, o.traceOut = true, "t.json"
+		}, "-sample runs through the engine"},
+		{"sample with critpath", func(o *options) {
+			o.sample, o.dumpCrit = true, true
+		}, "-sample runs through the engine"},
+		{"sample-interval without sample", func(o *options) {
+			o.sampleIv = 1_000
+		}, "-sample-interval/-sample-k only apply with -sample"},
+		{"sample-k without sample", func(o *options) {
+			o.sampleK = 4
+		}, "-sample-interval/-sample-k only apply with -sample"},
+		{"negative sample-interval", func(o *options) {
+			o.sample, o.sampleIv = true, -1
+		}, "-sample-interval must be >= 0"},
+		{"negative sample-k", func(o *options) {
+			o.sample, o.sampleK = true, -2
+		}, "-sample-k must be >= 0"},
+		{"indivisible sample-interval", func(o *options) {
+			o.sample, o.sampleIv = true, 3_000 // n = 10_000
+		}, "must divide -n"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

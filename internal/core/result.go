@@ -41,6 +41,25 @@ type Result struct {
 	ConvertedLoads uint64
 	CodePfLearned  uint64
 	CodePfIssued   uint64
+
+	// Sample is set only on results extrapolated from representative
+	// intervals (nil for fully simulated runs, keeping their encodings
+	// unchanged).
+	Sample *SampleMeta `json:",omitempty"`
+}
+
+// SampleMeta describes how a sampled result was extrapolated and how
+// far to trust it. The relative errors are one-standard-error bounds
+// derived from the within-cluster variance of the profiling pass.
+type SampleMeta struct {
+	Interval      int64 `json:"interval"`
+	K             int   `json:"k"`
+	MeasuredInsts int64 `json:"measuredInsts"`
+	TotalInsts    int64 `json:"totalInsts"`
+
+	RelErrIPC      float64 `json:"relErrIPC"`
+	RelErrL1DMiss  float64 `json:"relErrL1DMiss"`
+	RelErrMemLoads float64 `json:"relErrMemLoads"`
 }
 
 // L1LoadHitRate returns the fraction of demand loads served by the L1.

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"catch/internal/config"
+	"catch/internal/cpu"
+	"catch/internal/criticality"
+	"catch/internal/snap"
+)
+
+// A system snapshot is the versioned binary image of all warm
+// microarchitectural state: cache tags/LRU/policy state, MSHR
+// occupancy, pipeline rings and scoreboard, branch predictor, TACT
+// tables, criticality detector, baseline prefetchers, DRAM bank state
+// and every statistics block. The format is:
+//
+//	magic    8B  "CATCHSS1" (format version folded into the magic)
+//	config   8B  FNV-1a over the canonical JSON of the system config
+//	body         per-subsystem snap codec output
+//	check    8B  FNV-1a over magic+config+body
+//
+// A snapshot restores only into a System built from the same
+// configuration: the config fingerprint and the per-codec geometry
+// guards fail loudly on any mismatch, and the trailing checksum turns
+// file corruption into a detectable error instead of silent state
+// skew.
+
+// SnapshotMagic identifies the snapshot format version.
+const SnapshotMagic = "CATCHSS1"
+
+// Criticality-source tags in the snapshot stream.
+const (
+	critNone = iota
+	critDetector
+	critHeuristic
+)
+
+// ConfigFingerprint hashes a system configuration's JSON form; it keys
+// snapshots to the exact microarchitecture they froze.
+func ConfigFingerprint(cfg *config.SystemConfig) (uint64, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: marshal config: %w", err)
+	}
+	return snap.Fnv1a(raw), nil
+}
+
+// ConfigFingerprint hashes the system's own configuration.
+func (s *System) ConfigFingerprint() (uint64, error) {
+	return ConfigFingerprint(&s.Cfg)
+}
+
+// Snapshot serializes the system's full mutable state.
+func (s *System) Snapshot() ([]byte, error) {
+	fp, err := s.ConfigFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	w := &snap.Writer{}
+	w.Raw([]byte(SnapshotMagic))
+	w.U64(fp)
+	w.U64(uint64(len(s.Sims)))
+	s.LLC.SnapshotTo(w)
+	s.Mem.SnapshotTo(w)
+	s.Ring.SnapshotTo(w)
+	for _, c := range s.Sims {
+		if err := c.snapshotTo(w); err != nil {
+			return nil, err
+		}
+	}
+	w.U64(snap.Fnv1a(w.Buf))
+	return w.Buf, nil
+}
+
+func (c *CoreSim) snapshotTo(w *snap.Writer) error {
+	c.CPU.SnapshotTo(w)
+	switch bp := c.CPU.BP.(type) {
+	case nil:
+		w.U8(0)
+	case *cpu.Gshare:
+		w.U8(1)
+		bp.SnapshotTo(w)
+	default:
+		return fmt.Errorf("snapshot: unsupported branch predictor %T", bp)
+	}
+	c.Hier.SnapshotTo(w)
+	c.Hier.L1I.SnapshotTo(w)
+	c.Hier.L1D.SnapshotTo(w)
+	if c.Hier.L2 != nil {
+		c.Hier.L2.SnapshotTo(w)
+	}
+	switch crit := c.Crit.(type) {
+	case nil:
+		w.U8(critNone)
+	case *criticality.Detector:
+		w.U8(critDetector)
+		crit.SnapshotTo(w)
+	case *criticality.Heuristic:
+		w.U8(critHeuristic)
+		crit.SnapshotTo(w)
+	default:
+		return fmt.Errorf("snapshot: unsupported criticality source %T", crit)
+	}
+	if c.Tact != nil {
+		c.Tact.SnapshotTo(w)
+	}
+	if c.stride != nil {
+		c.stride.SnapshotTo(w)
+	}
+	if c.stream != nil {
+		c.stream.SnapshotTo(w)
+	}
+	w.U64(c.lastLine)
+	w.U64(c.convDone)
+	w.I64(c.retired)
+	return nil
+}
+
+// Restore loads a snapshot produced by Snapshot into this system,
+// which must have been built from the same configuration. On any
+// mismatch or corruption the system's state is undefined and the
+// caller must discard it.
+func (s *System) Restore(data []byte) error {
+	n := len(data)
+	if n < len(SnapshotMagic)+16 {
+		return fmt.Errorf("snapshot: truncated image (%d bytes)", n)
+	}
+	if string(data[:len(SnapshotMagic)]) != SnapshotMagic {
+		return fmt.Errorf("snapshot: bad magic %q", data[:len(SnapshotMagic)])
+	}
+	body, trailer := data[:n-8], data[n-8:]
+	if got, want := snap.Fnv1a(body), snap.NewReader(trailer).U64(); got != want {
+		return fmt.Errorf("snapshot: checksum mismatch (corrupt image)")
+	}
+	r := snap.NewReader(body[len(SnapshotMagic):])
+	fp, err := s.ConfigFingerprint()
+	if err != nil {
+		return err
+	}
+	r.Expect(fp, "config fingerprint")
+	r.Expect(uint64(len(s.Sims)), "core count")
+	if err := s.LLC.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.Mem.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.Ring.RestoreFrom(r); err != nil {
+		return err
+	}
+	for _, c := range s.Sims {
+		if err := c.restoreFrom(r); err != nil {
+			return err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("snapshot: %d trailing bytes after restore", r.Remaining())
+	}
+	return nil
+}
+
+func (c *CoreSim) restoreFrom(r *snap.Reader) error {
+	if err := c.CPU.RestoreFrom(r); err != nil {
+		return err
+	}
+	bpTag := r.U8()
+	switch bp := c.CPU.BP.(type) {
+	case nil:
+		if r.Err() == nil && bpTag != 0 {
+			return fmt.Errorf("snapshot: image has a branch predictor, live core does not")
+		}
+	case *cpu.Gshare:
+		if r.Err() == nil && bpTag != 1 {
+			return fmt.Errorf("snapshot: image has no gshare predictor, live core does")
+		}
+		if err := bp.RestoreFrom(r); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("snapshot: unsupported branch predictor %T", bp)
+	}
+	if err := c.Hier.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := c.Hier.L1I.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := c.Hier.L1D.RestoreFrom(r); err != nil {
+		return err
+	}
+	if c.Hier.L2 != nil {
+		if err := c.Hier.L2.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	critTag := r.U8()
+	wantTag := uint8(critNone)
+	switch c.Crit.(type) {
+	case *criticality.Detector:
+		wantTag = critDetector
+	case *criticality.Heuristic:
+		wantTag = critHeuristic
+	case nil:
+	default:
+		return fmt.Errorf("snapshot: unsupported criticality source %T", c.Crit)
+	}
+	if r.Err() == nil && critTag != wantTag {
+		return fmt.Errorf("snapshot: criticality source mismatch: image has tag %d, live core has %d", critTag, wantTag)
+	}
+	switch crit := c.Crit.(type) {
+	case *criticality.Detector:
+		if err := crit.RestoreFrom(r); err != nil {
+			return err
+		}
+	case *criticality.Heuristic:
+		if err := crit.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	if c.Tact != nil {
+		if err := c.Tact.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	if c.stride != nil {
+		if err := c.stride.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	if c.stream != nil {
+		if err := c.stream.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	c.lastLine = r.U64()
+	c.convDone = r.U64()
+	c.retired = r.I64()
+	return r.Err()
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/trace"
+	"catch/internal/workloads"
+)
+
+// snapshotConfigs are the microarchitectures the round-trip golden
+// test must preserve bit-for-bit: the plain baseline (L2, stride and
+// stream prefetchers, no CATCH hardware), the full CATCH configuration
+// (detector, TACT with all components, code prefetcher), and a variant
+// exercising every optional codec at once (gshare predictor, heuristic
+// criticality source, DRRIP replacement).
+func snapshotConfigs() []config.SystemConfig {
+	base := config.BaselineExclusive()
+
+	noL2 := config.NoL2(config.BaselineExclusive(), 6*1024*1024+512*1024, 13, "nol2-6.5")
+	catch := config.WithCATCH(noL2, "catch-snap")
+
+	exotic := config.WithCATCH(config.BaselineExclusive(), "exotic-snap")
+	exotic.GsharePredictorBits = 12
+	exotic.CritSource = "feedsbranch"
+	exotic.LLCPolicy = "drrip"
+
+	return []config.SystemConfig{base, catch, exotic}
+}
+
+func materialize(t *testing.T, total int64) *trace.Materialized {
+	t.Helper()
+	w, ok := workloads.ByName("mcf")
+	if !ok {
+		t.Fatal("workload mcf not found")
+	}
+	m, err := trace.NewStore("").Materialize(&w, total)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return m
+}
+
+// TestSnapshotRoundTrip is the snapshot golden test: for each pinned
+// configuration, warming a system, snapshotting it, restoring into a
+// fresh system and measuring must be byte-identical to simulating
+// straight through — the same Result and, stronger, the same final
+// whole-system snapshot image.
+func TestSnapshotRoundTrip(t *testing.T) {
+	const insts, warmup = 4_000, 2_000
+	m := materialize(t, insts+warmup)
+	for _, cfg := range snapshotConfigs() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			// Path A: simulate through.
+			sysA := NewSystem(cfg)
+			resA := sysA.RunST(m.NewReplay(), insts, warmup)
+			snapA, err := sysA.Snapshot()
+			if err != nil {
+				t.Fatalf("final snapshot (through): %v", err)
+			}
+
+			// Path B: warm, freeze.
+			sysB := NewSystem(cfg)
+			sysB.WarmupST(m.NewReplay(), warmup)
+			warm, err := sysB.Snapshot()
+			if err != nil {
+				t.Fatalf("warm snapshot: %v", err)
+			}
+
+			// Path C: thaw into a fresh system, resume, measure.
+			sysC := NewSystem(cfg)
+			if err := sysC.Restore(warm); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			rep := m.NewReplay()
+			rep.SeekTo(warmup)
+			sysC.AttachST(rep)
+			win := sysC.BeginMeasure()
+			sysC.StepST(insts)
+			resC := sysC.EndMeasure(win)
+			snapC, err := sysC.Snapshot()
+			if err != nil {
+				t.Fatalf("final snapshot (restored): %v", err)
+			}
+
+			if !reflect.DeepEqual(resA, resC) {
+				t.Errorf("restore-then-simulate Result diverged from simulate-through:\n through %+v\n restored %+v", resA, resC)
+			}
+			if !bytes.Equal(snapA, snapC) {
+				t.Errorf("final state images diverged: %d vs %d bytes (first diff at %d)",
+					len(snapA), len(snapC), firstDiff(snapA, snapC))
+			}
+
+			// Snapshots are deterministic: freezing the same state twice
+			// yields the same bytes.
+			again, err := sysC.Snapshot()
+			if err != nil {
+				t.Fatalf("re-snapshot: %v", err)
+			}
+			if !bytes.Equal(snapC, again) {
+				t.Error("snapshotting the same state twice produced different images")
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestSnapshotRejectsCorruption pins the integrity checks: bit flips,
+// truncation, a wrong magic and a config mismatch must all fail
+// loudly, never half-restore.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	const insts, warmup = 1_000, 500
+	m := materialize(t, insts+warmup)
+	cfg := snapshotConfigs()[1]
+	sys := NewSystem(cfg)
+	sys.WarmupST(m.NewReplay(), warmup)
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	fresh := func() *System { return NewSystem(cfg) }
+
+	if err := fresh().Restore(snap[:len(snap)/2]); err == nil {
+		t.Error("truncated image restored without error")
+	}
+	if err := fresh().Restore(snap[:10]); err == nil {
+		t.Error("near-empty image restored without error")
+	}
+
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := fresh().Restore(flipped); err == nil {
+		t.Error("bit-flipped image restored without error")
+	}
+
+	badMagic := append([]byte(nil), snap...)
+	badMagic[0] ^= 0xFF
+	if err := fresh().Restore(badMagic); err == nil {
+		t.Error("bad-magic image restored without error")
+	}
+
+	other := NewSystem(snapshotConfigs()[0])
+	if err := other.Restore(snap); err == nil {
+		t.Error("image restored into a system with a different configuration")
+	}
+}

@@ -338,25 +338,14 @@ func (c *CoreSim) result(cycles0 int64) Result {
 
 // RunST runs a single workload on core 0 for insts instructions after a
 // warmup of warmup instructions (caches and predictors stay warm;
-// counters are reset at the warmup boundary).
+// counters are reset at the warmup boundary). It is the composition of
+// the phase methods in window.go; the sampling subsystem re-composes
+// them around snapshot/restore.
 func (s *System) RunST(gen trace.Generator, insts, warmup int64) Result {
-	c := s.Sims[0]
-	c.SetWorkload(gen)
-	var in trace.Inst
-	for i := int64(0); i < warmup; i++ {
-		gen.Next(&in)
-		c.CPU.Step(&in)
-	}
-	c.resetStats()
-	s.LLC.ResetStats()
-	s.Mem.Stats = memory.Stats{}
-	s.Ring.Stats = interconnect.Stats{}
-	cycles0 := c.CPU.Cycles()
-	for i := int64(0); i < insts; i++ {
-		gen.Next(&in)
-		c.CPU.Step(&in)
-	}
-	return c.result(cycles0)
+	s.WarmupST(gen, warmup)
+	win := s.BeginMeasure()
+	s.StepST(insts)
+	return s.EndMeasure(win)
 }
 
 // RunMP runs one workload per core, interleaved in rough time order,

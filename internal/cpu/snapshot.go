@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"catch/internal/snap"
+	"catch/internal/trace"
+)
+
+// Snapshot codecs for the timing model: every field Reset clears —
+// the sequence counter, the dispatch/commit rings, front-end state,
+// register scoreboard, store set and retirement counters — plus the
+// branch predictor's history and counter table. The retirement scratch
+// record is excluded: it is fully overwritten before every OnRetire.
+
+// SnapshotTo appends the core's full mutable state.
+func (c *Core) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(c.dRing)))
+	w.U64(uint64(len(c.cRingROB)))
+	w.I64(c.seq)
+	for _, v := range c.dRing {
+		w.I64(v)
+	}
+	for _, v := range c.cRingROB {
+		w.I64(v)
+	}
+	for _, v := range c.cRingW {
+		w.I64(v)
+	}
+	w.Int(c.wIdx)
+	w.Int(c.rIdx)
+	w.I64(c.lastD)
+	w.I64(c.lastC)
+	w.I64(c.fetchReady)
+	w.I64(c.redirectAt)
+	w.U64(c.curLine)
+	for i := 0; i < trace.NumArchRegs; i++ {
+		w.I64(c.regReady[i])
+		w.I64(c.regSeq[i])
+	}
+	for i := range c.stores {
+		w.U64(c.stores[i].addr)
+		w.I64(c.stores[i].done)
+		w.I64(c.stores[i].seq)
+	}
+	w.I64(c.Insts)
+	w.I64(c.Loads)
+	w.I64(c.Branches)
+	w.I64(c.Mispredicts)
+	w.I64(c.CodeStalls)
+}
+
+// RestoreFrom restores state serialized by SnapshotTo into a core
+// built with the same parameters.
+func (c *Core) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(c.dRing)), "core width")
+	r.Expect(uint64(len(c.cRingROB)), "core ROB size")
+	c.seq = r.I64()
+	for i := range c.dRing {
+		c.dRing[i] = r.I64()
+	}
+	for i := range c.cRingROB {
+		c.cRingROB[i] = r.I64()
+	}
+	for i := range c.cRingW {
+		c.cRingW[i] = r.I64()
+	}
+	c.wIdx = r.Int()
+	c.rIdx = r.Int()
+	c.lastD = r.I64()
+	c.lastC = r.I64()
+	c.fetchReady = r.I64()
+	c.redirectAt = r.I64()
+	c.curLine = r.U64()
+	for i := 0; i < trace.NumArchRegs; i++ {
+		c.regReady[i] = r.I64()
+		c.regSeq[i] = r.I64()
+	}
+	for i := range c.stores {
+		c.stores[i].addr = r.U64()
+		c.stores[i].done = r.I64()
+		c.stores[i].seq = r.I64()
+	}
+	c.Insts = r.I64()
+	c.Loads = r.I64()
+	c.Branches = r.I64()
+	c.Mispredicts = r.I64()
+	c.CodeStalls = r.I64()
+	return r.Err()
+}
+
+// SnapshotTo appends the predictor's history register, counter table
+// and accuracy counters.
+func (g *Gshare) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(g.table)))
+	w.U64(g.hist)
+	w.Raw(g.table)
+	w.U64(g.Predicts)
+	w.U64(g.Mispredicts)
+}
+
+// RestoreFrom restores predictor state serialized by SnapshotTo.
+func (g *Gshare) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(g.table)), "gshare table size")
+	g.hist = r.U64()
+	for i := range g.table {
+		g.table[i] = r.U8()
+	}
+	g.Predicts = r.U64()
+	g.Mispredicts = r.U64()
+	return r.Err()
+}

@@ -111,6 +111,20 @@ type Stats struct {
 	Overflows     uint64
 }
 
+// Delta returns s - base, field by field. Detector counters are
+// cumulative over a whole run; the sampling subsystem rebases them to
+// express one measurement window.
+func (s Stats) Delta(base Stats) Stats {
+	return Stats{
+		Retired:       s.Retired - base.Retired,
+		Walks:         s.Walks - base.Walks,
+		PathNodes:     s.PathNodes - base.PathNodes,
+		PathLoads:     s.PathLoads - base.PathLoads,
+		RecordedLoads: s.RecordedLoads - base.RecordedLoads,
+		Overflows:     s.Overflows - base.Overflows,
+	}
+}
+
 // Detector is the hardware criticality detector.
 type Detector struct {
 	cfg   Config

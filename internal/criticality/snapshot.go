@@ -1,0 +1,198 @@
+package criticality
+
+import (
+	"fmt"
+	"sort"
+
+	"catch/internal/cache"
+	"catch/internal/snap"
+)
+
+// Snapshot codecs for the criticality subsystem: the detector's graph
+// buffer (length plus full node contents — a walk boundary is part of
+// the state), the critical-PC table including its unlimited-mode map
+// (serialized in sorted key order so the image is deterministic), the
+// heuristic sources' register lineage file, and all counters.
+
+func snapshotStats(w *snap.Writer, s *Stats) {
+	w.U64(s.Retired)
+	w.U64(s.Walks)
+	w.U64(s.PathNodes)
+	w.U64(s.PathLoads)
+	w.U64(s.RecordedLoads)
+	w.U64(s.Overflows)
+}
+
+func restoreStats(r *snap.Reader, s *Stats) {
+	s.Retired = r.U64()
+	s.Walks = r.U64()
+	s.PathNodes = r.U64()
+	s.PathLoads = r.U64()
+	s.RecordedLoads = r.U64()
+	s.Overflows = r.U64()
+}
+
+// SnapshotTo appends the detector's full mutable state.
+func (d *Detector) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(cap(d.buf)))
+	w.U64(uint64(len(d.buf)))
+	for i := range d.buf {
+		g := &d.buf[i]
+		w.U64(g.pc)
+		w.Bool(g.isLoad)
+		w.U8(uint8(g.level))
+		w.Bool(g.mispred)
+		w.I64(g.qlat)
+		for _, dep := range g.dep {
+			w.I32(dep)
+		}
+		w.I64(g.dCost)
+		w.I64(g.eCost)
+		w.I64(g.cCost)
+		w.U8(uint8(g.dFrom))
+		w.U8(uint8(g.eFrom))
+		w.U8(uint8(g.cFrom))
+		w.I32(g.eDep)
+	}
+	w.I64(d.baseSeq)
+	w.I64(d.sinceRelearn)
+	snapshotStats(w, &d.Stats)
+	d.Table.SnapshotTo(w)
+}
+
+// RestoreFrom restores detector state serialized by SnapshotTo.
+func (d *Detector) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(cap(d.buf)), "detector buffer capacity")
+	n := int(r.U64())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n < 0 || n > cap(d.buf) {
+		r.Fail(fmt.Errorf("snap: detector buffer length %d exceeds capacity %d", n, cap(d.buf)))
+		return r.Err()
+	}
+	d.buf = d.buf[:n]
+	for i := range d.buf {
+		g := &d.buf[i]
+		g.pc = r.U64()
+		g.isLoad = r.Bool()
+		g.level = cache.HitLevel(r.U8())
+		g.mispred = r.Bool()
+		g.qlat = r.I64()
+		for k := range g.dep {
+			g.dep[k] = r.I32()
+		}
+		g.dCost = r.I64()
+		g.eCost = r.I64()
+		g.cCost = r.I64()
+		g.dFrom = fromKind(r.U8())
+		g.eFrom = fromKind(r.U8())
+		g.cFrom = fromKind(r.U8())
+		g.eDep = r.I32()
+	}
+	d.baseSeq = r.I64()
+	d.sinceRelearn = r.I64()
+	restoreStats(r, &d.Stats)
+	return d.Table.RestoreFrom(r)
+}
+
+// SnapshotTo appends the table's entries, tick, unlimited-mode map and
+// counters.
+func (t *Table) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(t.entries)))
+	w.U64(uint64(t.sets))
+	for i := range t.entries {
+		e := &t.entries[i]
+		w.U64(e.pc)
+		w.U8(e.conf)
+		w.I64(e.lru)
+		w.Bool(e.valid)
+	}
+	w.I64(t.tick)
+	if t.unlimited == nil {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		keys := make([]uint64, 0, len(t.unlimited))
+		for pc := range t.unlimited {
+			keys = append(keys, pc)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.U64(uint64(len(keys)))
+		for _, pc := range keys {
+			e := t.unlimited[pc]
+			w.U64(e.pc)
+			w.U8(e.conf)
+			w.I64(e.lru)
+			w.Bool(e.valid)
+		}
+	}
+	w.U64(t.Inserts)
+	w.U64(t.Promotions)
+	w.U64(t.Resets)
+}
+
+// RestoreFrom restores table state serialized by SnapshotTo into a
+// table of identical geometry.
+func (t *Table) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(t.entries)), "criticality table size")
+	r.Expect(uint64(t.sets), "criticality table sets")
+	for i := range t.entries {
+		e := &t.entries[i]
+		e.pc = r.U64()
+		e.conf = r.U8()
+		e.lru = r.I64()
+		e.valid = r.Bool()
+	}
+	t.tick = r.I64()
+	hasUnlimited := r.Bool()
+	if r.Err() == nil && hasUnlimited != (t.unlimited != nil) {
+		r.Fail(fmt.Errorf("snap: unlimited-table mode mismatch: snapshot has %v, live state has %v", hasUnlimited, t.unlimited != nil))
+	}
+	if hasUnlimited && t.unlimited != nil {
+		n := int(r.U64())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if n < 0 || n > 1<<28 {
+			r.Fail(fmt.Errorf("snap: implausible unlimited-table size %d", n))
+			return r.Err()
+		}
+		t.unlimited = make(map[uint64]*tableEntry, n)
+		for i := 0; i < n; i++ {
+			e := &tableEntry{}
+			e.pc = r.U64()
+			e.conf = r.U8()
+			e.lru = r.I64()
+			e.valid = r.Bool()
+			t.unlimited[e.pc] = e
+		}
+	}
+	t.Inserts = r.U64()
+	t.Promotions = r.U64()
+	t.Resets = r.U64()
+	return r.Err()
+}
+
+// SnapshotTo appends the heuristic source's mutable state.
+func (h *Heuristic) SnapshotTo(w *snap.Writer) {
+	w.U8(uint8(h.Kind))
+	for _, pc := range h.regLoadPC {
+		w.U64(pc)
+	}
+	snapshotStats(w, &h.Stats)
+	h.Table.SnapshotTo(w)
+}
+
+// RestoreFrom restores heuristic state serialized by SnapshotTo.
+func (h *Heuristic) RestoreFrom(r *snap.Reader) error {
+	kind := r.U8()
+	if r.Err() == nil && HeuristicKind(kind) != h.Kind {
+		r.Fail(fmt.Errorf("snap: heuristic kind mismatch: snapshot has %d, live state has %d", kind, h.Kind))
+	}
+	for i := range h.regLoadPC {
+		h.regLoadPC[i] = r.U64()
+	}
+	restoreStats(r, &h.Stats)
+	return h.Table.RestoreFrom(r)
+}

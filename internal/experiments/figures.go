@@ -245,12 +245,25 @@ func ratio(a, b float64) float64 {
 // component over the noL2 baseline (paper: Code +0.75%, +Cross +3.7%,
 // +Deep +5.9%, +Feeder +2.7%).
 func Fig13(b Budget) []Table {
-	noL2Cfg, _ := ConfigByName("nol2-6.5")
 	t := Table{
 		ID:      "fig13",
 		Title:   "Performance gain from each TACT component (over noL2)",
 		Headers: categoryHeaders("components"),
 	}
+	labels, cfgs := fig13Configs()
+	rs := runGrid(cfgs, b)
+	for i, label := range labels {
+		t.Rows = append(t.Rows, speedupRow(label, rs[i+1], rs[0]))
+	}
+	return []Table{t}
+}
+
+// fig13Configs builds fig13's configuration ladder: the noL2 reference
+// first, then CATCH with the TACT components enabled cumulatively. The
+// sampling smoke test reuses it to compare sampled and exact runs of
+// the same grid.
+func fig13Configs() (labels []string, cfgs []config.SystemConfig) {
+	noL2Cfg, _ := ConfigByName("nol2-6.5")
 	steps := []struct {
 		label                     string
 		code, cross, deep, feeder bool
@@ -260,7 +273,7 @@ func Fig13(b Budget) []Table {
 		{"+Deep", true, true, true, false},
 		{"+Feeder", true, true, true, true},
 	}
-	cfgs := []config.SystemConfig{noL2Cfg}
+	cfgs = []config.SystemConfig{noL2Cfg}
 	for _, s := range steps {
 		cfg := config.WithCATCH(noL2Cfg, "nol2-catch-"+s.label)
 		cfg.Tact.EnableCode = s.code
@@ -268,12 +281,9 @@ func Fig13(b Budget) []Table {
 		cfg.Tact.EnableDeep = s.deep
 		cfg.Tact.EnableFeeder = s.feeder
 		cfgs = append(cfgs, cfg)
+		labels = append(labels, s.label)
 	}
-	rs := runGrid(cfgs, b)
-	for i, s := range steps {
-		t.Rows = append(t.Rows, speedupRow(s.label, rs[i+1], rs[0]))
-	}
-	return []Table{t}
+	return labels, cfgs
 }
 
 // Fig15 reproduces Figure 15: sensitivity of the noL2 and two-level

@@ -1,0 +1,25 @@
+package interconnect
+
+import "catch/internal/snap"
+
+// Snapshot codec for the ring: the only mutable state is the traffic
+// counters (latency is a pure function of hop distance).
+
+// SnapshotTo appends the ring's counters.
+func (r *Ring) SnapshotTo(w *snap.Writer) {
+	for _, m := range r.Stats.Messages {
+		w.U64(m)
+	}
+	w.U64(r.Stats.Flits)
+	w.U64(r.Stats.HopFlits)
+}
+
+// RestoreFrom restores counters serialized by SnapshotTo.
+func (r *Ring) RestoreFrom(rd *snap.Reader) error {
+	for i := range r.Stats.Messages {
+		r.Stats.Messages[i] = rd.U64()
+	}
+	r.Stats.Flits = rd.U64()
+	r.Stats.HopFlits = rd.U64()
+	return rd.Err()
+}

@@ -30,6 +30,12 @@ type DeterminismConfig struct {
 // ring ownership and steal reclaim all must replay identically, and
 // the few wall-clock reads it legitimately needs (peer-call latency
 // observation) carry explicit catchlint:ignore audits.
+// internal/sample is in scope because its whole output is a Result:
+// interval profiling, feature extraction, the seeded k-means
+// clustering and the stratified extrapolation must all be
+// bit-reproducible for a given (config, workload, spec) key, and the
+// snapshot images it stores are content-addressed by that same
+// determinism.
 func DefaultDeterminismConfig() DeterminismConfig {
 	return DeterminismConfig{
 		Packages: []string{
@@ -46,6 +52,7 @@ func DefaultDeterminismConfig() DeterminismConfig {
 			"catch/internal/memory",
 			"catch/internal/power",
 			"catch/internal/prefetch",
+			"catch/internal/sample",
 			"catch/internal/stats",
 			"catch/internal/tact",
 			"catch/internal/trace",

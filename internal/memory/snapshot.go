@@ -1,0 +1,58 @@
+package memory
+
+import "catch/internal/snap"
+
+// Snapshot codec for DRAM: per-bank open rows and ready times, per-
+// channel bus occupancy, the write-drain backlog and the counters.
+
+// SnapshotTo appends the DRAM's full mutable state.
+func (d *DRAM) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(d.banks)))
+	w.U64(uint64(len(d.channels)))
+	for i := range d.banks {
+		b := &d.banks[i]
+		w.U64(b.openRow)
+		w.Bool(b.rowValid)
+		w.I64(b.readyAt)
+	}
+	for i := range d.channels {
+		w.I64(d.channels[i].busReadyAt)
+	}
+	w.Int(d.pending)
+	w.U64(d.Stats.Reads)
+	w.U64(d.Stats.Writes)
+	w.U64(d.Stats.RowHits)
+	w.U64(d.Stats.RowMisses)
+	w.U64(d.Stats.RowConflicts)
+	w.U64(d.Stats.WriteDrains)
+	w.U64(d.Stats.TotalReadLat)
+	w.U64(d.Stats.BusyStallCycles)
+	w.U64(d.Stats.ChannelBusyConflicts)
+}
+
+// RestoreFrom restores state serialized by SnapshotTo into a DRAM of
+// identical geometry.
+func (d *DRAM) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(d.banks)), "DRAM bank count")
+	r.Expect(uint64(len(d.channels)), "DRAM channel count")
+	for i := range d.banks {
+		b := &d.banks[i]
+		b.openRow = r.U64()
+		b.rowValid = r.Bool()
+		b.readyAt = r.I64()
+	}
+	for i := range d.channels {
+		d.channels[i].busReadyAt = r.I64()
+	}
+	d.pending = r.Int()
+	d.Stats.Reads = r.U64()
+	d.Stats.Writes = r.U64()
+	d.Stats.RowHits = r.U64()
+	d.Stats.RowMisses = r.U64()
+	d.Stats.RowConflicts = r.U64()
+	d.Stats.WriteDrains = r.U64()
+	d.Stats.TotalReadLat = r.U64()
+	d.Stats.BusyStallCycles = r.U64()
+	d.Stats.ChannelBusyConflicts = r.U64()
+	return r.Err()
+}

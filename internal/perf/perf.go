@@ -255,10 +255,13 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
-	switch r.Metric {
-	case "throughput":
+	switch {
+	case r.Metric == "throughput":
 		return fmt.Sprintf("%s: throughput %.0f -> %.0f (%.1f%%)",
 			r.Name, r.Old, r.New, (r.New/r.Old-1)*100)
+	case strings.HasPrefix(r.Metric, "throughput/"):
+		return fmt.Sprintf("%s: %s %.3f -> %.3f (%.1f%%)",
+			r.Name, r.Metric, r.Old, r.New, (r.New/r.Old-1)*100)
 	default:
 		return fmt.Sprintf("%s: %s %.0f -> %.0f", r.Name, r.Metric, r.Old, r.New)
 	}
@@ -295,6 +298,63 @@ func Compare(baseline, current Report, tol float64) []Regression {
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
 	return regs
+}
+
+// CompareNormalized is the drift-robust variant of Compare: every
+// benchmark's throughput is first divided by the throughput of the ref
+// benchmark measured in the same report, and the gate fires when that
+// ratio — not the absolute rate — dropped by more than tol. A globally
+// slower or faster machine (CI host change, thermal throttling, shared
+// tenancy) moves numerator and denominator together and cancels out;
+// what remains is how the benchmark moved relative to the reference
+// workload, which is what a code change actually shifts. The ref
+// benchmark itself cannot be gated this way (its ratio is identically
+// 1) and is skipped; absolute movement of the whole suite is visible
+// in the Deltas print, not gated.
+func CompareNormalized(baseline, current Report, ref string, tol float64) ([]Regression, error) {
+	baseRef, okB := refThroughput(baseline, ref)
+	curRef, okC := refThroughput(current, ref)
+	if !okB || !okC {
+		return nil, fmt.Errorf("reference benchmark %q missing from %s report",
+			ref, map[bool]string{false: "baseline", true: "current"}[okB])
+	}
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	for _, cur := range current.Results {
+		if cur.Name == ref {
+			continue
+		}
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		oldT, okOld := throughput(old)
+		curT, okCur := throughput(cur)
+		if !okOld || !okCur {
+			continue
+		}
+		oldRatio, curRatio := oldT/baseRef, curT/curRef
+		if curRatio < oldRatio*(1-tol) {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "throughput/" + ref, Old: oldRatio, New: curRatio,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs, nil
+}
+
+// refThroughput finds the named benchmark's throughput in a report.
+func refThroughput(rep Report, name string) (float64, bool) {
+	for _, r := range rep.Results {
+		if r.Name == name {
+			return throughput(r)
+		}
+	}
+	return 0, false
 }
 
 // throughput extracts a bigger-is-better rate from a result.

@@ -191,3 +191,63 @@ func writeTemp(t *testing.T, data []byte) (string, error) {
 	f := t.TempDir() + "/bench.json"
 	return f, os.WriteFile(f, data, 0o644)
 }
+
+// TestCompareNormalized: the drift-robust gate compares ratios against
+// the reference benchmark, so a uniformly slower machine passes while a
+// benchmark that slowed relative to the reference fails.
+func TestCompareNormalized(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 10_000_000},
+		{Name: "BenchmarkSimCATCH", InstrsPerSec: 5_000_000},
+		{Name: "BenchmarkSimBatch", InstrsPerSec: 20_000_000},
+	}}
+
+	// Everything uniformly 40% slower: absolute Compare fails all of
+	// them, the normalized gate passes (ratios unchanged).
+	slow := Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 6_000_000},
+		{Name: "BenchmarkSimCATCH", InstrsPerSec: 3_000_000},
+		{Name: "BenchmarkSimBatch", InstrsPerSec: 12_000_000},
+	}}
+	if regs := Compare(base, slow, 0.10); len(regs) != 3 {
+		t.Fatalf("absolute Compare on a uniformly slow machine: %d regressions, want 3", len(regs))
+	}
+	regs, err := CompareNormalized(base, slow, "BenchmarkSimBaseline", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("normalized compare flagged uniform slowdown: %v", regs)
+	}
+
+	// CATCH alone 30% slower: only it fails, and the ratio values are
+	// reported (0.5 -> 0.35).
+	mixed := Report{Results: []Result{
+		{Name: "BenchmarkSimBaseline", InstrsPerSec: 10_000_000},
+		{Name: "BenchmarkSimCATCH", InstrsPerSec: 3_500_000},
+		{Name: "BenchmarkSimBatch", InstrsPerSec: 20_000_000},
+	}}
+	regs, err = CompareNormalized(base, mixed, "BenchmarkSimBaseline", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSimCATCH" {
+		t.Fatalf("regressions = %v, want only BenchmarkSimCATCH", regs)
+	}
+	if regs[0].Old != 0.5 || regs[0].New != 0.35 {
+		t.Fatalf("ratios = %v -> %v, want 0.5 -> 0.35", regs[0].Old, regs[0].New)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "0.500 -> 0.350") || !strings.Contains(s, "-30.0%") {
+		t.Fatalf("String: %q", s)
+	}
+
+	// The reference itself is never gated, and a missing reference is a
+	// hard error rather than a silently absolute comparison.
+	noRef := Report{Results: []Result{{Name: "BenchmarkSimCATCH", InstrsPerSec: 1}}}
+	if _, err := CompareNormalized(base, noRef, "BenchmarkSimBaseline", 0.10); err == nil {
+		t.Fatal("missing reference in current report: want error")
+	}
+	if _, err := CompareNormalized(noRef, base, "BenchmarkSimBaseline", 0.10); err == nil {
+		t.Fatal("missing reference in baseline report: want error")
+	}
+}

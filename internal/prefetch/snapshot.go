@@ -1,0 +1,75 @@
+package prefetch
+
+import "catch/internal/snap"
+
+// Snapshot codecs for the baseline prefetchers: the stride table and
+// the multi-stream tracker are ordinary learned state that must follow
+// the warm image, counters included.
+
+// SnapshotTo appends the stride prefetcher's full mutable state.
+func (p *StridePrefetcher) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(p.entries)))
+	for i := range p.entries {
+		e := &p.entries[i]
+		w.U64(e.pc)
+		w.U64(e.lastAddr)
+		w.I64(e.stride)
+		w.U8(e.conf)
+		w.Bool(e.valid)
+	}
+	w.U64(p.Stats.Trains)
+	w.U64(p.Stats.Predictions)
+}
+
+// RestoreFrom restores state serialized by SnapshotTo.
+func (p *StridePrefetcher) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(p.entries)), "stride prefetcher size")
+	for i := range p.entries {
+		e := &p.entries[i]
+		e.pc = r.U64()
+		e.lastAddr = r.U64()
+		e.stride = r.I64()
+		e.conf = r.U8()
+		e.valid = r.Bool()
+	}
+	p.Stats.Trains = r.U64()
+	p.Stats.Predictions = r.U64()
+	return r.Err()
+}
+
+// SnapshotTo appends the stream prefetcher's full mutable state.
+func (p *StreamPrefetcher) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(p.streams)))
+	for i := range p.streams {
+		s := &p.streams[i]
+		w.U64(s.page)
+		w.I64(s.lastLine)
+		w.U8(uint8(s.dir))
+		w.U8(s.conf)
+		w.I64(s.lru)
+		w.Bool(s.valid)
+	}
+	w.I64(p.tick)
+	w.U64(p.Stats.Allocations)
+	w.U64(p.Stats.Trained)
+	w.U64(p.Stats.Predictions)
+}
+
+// RestoreFrom restores state serialized by SnapshotTo.
+func (p *StreamPrefetcher) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(p.streams)), "stream prefetcher size")
+	for i := range p.streams {
+		s := &p.streams[i]
+		s.page = r.U64()
+		s.lastLine = r.I64()
+		s.dir = int8(r.U8())
+		s.conf = r.U8()
+		s.lru = r.I64()
+		s.valid = r.Bool()
+	}
+	p.tick = r.I64()
+	p.Stats.Allocations = r.U64()
+	p.Stats.Trained = r.U64()
+	p.Stats.Predictions = r.U64()
+	return r.Err()
+}

@@ -30,8 +30,9 @@ type batchKey struct {
 }
 
 // batchEligible reports whether j can join a lock-step unit (the batch
-// kernel drives exactly one core per system).
-func batchEligible(j *Job) bool { return len(j.Workloads) == 1 }
+// kernel drives exactly one core per system, and sampled jobs resolve
+// through the planner instead).
+func batchEligible(j *Job) bool { return len(j.Workloads) == 1 && j.Sample == nil }
 
 // planUnits partitions the pending job indexes into execution units.
 // With batching off every unit is a singleton, preserving the scalar

@@ -11,6 +11,7 @@ import (
 
 	"catch/internal/core"
 	"catch/internal/fault"
+	"catch/internal/sample"
 	"catch/internal/stats"
 	"catch/internal/telemetry"
 	"catch/internal/trace"
@@ -72,8 +73,25 @@ type Options struct {
 	// DefaultBatchSize.
 	BatchSize int
 	// Traces is the shared trace store the batch path materializes
-	// through; nil (with Batch set) creates a memory-only store.
+	// through; nil (with Batch or Sample set) creates a memory-only
+	// store.
 	Traces *trace.Store
+	// Sample resolves eligible single-workload jobs by representative-
+	// interval sampling: profile once per workload, cluster intervals,
+	// simulate only cluster representatives from a warm-state snapshot
+	// and extrapolate. Results carry a SampleMeta with error bars; any
+	// sampling failure falls back to full simulation of that job.
+	Sample bool
+	// SampleInterval is the interval length in instructions; <=0
+	// derives insts/DefaultSampleIntervals per job.
+	SampleInterval int64
+	// SampleK is the clusters (representatives simulated) per job;
+	// <=0 means DefaultSampleK.
+	SampleK int
+	// Snapshots is the warm-state snapshot store the sampling path
+	// restores from; nil (with Sample set) creates a memory-only
+	// store.
+	Snapshots *sample.Store
 }
 
 // DefaultBatchSize is the lock-step group width when Options.BatchSize
@@ -90,10 +108,18 @@ type Engine struct {
 	// simulate is the job executor; tests substitute it to count or
 	// delay executions.
 	simulate func(*Job) ([]core.Result, error)
+	// sampleRun resolves one stamped job through the planner; tests
+	// substitute it to force sampling failures.
+	sampleRun func(*Job) ([]core.Result, error)
 
-	executed      stats.AtomicCounter
-	batched       stats.AtomicCounter
-	batchFallback stats.AtomicCounter
+	// sampler resolves sampled jobs (nil when Options.Sample is off).
+	sampler *sample.Planner
+
+	executed       stats.AtomicCounter
+	batched        stats.AtomicCounter
+	batchFallback  stats.AtomicCounter
+	sampled        stats.AtomicCounter
+	sampleFallback stats.AtomicCounter
 
 	drain     chan struct{}
 	drainOnce sync.Once
@@ -133,11 +159,29 @@ func New(opts Options) *Engine {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = DefaultBatchSize
 	}
-	if opts.Batch && opts.Traces == nil {
+	if (opts.Batch || opts.Sample) && opts.Traces == nil {
 		opts.Traces = trace.NewStore("")
 	}
+	if opts.Sample && opts.Snapshots == nil {
+		opts.Snapshots = sample.NewStore("")
+	}
 	e := &Engine{opts: opts, drain: make(chan struct{})}
-	e.simulate = func(j *Job) ([]core.Result, error) { return j.Execute() }
+	if opts.Sample {
+		e.sampler = sample.NewPlanner(opts.Traces, opts.Snapshots)
+	}
+	e.sampleRun = e.runSampled
+	e.simulate = func(j *Job) ([]core.Result, error) {
+		if j.Sample != nil && e.sampler != nil {
+			rs, err := e.sampleRun(j)
+			if err == nil {
+				e.sampled.Inc()
+				return rs, nil
+			}
+			e.sampleFallback.Inc()
+			e.logf("runner: sampled job %s fell back to full simulation: %v", shortKey(j.Key()), err)
+		}
+		return j.Execute()
+	}
 	if r := opts.Metrics; r != nil {
 		e.mInflight = r.Gauge("catch_engine_jobs_inflight",
 			"Jobs currently being resolved by the engine.")
@@ -165,6 +209,12 @@ func New(opts Options) *Engine {
 		r.CounterFunc("catch_engine_batch_fallbacks_total",
 			"Batch units that fell back to scalar per-job execution.",
 			func() float64 { return float64(e.batchFallback.Value()) })
+		r.CounterFunc("catch_engine_jobs_sampled_total",
+			"Jobs resolved by representative-interval sampling.",
+			func() float64 { return float64(e.sampled.Value()) })
+		r.CounterFunc("catch_engine_sample_fallbacks_total",
+			"Sampled jobs that fell back to full simulation after a sampling failure.",
+			func() float64 { return float64(e.sampleFallback.Value()) })
 	}
 	return e
 }
@@ -212,6 +262,12 @@ func (e *Engine) RunJournaled(ctx context.Context, jobs []Job, jl *Journal) []Jo
 	out := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return out
+	}
+	// Sampling stamps specs onto eligible jobs before anything reads a
+	// key, so the journal, cache and results all agree on the job
+	// identity.
+	if e.opts.Sample {
+		jobs = e.stampSampled(jobs)
 	}
 	// Resume pass: the journal's done set plus the cache replaces the
 	// computation entirely. A done key whose cached results are gone is

@@ -22,6 +22,7 @@ import (
 
 	"catch/internal/config"
 	"catch/internal/core"
+	"catch/internal/sample"
 	"catch/internal/trace"
 	"catch/internal/workloads"
 )
@@ -34,6 +35,17 @@ type Job struct {
 	Workloads []string            `json:"workloads"`
 	Insts     int64               `json:"insts"`
 	Warmup    int64               `json:"warmup"`
+	// Sample, when set, resolves the job by representative-interval
+	// sampling instead of full simulation. It is part of the job's
+	// identity (sampled and exact results cache under different keys);
+	// nil keeps the key byte-identical to pre-sampling jobs.
+	Sample *SampleSpec `json:"sample,omitempty"`
+}
+
+// SampleSpec mirrors sample.Spec with JSON tags for the job key.
+type SampleSpec struct {
+	Interval int64 `json:"interval"`
+	K        int   `json:"k"`
 }
 
 // STJob builds a single-thread job.
@@ -76,6 +88,14 @@ func (j *Job) Validate() error {
 	}
 	if j.Warmup < 0 {
 		return fmt.Errorf("job warmup must be non-negative, got %d", j.Warmup)
+	}
+	if j.Sample != nil {
+		if len(j.Workloads) != 1 {
+			return fmt.Errorf("sampled jobs run a single workload, got %d", len(j.Workloads))
+		}
+		if err := (sample.Spec{Interval: j.Sample.Interval, K: j.Sample.K}).Validate(j.Insts); err != nil {
+			return err
+		}
 	}
 	_, err := resolveWorkloads(j.Workloads)
 	return err

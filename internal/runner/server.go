@@ -17,6 +17,7 @@ import (
 
 	"catch/internal/config"
 	"catch/internal/fault"
+	"catch/internal/sample"
 	"catch/internal/telemetry"
 	"catch/internal/workloads"
 )
@@ -187,6 +188,35 @@ func (s *Server) registerServerMetrics(r *telemetry.Registry) {
 				"Times the disk-cache breaker tripped open.",
 				func() float64 { return float64(b.Trips()) })
 		}
+	}
+	if p := s.Engine.Sampler(); p != nil {
+		pstat := func(f func(sample.PlannerStats) uint64) func() float64 {
+			return func() float64 { return float64(f(p.Stats())) }
+		}
+		r.CounterFunc("catch_sample_profiles_total{kind=\"built\"}",
+			"Sampling-profile traffic by kind.",
+			pstat(func(st sample.PlannerStats) uint64 { return st.Profiled }))
+		r.CounterFunc("catch_sample_profiles_total{kind=\"hit\"}",
+			"Sampling-profile traffic by kind.",
+			pstat(func(st sample.PlannerStats) uint64 { return st.ProfileHits }))
+		r.CounterFunc("catch_sample_profiles_total{kind=\"coalesced\"}",
+			"Sampling-profile traffic by kind.",
+			pstat(func(st sample.PlannerStats) uint64 { return st.ProfileCoalesced }))
+		sstat := func(f func(sample.StoreStats) uint64) func() float64 {
+			return func() float64 { return float64(f(p.Snapshots().Stats())) }
+		}
+		r.CounterFunc("catch_sample_snapshots_total{kind=\"built\"}",
+			"Warm-snapshot store traffic by kind.",
+			sstat(func(st sample.StoreStats) uint64 { return st.Built }))
+		r.CounterFunc("catch_sample_snapshots_total{kind=\"mem_hit\"}",
+			"Warm-snapshot store traffic by kind.",
+			sstat(func(st sample.StoreStats) uint64 { return st.MemHits }))
+		r.CounterFunc("catch_sample_snapshots_total{kind=\"disk_hit\"}",
+			"Warm-snapshot store traffic by kind.",
+			sstat(func(st sample.StoreStats) uint64 { return st.DiskHits }))
+		r.CounterFunc("catch_sample_snapshots_total{kind=\"bad_disk\"}",
+			"Warm-snapshot store traffic by kind.",
+			sstat(func(st sample.StoreStats) uint64 { return st.BadDisk }))
 	}
 	if inj := s.Engine.FaultInjector(); inj != nil {
 		for _, k := range fault.Kinds() {
@@ -465,6 +495,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if b := c.Breaker(); b != nil {
 			body["breaker"] = b.State().String()
 		}
+	}
+	if p := s.Engine.Sampler(); p != nil {
+		body["sampled"] = s.Engine.Sampled()
+		body["sampleFallbacks"] = s.Engine.SampleFallbacks()
+		body["sampleProfiles"] = p.Stats()
+		body["sampleSnapshots"] = p.Snapshots().Stats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

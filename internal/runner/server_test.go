@@ -364,3 +364,71 @@ func TestPprofGatedByFlag(t *testing.T) {
 		t.Fatalf("pprof on = %d: %s", resp.StatusCode, raw)
 	}
 }
+
+// TestServerSampledCounters: a sampling engine surfaces its planner
+// and snapshot-store counters in /healthz and as /metrics series, and
+// a sweep through the HTTP layer actually resolves by sampling.
+func TestServerSampledCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := New(Options{
+		Workers: 2, Cache: NewCache(""), Metrics: reg,
+		Sample: true, SampleInterval: 500, SampleK: 2,
+	})
+	s := &Server{Engine: e, Resolve: testResolve, Metrics: reg}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Configs:   []string{"baseline-excl", "catch"},
+		Workloads: []string{"mcf"},
+		Insts:     2_000, Warmup: 1_000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d: %s", resp.StatusCode, raw)
+	}
+	if e.Sampled() != 2 || e.SampleFallbacks() != 0 {
+		t.Fatalf("Sampled=%d SampleFallbacks=%d, want 2 and 0", e.Sampled(), e.SampleFallbacks())
+	}
+
+	resp2, raw2 := getURL(t, ts.URL+"/healthz")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp2.StatusCode)
+	}
+	var body struct {
+		Sampled         uint64 `json:"sampled"`
+		SampleFallbacks uint64 `json:"sampleFallbacks"`
+		SampleProfiles  struct {
+			Profiled uint64 `json:"profiled"`
+		} `json:"sampleProfiles"`
+		SampleSnapshots struct {
+			Built uint64 `json:"built"`
+		} `json:"sampleSnapshots"`
+	}
+	if err := json.Unmarshal(raw2, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Sampled != 2 || body.SampleFallbacks != 0 {
+		t.Errorf("healthz sampled=%d fallbacks=%d, want 2 and 0: %s", body.Sampled, body.SampleFallbacks, raw2)
+	}
+	if body.SampleProfiles.Profiled != 1 {
+		t.Errorf("healthz sampleProfiles.profiled = %d, want 1 (one workload): %s", body.SampleProfiles.Profiled, raw2)
+	}
+	if body.SampleSnapshots.Built != 2 {
+		t.Errorf("healthz sampleSnapshots.built = %d, want 2 (config x workload): %s", body.SampleSnapshots.Built, raw2)
+	}
+
+	resp3, raw3 := getURL(t, ts.URL+"/metrics")
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp3.StatusCode)
+	}
+	for _, series := range []string{
+		`catch_engine_jobs_sampled_total 2`,
+		`catch_engine_sample_fallbacks_total 0`,
+		`catch_sample_profiles_total{kind="built"} 1`,
+		`catch_sample_snapshots_total{kind="built"} 2`,
+	} {
+		if !strings.Contains(string(raw3), series) {
+			t.Errorf("metrics lack %q", series)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sample
+
+import (
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/trace"
+	"catch/internal/workloads"
+)
+
+// TestRestoredStepSteadyStateAllocs guards the sampling hot path: a
+// system restored from a warm snapshot and attached to a trace replay
+// must step gap and measurement instructions without heap allocations,
+// exactly like the RunST kernel it replaces. (The per-window
+// EndMeasureDelta bookkeeping may allocate; the instruction stepping in
+// between must not.)
+func TestRestoredStepSteadyStateAllocs(t *testing.T) {
+	cfg := config.WithCATCH(config.BaselineExclusive(), "catch-alloc")
+	w, ok := workloads.ByName("mcf")
+	if !ok {
+		t.Fatal("workload mcf")
+	}
+	const warmup, insts = 20_000, 40_000
+	m, err := trace.NewStore("").Materialize(&w, warmup+insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := NewStore("").Warm(cfg, &w, m, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(cfg)
+	if err := sys.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.NewReplay()
+	rep.SeekTo(warmup)
+	sys.AttachST(rep)
+	// Settle the restored system: replay-side buffers and any
+	// structures the snapshot rebuilt lazily reach steady footprint.
+	sys.StepST(5_000)
+	if allocs := testing.AllocsPerRun(5, func() { sys.StepST(2_000) }); allocs != 0 {
+		t.Errorf("restored steady-state StepST: %v allocs per 2k-inst batch, want 0", allocs)
+	}
+}

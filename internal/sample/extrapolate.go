@@ -1,0 +1,234 @@
+package sample
+
+import (
+	"math"
+
+	"catch/internal/cache"
+	"catch/internal/core"
+	"catch/internal/criticality"
+	"catch/internal/interconnect"
+	"catch/internal/memory"
+	"catch/internal/stats"
+	"catch/internal/tact"
+)
+
+// extrapolate stratifies the measurement region by cluster: every
+// additive counter of the full run is estimated as Σ_c n_c·X_c, where
+// X_c is the counter measured over cluster c's representative interval
+// and n_c the cluster size. Identity fields and instantaneous gauges
+// (workload, config, critical-PC count) come from the representative
+// of the largest cluster; the run-cumulative TACT/criticality blocks
+// are re-based on the warm-state counters so the estimate matches the
+// full run's "warmup plus measurement" accounting.
+func extrapolate(perCluster []core.Result, cl Clustering, warmBase core.CumulativeBase) core.Result {
+	largest := 0
+	for c := range cl.Sizes {
+		if cl.Sizes[c] > cl.Sizes[largest] {
+			largest = c
+		}
+	}
+	est := perCluster[largest]
+	zeroAdditive(&est)
+	for c := range perCluster {
+		addScaled(&est, &perCluster[c], uint64(cl.Sizes[c]))
+	}
+	est.Crit = addCrit(warmBase.Crit, est.Crit)
+	est.Tact = addTact(warmBase.Tact, est.Tact)
+	est.CodePfLearned += warmBase.CodePfLearned
+	est.CodePfIssued += warmBase.CodePfIssued
+	if est.Cycles > 0 {
+		est.IPC = float64(est.Insts) / float64(est.Cycles)
+	}
+	return est
+}
+
+// zeroAdditive clears every counter that extrapolation accumulates,
+// keeping identity fields, HasL2 and the instantaneous CriticalPCs
+// gauge.
+func zeroAdditive(r *core.Result) {
+	hist := r.Hier.TactTimeliness
+	r.Insts, r.Cycles, r.IPC = 0, 0, 0
+	r.Mispredicts, r.CodeStalls = 0, 0
+	r.Hier = cache.HierStats{}
+	if hist != nil {
+		r.Hier.TactTimeliness = stats.NewHistogram(hist.Bounds...)
+	}
+	r.L1D, r.L1I, r.L2, r.LLC = cache.Stats{}, cache.Stats{}, cache.Stats{}, cache.Stats{}
+	r.DRAM = memory.Stats{}
+	r.Ring = interconnect.Stats{}
+	r.Crit = r.Crit.Delta(r.Crit)
+	r.Tact = r.Tact.Delta(r.Tact)
+	r.ConvertedLoads, r.CodePfLearned, r.CodePfIssued = 0, 0, 0
+}
+
+// addScaled folds src into dst with weight w on every additive field.
+func addScaled(dst *core.Result, src *core.Result, w uint64) {
+	iw := int64(w)
+	dst.Insts += src.Insts * iw
+	dst.Cycles += src.Cycles * iw
+	dst.Mispredicts += src.Mispredicts * iw
+	dst.CodeStalls += src.CodeStalls * iw
+
+	addScaledHier(&dst.Hier, &src.Hier, w)
+	addScaledCache(&dst.L1D, &src.L1D, w)
+	addScaledCache(&dst.L1I, &src.L1I, w)
+	addScaledCache(&dst.L2, &src.L2, w)
+	addScaledCache(&dst.LLC, &src.LLC, w)
+
+	dst.DRAM.Reads += src.DRAM.Reads * w
+	dst.DRAM.Writes += src.DRAM.Writes * w
+	dst.DRAM.RowHits += src.DRAM.RowHits * w
+	dst.DRAM.RowMisses += src.DRAM.RowMisses * w
+	dst.DRAM.RowConflicts += src.DRAM.RowConflicts * w
+	dst.DRAM.WriteDrains += src.DRAM.WriteDrains * w
+	dst.DRAM.TotalReadLat += src.DRAM.TotalReadLat * w
+	dst.DRAM.BusyStallCycles += src.DRAM.BusyStallCycles * w
+	dst.DRAM.ChannelBusyConflicts += src.DRAM.ChannelBusyConflicts * w
+
+	for i := range dst.Ring.Messages {
+		dst.Ring.Messages[i] += src.Ring.Messages[i] * w
+	}
+	dst.Ring.Flits += src.Ring.Flits * w
+	dst.Ring.HopFlits += src.Ring.HopFlits * w
+
+	dst.Crit.Retired += src.Crit.Retired * w
+	dst.Crit.Walks += src.Crit.Walks * w
+	dst.Crit.PathNodes += src.Crit.PathNodes * w
+	dst.Crit.PathLoads += src.Crit.PathLoads * w
+	dst.Crit.RecordedLoads += src.Crit.RecordedLoads * w
+	dst.Crit.Overflows += src.Crit.Overflows * w
+
+	dst.Tact.TargetsAllocated += src.Tact.TargetsAllocated * w
+	dst.Tact.Dist1Issued += src.Tact.Dist1Issued * w
+	dst.Tact.DeepIssued += src.Tact.DeepIssued * w
+	dst.Tact.CrossIssued += src.Tact.CrossIssued * w
+	dst.Tact.FeederIssued += src.Tact.FeederIssued * w
+	dst.Tact.CodeIssued += src.Tact.CodeIssued * w
+	dst.Tact.CrossTrained += src.Tact.CrossTrained * w
+	dst.Tact.FeederTrained += src.Tact.FeederTrained * w
+	dst.Tact.CrossGaveUp += src.Tact.CrossGaveUp * w
+
+	dst.ConvertedLoads += src.ConvertedLoads * w
+	dst.CodePfLearned += src.CodePfLearned * w
+	dst.CodePfIssued += src.CodePfIssued * w
+}
+
+func addScaledCache(dst, src *cache.Stats, w uint64) {
+	dst.Lookups += src.Lookups * w
+	dst.Hits += src.Hits * w
+	dst.Misses += src.Misses * w
+	dst.Fills += src.Fills * w
+	dst.Evictions += src.Evictions * w
+	dst.DirtyEvictions += src.DirtyEvictions * w
+	dst.Invalidations += src.Invalidations * w
+	dst.Writes += src.Writes * w
+	dst.PrefetchFills += src.PrefetchFills * w
+	dst.PrefetchUsed += src.PrefetchUsed * w
+	dst.PrefetchEvictedUnused += src.PrefetchEvictedUnused * w
+}
+
+func addScaledHier(dst, src *cache.HierStats, w uint64) {
+	dst.Loads += src.Loads * w
+	dst.LoadL1 += src.LoadL1 * w
+	dst.LoadL2 += src.LoadL2 * w
+	dst.LoadLLC += src.LoadLLC * w
+	dst.LoadMem += src.LoadMem * w
+	dst.Stores += src.Stores * w
+	dst.StoreL1Hit += src.StoreL1Hit * w
+	dst.StoreMiss += src.StoreMiss * w
+	dst.Fetches += src.Fetches * w
+	dst.FetchL1 += src.FetchL1 * w
+	dst.FetchL2 += src.FetchL2 * w
+	dst.FetchLLC += src.FetchLLC * w
+	dst.FetchMem += src.FetchMem * w
+	dst.WBToL2 += src.WBToL2 * w
+	dst.WBToLLC += src.WBToLLC * w
+	dst.WBToMem += src.WBToMem * w
+	dst.TactIssued += src.TactIssued * w
+	dst.TactFilledL2 += src.TactFilledL2 * w
+	dst.TactFilledLLC += src.TactFilledLLC * w
+	dst.TactDropPresent += src.TactDropPresent * w
+	dst.TactDropMiss += src.TactDropMiss * w
+	dst.TactUsed += src.TactUsed * w
+	dst.CodePfIssued += src.CodePfIssued * w
+	dst.CodePfFilled += src.CodePfFilled * w
+	dst.StridePfIssued += src.StridePfIssued * w
+	dst.StreamPfIssued += src.StreamPfIssued * w
+	dst.OraclePromotions += src.OraclePromotions * w
+	dst.MSHRStallCycles += src.MSHRStallCycles * w
+	if sh := src.TactTimeliness; sh != nil && dst.TactTimeliness != nil &&
+		len(sh.Counts) == len(dst.TactTimeliness.Counts) {
+		for i := range sh.Counts {
+			dst.TactTimeliness.Counts[i] += sh.Counts[i] * w
+		}
+		dst.TactTimeliness.Total += sh.Total * w
+	}
+}
+
+// addCrit folds the warm-state base back onto an extrapolated delta.
+func addCrit(base, d criticality.Stats) criticality.Stats {
+	return criticality.Stats{
+		Retired:       base.Retired + d.Retired,
+		Walks:         base.Walks + d.Walks,
+		PathNodes:     base.PathNodes + d.PathNodes,
+		PathLoads:     base.PathLoads + d.PathLoads,
+		RecordedLoads: base.RecordedLoads + d.RecordedLoads,
+		Overflows:     base.Overflows + d.Overflows,
+	}
+}
+
+// addTact folds the warm-state base back onto an extrapolated delta.
+func addTact(base, d tact.Stats) tact.Stats {
+	return tact.Stats{
+		TargetsAllocated: base.TargetsAllocated + d.TargetsAllocated,
+		Dist1Issued:      base.Dist1Issued + d.Dist1Issued,
+		DeepIssued:       base.DeepIssued + d.DeepIssued,
+		CrossIssued:      base.CrossIssued + d.CrossIssued,
+		FeederIssued:     base.FeederIssued + d.FeederIssued,
+		CodeIssued:       base.CodeIssued + d.CodeIssued,
+		CrossTrained:     base.CrossTrained + d.CrossTrained,
+		FeederTrained:    base.FeederTrained + d.FeederTrained,
+		CrossGaveUp:      base.CrossGaveUp + d.CrossGaveUp,
+	}
+}
+
+// relErrors derives one-standard-error bounds for the headline metrics
+// from the profiling pass: with one measured representative per
+// cluster and the profile's within-cluster variance as the dispersion
+// proxy, the stratified estimator's variance for a per-interval mean
+// metric is Σ (n_c·σ_c)² around a total of Σ n_c·μ_c.
+func relErrors(prof *Profile, cl Clustering) (ipc, l1dMiss, memLoads float64) {
+	ipc = stratifiedRelErr(prof, cl, 0)
+	l1dMiss = stratifiedRelErr(prof, cl, 1)
+	memLoads = stratifiedRelErr(prof, cl, 3)
+	return
+}
+
+// stratifiedRelErr computes the relative standard error of the
+// stratified total of one feature dimension.
+func stratifiedRelErr(prof *Profile, cl Clustering, dim int) float64 {
+	k := len(cl.Sizes)
+	mean := make([]float64, k)
+	for i, c := range cl.Assign {
+		mean[c] += prof.Features[i][dim]
+	}
+	for c := 0; c < k; c++ {
+		mean[c] /= float64(cl.Sizes[c])
+	}
+	var total, varSum float64
+	vari := make([]float64, k)
+	for i, c := range cl.Assign {
+		d := prof.Features[i][dim] - mean[c]
+		vari[c] += d * d
+	}
+	for c := 0; c < k; c++ {
+		n := float64(cl.Sizes[c])
+		total += n * mean[c]
+		// (n_c·σ_c)² with σ_c² = vari/n the population variance.
+		varSum += n * vari[c]
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Sqrt(varSum) / math.Abs(total)
+}

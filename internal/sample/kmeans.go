@@ -1,0 +1,207 @@
+package sample
+
+import "math"
+
+// Clustering is the outcome of clustering interval feature vectors.
+type Clustering struct {
+	// Assign maps each interval to its cluster.
+	Assign []int
+	// Reps holds, per cluster, the index of the member closest to the
+	// centroid — the interval that gets simulated for the cluster.
+	Reps []int
+	// Sizes holds each cluster's member count (its extrapolation
+	// weight). Every cluster is non-empty.
+	Sizes []int
+}
+
+// kmeansIters is the fixed iteration budget. Lloyd's algorithm on a
+// few dozen points converges in a handful of rounds; a fixed cap keeps
+// the worst case bounded without sacrificing determinism (the loop
+// also stops as soon as assignments stabilize).
+const kmeansIters = 64
+
+// Cluster groups feature vectors into k clusters with a seeded,
+// fully deterministic k-means: dimensions are z-normalized, centers
+// are initialized maximin-style from a splitmix64-seeded first pick,
+// iteration order is fixed, and every tie breaks toward the lowest
+// index. The same (vectors, k, seed) input always yields the same
+// clustering, on any machine. k must be in [1, len(vecs)].
+func Cluster(vecs [][]float64, k int, seed uint64) Clustering {
+	n := len(vecs)
+	pts := normalize(vecs)
+
+	// Maximin init: a seeded first center, then repeatedly the point
+	// farthest from its nearest chosen center.
+	centers := make([][]float64, 0, k)
+	first := int(splitmix64(&seed) % uint64(n))
+	centers = append(centers, clone(pts[first]))
+	for len(centers) < k {
+		best, bestD := 0, -1.0
+		for i := 0; i < n; i++ {
+			d := nearestDist(pts[i], centers)
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		centers = append(centers, clone(pts[best]))
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+	for iter := 0; iter < kmeansIters; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			c := nearest(pts[i], centers)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; an emptied cluster steals the point
+		// farthest from its current center (deterministically).
+		for c := 0; c < k; c++ {
+			sizes[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			sizes[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] != 0 {
+				continue
+			}
+			far, farD := 0, -1.0
+			for i := 0; i < n; i++ {
+				if sizes[assign[i]] <= 1 {
+					continue // do not empty another cluster
+				}
+				if d := dist2(pts[i], centers[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			sizes[assign[far]]--
+			assign[far] = c
+			sizes[c] = 1
+		}
+		for c := range centers {
+			for d := range centers[c] {
+				centers[c][d] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := centers[assign[i]]
+			for d := range c {
+				c[d] += pts[i][d]
+			}
+		}
+		for c := range centers {
+			for d := range centers[c] {
+				centers[c][d] /= float64(sizes[c])
+			}
+		}
+	}
+
+	// Representative: the member closest to its centroid, lowest index
+	// on ties.
+	reps := make([]int, k)
+	repD := make([]float64, k)
+	for c := range reps {
+		reps[c] = -1
+	}
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		d := dist2(pts[i], centers[c])
+		if reps[c] < 0 || d < repD[c] {
+			reps[c], repD[c] = i, d
+		}
+	}
+	return Clustering{Assign: assign, Reps: reps, Sizes: sizes}
+}
+
+// normalize z-scores each dimension (population statistics) so no
+// single raw scale dominates the distance metric. Constant dimensions
+// map to zero.
+func normalize(vecs [][]float64) [][]float64 {
+	n := len(vecs)
+	dims := len(vecs[0])
+	mean := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			mean[d] += vecs[i][d]
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+	sd := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			diff := vecs[i][d] - mean[d]
+			sd[d] += diff * diff
+		}
+	}
+	for d := range sd {
+		sd[d] = math.Sqrt(sd[d] / float64(n))
+	}
+	backing := make([]float64, n*dims)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := backing[i*dims : (i+1)*dims : (i+1)*dims]
+		for d := 0; d < dims; d++ {
+			if sd[d] > 0 {
+				v[d] = (vecs[i][d] - mean[d]) / sd[d]
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func clone(v []float64) []float64 { return append([]float64(nil), v...) }
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// nearest returns the index of the closest center (lowest index wins
+// ties, because only strict improvement switches).
+func nearest(p []float64, centers [][]float64) int {
+	best, bestD := 0, dist2(p, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if d := dist2(p, centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func nearestDist(p []float64, centers [][]float64) float64 {
+	bestD := dist2(p, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if d := dist2(p, centers[c]); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+// splitmix64 advances the state and returns the next value of the
+// SplitMix64 sequence — a tiny, seedable, allocation-free PRNG whose
+// output is identical on every platform.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,217 @@
+package sample
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"catch/internal/config"
+	"catch/internal/core"
+	"catch/internal/stats"
+	"catch/internal/trace"
+)
+
+// Spec parameterizes sampled simulation of one job.
+type Spec struct {
+	// Interval is the fixed interval length in instructions; it must
+	// evenly divide the measured instruction budget.
+	Interval int64
+	// K is the cluster count — the number of representative intervals
+	// actually simulated per (config, workload) pair.
+	K int
+}
+
+// Validate checks the spec against a measured instruction budget.
+func (sp Spec) Validate(insts int64) error {
+	if sp.Interval <= 0 {
+		return fmt.Errorf("sample: interval must be positive, got %d", sp.Interval)
+	}
+	if insts <= 0 || insts%sp.Interval != 0 {
+		return fmt.Errorf("sample: interval %d must evenly divide insts %d", sp.Interval, insts)
+	}
+	n := insts / sp.Interval
+	if sp.K <= 0 {
+		return fmt.Errorf("sample: k must be positive, got %d", sp.K)
+	}
+	if int64(sp.K) > n {
+		return fmt.Errorf("sample: k %d exceeds the %d intervals of insts %d at interval %d",
+			sp.K, n, insts, sp.Interval)
+	}
+	return nil
+}
+
+// profileKey identifies one cached workload profile. The profile is a
+// pure function of the stream (name, seed, budgets) and the interval
+// length — the sweep's configs do not appear, which is what lets one
+// profile serve a whole grid.
+type profileKey struct {
+	Name     string
+	Seed     uint64
+	Insts    int64
+	Warmup   int64
+	Interval int64
+}
+
+type profileFlight struct {
+	ch   chan struct{}
+	prof *Profile
+	err  error
+}
+
+// PlannerStats counts planner activity.
+type PlannerStats struct {
+	Profiled         uint64 `json:"profiled"`
+	ProfileHits      uint64 `json:"profileHits"`
+	ProfileCoalesced uint64 `json:"profileCoalesced"`
+	Runs             uint64 `json:"runs"`
+}
+
+// Planner runs sampled simulations: profile once per (workload,
+// budgets, interval), cluster deterministically, warm once per
+// (config, workload, warmup) through the snapshot store, then simulate
+// only the representative intervals and extrapolate. Safe for
+// concurrent use by the engine's workers.
+type Planner struct {
+	traces *trace.Store
+	snaps  *Store
+
+	mu       sync.Mutex
+	profiles map[profileKey]*Profile
+	inflight map[profileKey]*profileFlight
+
+	profiled         stats.AtomicCounter
+	profileHits      stats.AtomicCounter
+	profileCoalesced stats.AtomicCounter
+	runs             stats.AtomicCounter
+}
+
+// NewPlanner builds a planner over the given trace and snapshot
+// stores. A nil snaps keeps snapshots in memory only.
+func NewPlanner(traces *trace.Store, snaps *Store) *Planner {
+	if traces == nil {
+		traces = trace.NewStore("")
+	}
+	if snaps == nil {
+		snaps = NewStore("")
+	}
+	return &Planner{
+		traces:   traces,
+		snaps:    snaps,
+		profiles: make(map[profileKey]*Profile),
+		inflight: make(map[profileKey]*profileFlight),
+	}
+}
+
+// Stats snapshots the counters.
+func (p *Planner) Stats() PlannerStats {
+	return PlannerStats{
+		Profiled:         p.profiled.Value(),
+		ProfileHits:      p.profileHits.Value(),
+		ProfileCoalesced: p.profileCoalesced.Value(),
+		Runs:             p.runs.Value(),
+	}
+}
+
+// Snapshots returns the planner's warm-snapshot store.
+func (p *Planner) Snapshots() *Store { return p.snaps }
+
+// Run produces a sampled estimate of RunST(cfg, w, insts, warmup):
+// only K representative intervals are simulated in detail; unmeasured
+// gaps between them are stepped to keep state exact. The result
+// carries a SampleMeta with the measured-instruction count and error
+// bars. Deterministic: the same inputs always yield the same Result.
+func (p *Planner) Run(cfg config.SystemConfig, w *trace.Workload, insts, warmup int64, spec Spec) (core.Result, error) {
+	if err := spec.Validate(insts); err != nil {
+		return core.Result{}, err
+	}
+	p.runs.Inc()
+	m, err := p.traces.Materialize(w, warmup+insts)
+	if err != nil {
+		return core.Result{}, err
+	}
+	prof, err := p.profile(m, insts, warmup, spec.Interval)
+	if err != nil {
+		return core.Result{}, err
+	}
+	cl := Cluster(prof.Features, spec.K, w.Seed)
+
+	warm, err := p.snaps.Warm(cfg, w, m, warmup)
+	if err != nil {
+		return core.Result{}, err
+	}
+	sys := core.NewSystem(cfg)
+	if err := sys.Restore(warm); err != nil {
+		return core.Result{}, fmt.Errorf("sample: restore warm state: %w", err)
+	}
+	rep := m.NewReplay()
+	rep.SeekTo(warmup)
+	sys.AttachST(rep)
+	warmBase := sys.CaptureCumulative()
+
+	// Simulate representatives in stream order, stepping (not
+	// skipping) the gaps so each window starts from exact state.
+	order := make([]int, len(cl.Reps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cl.Reps[order[a]] < cl.Reps[order[b]] })
+	perCluster := make([]core.Result, len(cl.Reps))
+	pos := int64(0) // instructions stepped past warmup
+	for _, c := range order {
+		off := int64(cl.Reps[c]) * spec.Interval
+		sys.StepST(off - pos)
+		base := sys.CaptureCumulative()
+		win := sys.BeginMeasure()
+		sys.StepST(spec.Interval)
+		perCluster[c] = sys.EndMeasureDelta(win, base)
+		pos = off + spec.Interval
+	}
+
+	est := extrapolate(perCluster, cl, warmBase)
+	ipcErr, l1dErr, memErr := relErrors(prof, cl)
+	est.Sample = &core.SampleMeta{
+		Interval:       spec.Interval,
+		K:              spec.K,
+		MeasuredInsts:  int64(spec.K) * spec.Interval,
+		TotalInsts:     insts,
+		RelErrIPC:      ipcErr,
+		RelErrL1DMiss:  l1dErr,
+		RelErrMemLoads: memErr,
+	}
+	return est, nil
+}
+
+// profile returns the cached profile for the key, computing it at most
+// once across all concurrent callers.
+func (p *Planner) profile(m *trace.Materialized, insts, warmup, interval int64) (*Profile, error) {
+	key := profileKey{Name: m.Name(), Seed: m.Seed(), Insts: insts, Warmup: warmup, Interval: interval}
+	p.mu.Lock()
+	if prof := p.profiles[key]; prof != nil {
+		p.mu.Unlock()
+		p.profileHits.Inc()
+		return prof, nil
+	}
+	if f := p.inflight[key]; f != nil {
+		p.mu.Unlock()
+		p.profileCoalesced.Inc()
+		<-f.ch
+		return f.prof, f.err
+	}
+	f := &profileFlight{ch: make(chan struct{})}
+	p.inflight[key] = f
+	p.mu.Unlock()
+
+	prof, err := ProfileWorkload(m, insts, warmup, interval)
+	if err == nil {
+		p.profiled.Inc()
+	}
+	p.mu.Lock()
+	delete(p.inflight, key)
+	if err == nil {
+		p.profiles[key] = prof
+	}
+	p.mu.Unlock()
+	f.prof, f.err = prof, err
+	close(f.ch)
+	return prof, err
+}

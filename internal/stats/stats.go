@@ -139,6 +139,20 @@ func (h *Histogram) Reset() {
 	}
 }
 
+// Clone returns an independent copy of the histogram (nil clones to
+// nil). Results that outlive the simulator they came from clone the
+// shared live histogram so later resets cannot mutate them.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]uint64(nil), h.Counts...),
+		Total:  h.Total,
+	}
+}
+
 // Fraction returns the fraction of samples in bucket i.
 func (h *Histogram) Fraction(i int) float64 {
 	if h.Total == 0 {

@@ -1,0 +1,287 @@
+package tact
+
+import (
+	"fmt"
+	"sort"
+
+	"catch/internal/snap"
+)
+
+// Snapshot codecs for the TACT engine: the critical-target table with
+// its per-target cross/feeder training state, the stride/data tracker,
+// the trigger cache, both PC registration indexes (whose Bloom filter
+// is rebuilt rather than serialized), the per-register load-PC file,
+// the code prefetcher's successor map (serialized in sorted key order
+// so the image is deterministic) and the counters.
+
+// SnapshotTo appends the full mutable state of the prefetcher complex.
+func (p *Prefetchers) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(p.targets)))
+	for i := range p.targets {
+		t := &p.targets[i]
+		w.U64(t.pc)
+		w.I64(t.lru)
+		w.U16(t.slot)
+		w.Bool(t.valid)
+		w.U8(t.curLen)
+		w.U8(t.safeLen)
+		w.U8(t.safeConf)
+		snapshotCross(w, &t.cross)
+		snapshotFeeder(w, &t.feeder)
+	}
+	w.I64(p.tick)
+
+	w.U64(uint64(len(p.strides.entries)))
+	w.U64(uint64(p.strides.ways))
+	w.U64(uint64(p.strides.shift))
+	for i := range p.strides.entries {
+		e := &p.strides.entries[i]
+		w.U64(e.pc)
+		w.U64(e.lastAddr)
+		w.U64(e.data)
+		w.I64(e.stride)
+		w.I64(e.lru)
+		w.U8(e.conf)
+		w.Bool(e.seen)
+		w.Bool(e.hasData)
+		w.Bool(e.valid)
+	}
+	w.I64(p.strides.tick)
+
+	for i := range p.trig.entries {
+		e := &p.trig.entries[i]
+		w.U64(e.page)
+		for _, pc := range e.pcs {
+			w.U64(pc)
+		}
+		w.U8(e.n)
+		w.I64(e.lru)
+		w.Bool(e.valid)
+	}
+	w.I64(p.trig.tick)
+
+	snapshotRegIndex(w, &p.crossIndex)
+	snapshotRegIndex(w, &p.feederIndex)
+
+	for _, pc := range p.regLoadPC {
+		w.U64(pc)
+	}
+
+	if p.Code == nil {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		p.Code.snapshotTo(w)
+	}
+
+	w.U64(p.Stats.TargetsAllocated)
+	w.U64(p.Stats.Dist1Issued)
+	w.U64(p.Stats.DeepIssued)
+	w.U64(p.Stats.CrossIssued)
+	w.U64(p.Stats.FeederIssued)
+	w.U64(p.Stats.CodeIssued)
+	w.U64(p.Stats.CrossTrained)
+	w.U64(p.Stats.FeederTrained)
+	w.U64(p.Stats.CrossGaveUp)
+}
+
+// RestoreFrom restores state serialized by SnapshotTo into a
+// prefetcher complex built from the same configuration.
+func (p *Prefetchers) RestoreFrom(r *snap.Reader) error {
+	r.Expect(uint64(len(p.targets)), "target table size")
+	for i := range p.targets {
+		t := &p.targets[i]
+		t.pc = r.U64()
+		t.lru = r.I64()
+		t.slot = r.U16()
+		t.valid = r.Bool()
+		t.curLen = r.U8()
+		t.safeLen = r.U8()
+		t.safeConf = r.U8()
+		restoreCross(r, &t.cross)
+		restoreFeeder(r, &t.feeder)
+	}
+	p.tick = r.I64()
+
+	r.Expect(uint64(len(p.strides.entries)), "stride table size")
+	r.Expect(uint64(p.strides.ways), "stride table ways")
+	r.Expect(uint64(p.strides.shift), "stride table shift")
+	for i := range p.strides.entries {
+		e := &p.strides.entries[i]
+		e.pc = r.U64()
+		e.lastAddr = r.U64()
+		e.data = r.U64()
+		e.stride = r.I64()
+		e.lru = r.I64()
+		e.conf = r.U8()
+		e.seen = r.Bool()
+		e.hasData = r.Bool()
+		e.valid = r.Bool()
+	}
+	p.strides.tick = r.I64()
+
+	for i := range p.trig.entries {
+		e := &p.trig.entries[i]
+		e.page = r.U64()
+		for j := range e.pcs {
+			e.pcs[j] = r.U64()
+		}
+		e.n = r.U8()
+		e.lru = r.I64()
+		e.valid = r.Bool()
+	}
+	p.trig.tick = r.I64()
+
+	restoreRegIndex(r, &p.crossIndex)
+	restoreRegIndex(r, &p.feederIndex)
+
+	for i := range p.regLoadPC {
+		p.regLoadPC[i] = r.U64()
+	}
+
+	hasCode := r.Bool()
+	if r.Err() == nil && hasCode != (p.Code != nil) {
+		r.Fail(fmt.Errorf("snap: code prefetcher mismatch: snapshot has %v, live state has %v", hasCode, p.Code != nil))
+	}
+	if hasCode && p.Code != nil {
+		p.Code.restoreFrom(r)
+	}
+
+	p.Stats.TargetsAllocated = r.U64()
+	p.Stats.Dist1Issued = r.U64()
+	p.Stats.DeepIssued = r.U64()
+	p.Stats.CrossIssued = r.U64()
+	p.Stats.FeederIssued = r.U64()
+	p.Stats.CodeIssued = r.U64()
+	p.Stats.CrossTrained = r.U64()
+	p.Stats.FeederTrained = r.U64()
+	p.Stats.CrossGaveUp = r.U64()
+	return r.Err()
+}
+
+func snapshotCross(w *snap.Writer, c *crossState) {
+	w.U64(c.trigPC)
+	w.U8(c.candIdx)
+	w.U8(c.trials)
+	w.U8(c.wraps)
+	w.I64(c.delta)
+	w.U8(c.conf)
+	w.Bool(c.done)
+	w.Bool(c.gaveUp)
+}
+
+func restoreCross(r *snap.Reader, c *crossState) {
+	c.trigPC = r.U64()
+	c.candIdx = r.U8()
+	c.trials = r.U8()
+	c.wraps = r.U8()
+	c.delta = r.I64()
+	c.conf = r.U8()
+	c.done = r.Bool()
+	c.gaveUp = r.Bool()
+}
+
+func snapshotFeeder(w *snap.Writer, f *feederState) {
+	w.U64(f.pc)
+	w.U8(f.conf)
+	for _, b := range f.base {
+		w.U64(b)
+	}
+	for _, c := range f.baseConf {
+		w.U8(c)
+	}
+	for _, h := range f.haveBase {
+		w.Bool(h)
+	}
+	w.U8(uint8(f.scaleIdx))
+	w.Bool(f.done)
+}
+
+func restoreFeeder(r *snap.Reader, f *feederState) {
+	f.pc = r.U64()
+	f.conf = r.U8()
+	for i := range f.base {
+		f.base[i] = r.U64()
+	}
+	for i := range f.baseConf {
+		f.baseConf[i] = r.U8()
+	}
+	for i := range f.haveBase {
+		f.haveBase[i] = r.Bool()
+	}
+	f.scaleIdx = int8(r.U8())
+	f.done = r.Bool()
+}
+
+func snapshotRegIndex(w *snap.Writer, ix *regIndex) {
+	w.U64(uint64(cap(ix.pcs)))
+	w.U64(uint64(ix.n))
+	for i := 0; i < ix.n; i++ {
+		w.U64(ix.pcs[i])
+		w.U16(ix.slots[i])
+	}
+}
+
+func restoreRegIndex(r *snap.Reader, ix *regIndex) {
+	r.Expect(uint64(cap(ix.pcs)), "registration index capacity")
+	n := int(r.U64())
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > cap(ix.pcs) {
+		r.Fail(fmt.Errorf("snap: registration index count %d exceeds capacity %d", n, cap(ix.pcs)))
+		return
+	}
+	ix.pcs = ix.pcs[:n]
+	ix.slots = ix.slots[:n]
+	ix.n = n
+	for i := 0; i < n; i++ {
+		ix.pcs[i] = r.U64()
+		ix.slots[i] = r.U16()
+	}
+	ix.rebuildFilter()
+}
+
+func (c *CodePrefetcher) snapshotTo(w *snap.Writer) {
+	w.U64(uint64(c.Depth))
+	keys := make([]uint64, 0, len(c.next))
+	for k := range c.next {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		succ := c.next[k]
+		w.U64(k)
+		w.U64(succ[0])
+		w.U64(succ[1])
+	}
+	w.U64(c.lastLine)
+	w.Bool(c.haveLast)
+	w.U64(c.Learned)
+	w.U64(c.Issued)
+}
+
+func (c *CodePrefetcher) restoreFrom(r *snap.Reader) {
+	r.Expect(uint64(c.Depth), "code prefetcher depth")
+	n := int(r.U64())
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > 1<<28 {
+		r.Fail(fmt.Errorf("snap: implausible code successor count %d", n))
+		return
+	}
+	c.next = make(map[uint64][2]uint64, n)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		var succ [2]uint64
+		succ[0] = r.U64()
+		succ[1] = r.U64()
+		c.next[k] = succ
+	}
+	c.lastLine = r.U64()
+	c.haveLast = r.Bool()
+	c.Learned = r.U64()
+	c.Issued = r.U64()
+}

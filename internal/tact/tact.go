@@ -69,6 +69,23 @@ type Stats struct {
 	CrossGaveUp      uint64
 }
 
+// Delta returns s - base, field by field. TACT counters are cumulative
+// over a whole run; the sampling subsystem rebases them to express one
+// measurement window.
+func (s Stats) Delta(base Stats) Stats {
+	return Stats{
+		TargetsAllocated: s.TargetsAllocated - base.TargetsAllocated,
+		Dist1Issued:      s.Dist1Issued - base.Dist1Issued,
+		DeepIssued:       s.DeepIssued - base.DeepIssued,
+		CrossIssued:      s.CrossIssued - base.CrossIssued,
+		FeederIssued:     s.FeederIssued - base.FeederIssued,
+		CodeIssued:       s.CodeIssued - base.CodeIssued,
+		CrossTrained:     s.CrossTrained - base.CrossTrained,
+		FeederTrained:    s.FeederTrained - base.FeederTrained,
+		CrossGaveUp:      s.CrossGaveUp - base.CrossGaveUp,
+	}
+}
+
 // target is the per-critical-PC TACT state (one entry of the Critical
 // Target PC Table, Fig 9).
 type target struct {

@@ -172,6 +172,9 @@ func (m *Materialized) Name() string { return m.w.WName }
 // Category returns the recorded workload's category.
 func (m *Materialized) Category() string { return m.w.WCategory }
 
+// Seed returns the recorded workload's seed.
+func (m *Materialized) Seed() uint64 { return m.w.Seed }
+
 // Len returns the recorded stream length.
 func (m *Materialized) Len() int64 { return int64(len(m.insts)) }
 
@@ -201,6 +204,24 @@ func (r *Replay) Category() string { return r.m.w.WCategory }
 
 // Reset rewinds the cursor to the start of the recording.
 func (r *Replay) Reset() { r.pos = 0 }
+
+// Pos returns the cursor's absolute stream offset.
+func (r *Replay) Pos() int64 { return int64(r.pos) }
+
+// SeekTo positions the cursor at absolute stream offset pos, clamped to
+// the recording's bounds. Replays are random-access (the stream is one
+// shared slice), so a restored snapshot resumes mid-run for free
+// instead of re-stepping the replay to its offset.
+func (r *Replay) SeekTo(pos int64) {
+	switch {
+	case pos < 0:
+		r.pos = 0
+	case pos > int64(len(r.m.insts)):
+		r.pos = len(r.m.insts)
+	default:
+		r.pos = int(pos)
+	}
+}
 
 // Next copies out the next recorded instruction.
 //
