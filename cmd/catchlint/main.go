@@ -7,6 +7,8 @@
 //	catchlint            # analyze the module containing the cwd
 //	catchlint -C path    # analyze the module rooted at (or above) path
 //	catchlint -list      # list analyzers and the invariant each guards
+//	catchlint -json      # emit findings as a JSON array
+//	catchlint -github    # emit GitHub Actions ::error annotations
 //
 // Exit status: 0 when the tree is clean, 1 when findings exist, 2 on
 // usage or load errors. Findings are suppressed per line and per
@@ -15,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +29,10 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("C", ".", "directory whose enclosing module to analyze")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		dir    = flag.String("C", ".", "directory whose enclosing module to analyze")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		asJSON = flag.Bool("json", false, "emit findings as a JSON array")
+		gitHub = flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	)
 	flag.Parse()
 
@@ -48,17 +53,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "catchlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		rel := d
-		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+	for i := range diags {
+		if r, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			diags[i].Pos.Filename = filepath.ToSlash(r)
 		}
-		fmt.Println(rel)
+	}
+
+	switch {
+	case *asJSON:
+		findings := make([]lint.Finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, d.Finding())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "catchlint: encode:", err)
+			os.Exit(2)
+		}
+	case *gitHub:
+		for _, d := range diags {
+			f := d.Finding()
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=catchlint %s::%s\n",
+				ghProperty(f.File), f.Line, f.Col, ghProperty(f.Analyzer), ghData(f.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "catchlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// ghData escapes a workflow-command message per the GitHub Actions
+// protocol: %, CR and LF would otherwise terminate or corrupt the
+// command.
+func ghData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghProperty escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func ghProperty(s string) string {
+	s = ghData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 // findModuleRoot walks from dir upward to the nearest go.mod.

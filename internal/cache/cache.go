@@ -53,7 +53,7 @@ type Stats struct {
 
 // Cache is a single set-associative write-back cache.
 type Cache struct {
-	Cfg    Config
+	Cfg    Config //catch:nosnap construction-time geometry; RestoreFrom asserts shape via Expect
 	Sets   int
 	lines  []Line
 	tick   int64
@@ -62,7 +62,7 @@ type Cache struct {
 	// the per-access set index is then a mask instead of a modulo. A
 	// zero mask with Sets > 1 selects the modulo fallback (e.g. the
 	// 6.5MB LLC of the iso-area studies).
-	setMask uint64
+	setMask uint64 //catch:nosnap derived from Sets at construction
 	Stats   Stats
 }
 

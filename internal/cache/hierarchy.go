@@ -60,14 +60,14 @@ type HierStats struct {
 // optional private L2, a shared LLC, the ring and main memory.
 type Hierarchy struct {
 	L1I, L1D *Cache
-	L2       *Cache // nil in two-level (noL2) configurations
-	LLC      *Cache // shared across cores
-	Mem      *memory.DRAM
-	Ring     *interconnect.Ring
+	L2       *Cache             // nil in two-level (noL2) configurations
+	LLC      *Cache             //catch:nosnap shared resource; the System codec snapshots it once
+	Mem      *memory.DRAM       //catch:nosnap shared resource; the System codec snapshots it once
+	Ring     *interconnect.Ring //catch:nosnap shared resource; the System codec snapshots it once
 
-	Inclusive bool // LLC inclusion policy (false = exclusive LLC)
-	CoreID    int
-	LLCStop   int // ring stop of the LLC slice used for accounting
+	Inclusive bool //catch:nosnap construction-time configuration, not warm state
+	CoreID    int  //catch:nosnap identity wiring fixed at construction
+	LLCStop   int  //catch:nosnap ring topology fixed at construction
 
 	// BackInval is invoked when an inclusive LLC evicts a line; the
 	// system wires it to invalidate the line in every private cache.
@@ -76,7 +76,7 @@ type Hierarchy struct {
 	// Trace, when attached and enabled, receives cache events (sampled
 	// demand accesses, every TACT prefetch/timeliness record). Nil or
 	// disabled costs one branch per access.
-	Trace *telemetry.Tracer
+	Trace *telemetry.Tracer //catch:nosnap observability wiring, not simulated state
 
 	// mshrs bounds the number of demand L1 misses in flight (fill
 	// buffers). Prefetches bypass it: TACT's point is precisely that

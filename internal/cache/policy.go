@@ -83,9 +83,9 @@ func (*BRRIP) Victim(set []Line, _ int) int { return SRRIP{}.Victim(set, 0) }
 // to each policy; misses in leader sets steer a saturating selector
 // that the follower sets obey.
 type DRRIP struct {
-	sets    int
+	sets    int //catch:nosnap construction-time geometry
 	psel    int // >=0: SRRIP, <0: BRRIP
-	pselMax int
+	pselMax int //catch:nosnap saturation bound fixed at construction
 	brrip   BRRIP
 }
 

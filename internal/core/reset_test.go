@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"catch/internal/config"
+	"catch/internal/cpu"
+	"catch/internal/prefetch"
+	"catch/internal/workloads"
+)
+
+// TestBeginMeasureZeroesAllCounters pins the warmup-boundary reset the
+// reset-coverage analyzer proves complete: every per-core counter —
+// including the prefetcher and gshare stats that historically leaked
+// warmup events into the measurement window — must be zero immediately
+// after BeginMeasure, and must have been nonzero before it (a reset of
+// an idle counter proves nothing).
+func TestBeginMeasureZeroesAllCounters(t *testing.T) {
+	cfg := config.BaselineExclusive()
+	cfg.GsharePredictorBits = 12
+	w, ok := workloads.ByName("libquantum")
+	if !ok {
+		t.Fatal("unknown workload libquantum")
+	}
+	sys := NewSystem(cfg)
+	sys.WarmupST(w.NewGen(), testWarmup)
+	c := sys.Sims[0]
+
+	if c.CPU.CoreStats == (cpu.CoreStats{}) {
+		t.Fatal("warmup left core counters idle; test exercises nothing")
+	}
+	g, ok := c.CPU.BP.(*cpu.Gshare)
+	if !ok {
+		t.Fatalf("gshare predictor not installed: %T", c.CPU.BP)
+	}
+	if g.BPStats == (cpu.BPStats{}) {
+		t.Fatal("warmup left gshare counters idle; test exercises nothing")
+	}
+	if c.stride == nil || c.stride.Stats == (prefetch.StrideStats{}) {
+		t.Fatal("warmup left stride prefetcher idle; test exercises nothing")
+	}
+	if c.stream == nil || c.stream.Stats == (prefetch.StreamStats{}) {
+		t.Fatal("warmup left stream prefetcher idle; test exercises nothing")
+	}
+
+	sys.BeginMeasure()
+
+	if c.CPU.CoreStats != (cpu.CoreStats{}) {
+		t.Errorf("core counters survived the boundary reset: %+v", c.CPU.CoreStats)
+	}
+	if g.BPStats != (cpu.BPStats{}) {
+		t.Errorf("gshare counters survived the boundary reset: %+v", g.BPStats)
+	}
+	if c.stride.Stats != (prefetch.StrideStats{}) {
+		t.Errorf("stride prefetcher counters survived the boundary reset: %+v", c.stride.Stats)
+	}
+	if c.stream.Stats != (prefetch.StreamStats{}) {
+		t.Errorf("stream prefetcher counters survived the boundary reset: %+v", c.stream.Stats)
+	}
+	if c.convDone != 0 {
+		t.Errorf("convDone survived the boundary reset: %d", c.convDone)
+	}
+}
+
+// TestBoundaryResetKeepsLearnedState guards the other half of the
+// warmup-boundary contract: the reset zeroes counters, not learned
+// state. A measurement window after a warmed-up reset must predict
+// strides again immediately — if the reset wiped the stride table along
+// with its stats, the first post-reset predictions would vanish.
+func TestBoundaryResetKeepsLearnedState(t *testing.T) {
+	cfg := config.BaselineExclusive()
+	w, ok := workloads.ByName("libquantum")
+	if !ok {
+		t.Fatal("unknown workload libquantum")
+	}
+	sys := NewSystem(cfg)
+	sys.WarmupST(w.NewGen(), testWarmup)
+	sys.BeginMeasure()
+	sys.StepST(2_000)
+	c := sys.Sims[0]
+	if c.stride.Stats.Predictions == 0 {
+		t.Fatal("stride table lost its learned state across the boundary reset")
+	}
+}

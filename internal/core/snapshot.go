@@ -39,6 +39,8 @@ const (
 
 // ConfigFingerprint hashes a system configuration's JSON form; it keys
 // snapshots to the exact microarchitecture they froze.
+//
+//catch:keyfn
 func ConfigFingerprint(cfg *config.SystemConfig) (uint64, error) {
 	raw, err := json.Marshal(cfg)
 	if err != nil {

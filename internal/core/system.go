@@ -16,7 +16,7 @@ import (
 // System is one simulated chip: N cores with private caches sharing an
 // LLC, a ring and main memory.
 type System struct {
-	Cfg  config.SystemConfig
+	Cfg  config.SystemConfig //catch:nosnap the snapshot's identity, not its state; guarded by the header fingerprint
 	LLC  *cache.Cache
 	Mem  *memory.DRAM
 	Ring *interconnect.Ring
@@ -26,8 +26,8 @@ type System struct {
 // CoreSim is one core plus its private hierarchy view and CATCH
 // hardware.
 type CoreSim struct {
-	sys *System
-	ID  int
+	sys *System //catch:nosnap backpointer wiring
+	ID  int     //catch:nosnap identity fixed at construction
 
 	CPU  *cpu.Core
 	Hier *cache.Hierarchy
@@ -37,16 +37,16 @@ type CoreSim struct {
 	stride *prefetch.StridePrefetcher
 	stream *prefetch.StreamPrefetcher
 
-	gen       trace.Generator
-	values    trace.ValueSource
-	streamBuf []uint64
+	gen       trace.Generator   //catch:nosnap the sampling driver repositions the trace source deterministically
+	values    trace.ValueSource //catch:nosnap derived deterministically from the trace source
+	streamBuf []uint64          //catch:nosnap per-step scratch, dead between instructions
 	lastLine  uint64
 
 	// batchIn is the lock-step kernel's scratch record for predictor
 	// cores: Step's pointer argument escapes (it flows into the Ports
 	// closures), so a stack local in stepChunk would heap-allocate once
 	// per chunk. A field on the already-heap CoreSim does not.
-	batchIn trace.Inst
+	batchIn trace.Inst //catch:nosnap per-step scratch, dead between instructions
 
 	convDone uint64
 	retired  int64
@@ -289,8 +289,16 @@ func (c *CoreSim) resetStats() {
 		c.Hier.L2.ResetStats()
 	}
 	c.convDone = 0
-	c.CPU.Insts, c.CPU.Loads, c.CPU.Branches = 0, 0, 0
-	c.CPU.Mispredicts, c.CPU.CodeStalls = 0, 0
+	c.CPU.CoreStats = cpu.CoreStats{}
+	if g, ok := c.CPU.BP.(*cpu.Gshare); ok {
+		g.BPStats = cpu.BPStats{}
+	}
+	if c.stride != nil {
+		c.stride.Stats = prefetch.StrideStats{}
+	}
+	if c.stream != nil {
+		c.stream.Stats = prefetch.StreamStats{}
+	}
 }
 
 // result snapshots the core's measurements. cycles0 is the cycle count

@@ -16,9 +16,15 @@ type BranchPredictor interface {
 // predictor.
 type Gshare struct {
 	hist  uint64
-	mask  uint64
+	mask  uint64  //catch:nosnap derived from len(table) at construction
 	table []uint8 // 2-bit saturating counters, initialized weakly taken
 
+	BPStats
+}
+
+// BPStats counts predictor outcomes; embedded so the warmup-boundary
+// reset can overwrite it wholesale.
+type BPStats struct {
 	Predicts    uint64
 	Mispredicts uint64
 }

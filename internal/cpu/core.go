@@ -55,8 +55,8 @@ type storeSlot struct {
 
 // Core is the timing model state.
 type Core struct {
-	P     Params
-	Ports Ports
+	P     Params //catch:nosnap construction-time configuration, not warm state
+	Ports Ports  //catch:nosnap callback wiring installed at construction
 
 	// BP, when non-nil, replaces the trace's misprediction flags with
 	// an actual branch predictor's outcomes.
@@ -65,8 +65,8 @@ type Core struct {
 	// Trace, when attached and enabled, receives sampled per-
 	// instruction pipeline events (D→C spans, mispredicts, code
 	// stalls). Nil or disabled costs one branch per instruction.
-	Trace    *telemetry.Tracer
-	TraceTID uint8
+	Trace    *telemetry.Tracer //catch:nosnap observability wiring, not simulated state
+	TraceTID uint8             //catch:nosnap observability wiring, not simulated state
 
 	seq        int64
 	dRing      []int64 // D of the last Width instructions
@@ -89,9 +89,15 @@ type Core struct {
 	// Reusing it keeps Step allocation-free: a stack-local struct would
 	// escape through the hook and cost one heap allocation per
 	// simulated instruction.
-	retired Retired
+	retired Retired //catch:nosnap per-instruction scratch, dead between instructions
 
-	// Stats
+	CoreStats
+}
+
+// CoreStats counts retired-stream events. It is an embedded struct so
+// the warmup-boundary reset can overwrite it wholesale and
+// reset-coverage can prove no counter is forgotten.
+type CoreStats struct {
 	Insts       int64
 	Loads       int64
 	Branches    int64
@@ -123,7 +129,7 @@ func (c *Core) Reset() {
 	for i := range c.stores {
 		c.stores[i] = storeSlot{seq: -1}
 	}
-	c.Insts, c.Loads, c.Branches, c.Mispredicts, c.CodeStalls = 0, 0, 0, 0, 0
+	c.CoreStats = CoreStats{}
 }
 
 // Cycles returns the cycle of the last commit (total elapsed cycles).

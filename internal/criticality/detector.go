@@ -127,13 +127,12 @@ func (s Stats) Delta(base Stats) Stats {
 
 // Detector is the hardware criticality detector.
 type Detector struct {
-	cfg   Config
+	cfg   Config //catch:nosnap construction-time configuration, not warm state
 	Table *Table
 
 	buf          []gnode
-	n            int // buffered instruction count
 	baseSeq      int64
-	walkAt       int // buffer fill level that triggers a walk (2×ROB)
+	walkAt       int //catch:nosnap buffer fill level that triggers a walk (2×ROB), fixed at construction
 	sinceRelearn int64
 
 	// Trace, when attached and enabled, receives one EvPathNode per
@@ -141,8 +140,8 @@ type Detector struct {
 	// material of `catchsim -dump-critpath`. Walks run every 2×ROB
 	// instructions, so even an enabled tracer costs nothing on the
 	// per-retire path.
-	Trace    *telemetry.Tracer
-	TraceTID uint8
+	Trace    *telemetry.Tracer //catch:nosnap observability wiring, not simulated state
+	TraceTID uint8             //catch:nosnap observability wiring, not simulated state
 
 	Stats Stats
 }

@@ -45,7 +45,7 @@ const (
 type Heuristic struct {
 	Kind   HeuristicKind
 	Table  *Table
-	record LevelMask
+	record LevelMask //catch:nosnap construction-time configuration, not warm state
 
 	// feeds-branch state: the most recent load PC writing each
 	// register lineage (as TACT's feeder tracker does).

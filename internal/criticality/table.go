@@ -35,9 +35,9 @@ type tableEntry struct {
 // Table is the critical-load-PC table. A PC is reported critical only
 // when present with a saturated confidence counter.
 type Table struct {
-	cfg     TableConfig
+	cfg     TableConfig //catch:nosnap construction-time configuration, not warm state
 	sets    int
-	setMask uint64 // sets-1 when sets is a power of two, else 0
+	setMask uint64 //catch:nosnap sets-1 when sets is a power of two, derived at construction
 	entries []tableEntry
 	tick    int64
 

@@ -30,8 +30,8 @@ type Stats struct {
 // Ring is a bidirectional ring with Stops stations (cores + LLC
 // slices). Latency of a traversal is HopLat × hop distance.
 type Ring struct {
-	Stops  int
-	HopLat int64
+	Stops  int   //catch:nosnap topology fixed at construction
+	HopLat int64 //catch:nosnap topology fixed at construction
 	Stats  Stats
 }
 

@@ -2,14 +2,20 @@ package lint
 
 // Analyzers returns a freshly configured instance of every analyzer,
 // scoped for this module. Analyzers carry per-run state (the
-// atomic-consistency analyzer accumulates module-wide facts), so each
-// Run must use a fresh set.
+// atomic-consistency analyzer accumulates module-wide facts, the
+// state-coverage family shares one field-reachability engine), so
+// each Run must use a fresh set.
 func Analyzers() []*Analyzer {
+	eng := newStateEngine()
 	return []*Analyzer{
 		NewDeterminism(DefaultDeterminismConfig()),
 		NewHotpathNoalloc(),
 		NewAtomicConsistency(),
 		NewTelemetryDiscipline(),
 		NewErrorHygiene(),
+		NewAnnotationHygiene(),
+		NewSnapshotCoverage(eng),
+		NewResetCoverage(eng, DefaultResetCoverageConfig()),
+		NewKeyCoverage(eng),
 	}
 }

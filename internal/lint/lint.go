@@ -2,15 +2,26 @@
 // encodes the repository's load-bearing invariants: deterministic
 // (wall-clock- and map-order-independent) simulation results, an
 // allocation-free steady-state kernel, consistent sync/atomic usage,
-// telemetry handle/emission discipline, and no silently dropped
-// errors. It is built on go/ast, go/parser, go/types and go/build
+// telemetry handle/emission discipline, no silently dropped errors,
+// and the state-coverage family — snapshot codecs serialize and
+// restore every field, measurement stats reset at the warmup
+// boundary, and content keys see every behavior-affecting config
+// field. It is built on go/ast, go/parser, go/types and go/build
 // only — no module dependencies — and is driven by cmd/catchlint.
 //
 // An analyzer inspects one typechecked package at a time through a
 // Pass and reports Diagnostics; analyzers that need whole-module state
-// (atomic-consistency) accumulate it across passes and report from
-// their End hook. Findings can be suppressed, one line and one
-// analyzer at a time, with
+// (atomic-consistency, the state-coverage family via its shared
+// stateEngine) accumulate it across passes and report from their End
+// hook. Packages load and analyze in parallel; output order is
+// deterministic regardless of scheduling.
+//
+// The state-coverage analyzers read facts the code cannot express
+// through //catch:<marker> <reason> annotations (nosnap, noreset,
+// keyneutral, stats, keyfn, hotpath — see anno.go); every exemption
+// is re-verified each run and reported stale when the gap it excuses
+// has closed. Findings can be suppressed, one line and one analyzer
+// at a time, with
 //
 //	//catchlint:ignore <analyzer> <reason>
 //
@@ -24,7 +35,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding, attributed to the analyzer that produced
@@ -38,6 +51,27 @@ type Diagnostic struct {
 // String renders the diagnostic vet-style: file:line:col: message [analyzer].
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Finding is the machine-readable form of a Diagnostic, stable for
+// -json output and CI annotation.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Finding converts the diagnostic to its machine-readable form.
+func (d Diagnostic) Finding() Finding {
+	return Finding{
+		Analyzer: d.Analyzer,
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+	}
 }
 
 // Analyzer is one named check. Run is invoked once per package; End,
@@ -92,26 +126,53 @@ func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 // RunPackages applies the analyzers to already-loaded packages. It is
 // the test seam: fixtures load a single package and run a focused
 // analyzer set over it.
+//
+// Analysis fans out across packages on GOMAXPROCS workers. Analyzers
+// carry per-run state (module-wide fact tables), so each analyzer is
+// serialized behind its own lock: analyzer A can visit package 1 while
+// analyzer B visits package 2, but A never sees two packages at once.
+// End hooks run sequentially after every package pass has finished,
+// and the final position sort makes the output order independent of
+// goroutine scheduling.
 func RunPackages(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var mu sync.Mutex
 	var diags []Diagnostic
-	report := func(d Diagnostic) { diags = append(diags, d) }
-	for _, a := range analyzers {
-		if a.Run == nil {
-			continue
-		}
-		for _, pkg := range pkgs {
-			a.Run(&Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Files:    pkg.Files,
-				Path:     pkg.Path,
-				Dir:      pkg.Dir,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				report:   report,
-			})
-		}
+	report := func(d Diagnostic) {
+		mu.Lock()
+		diags = append(diags, d)
+		mu.Unlock()
 	}
+
+	locks := make([]sync.Mutex, len(analyzers))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for i, a := range analyzers {
+				if a.Run == nil {
+					continue
+				}
+				locks[i].Lock()
+				a.Run(&Pass{
+					Analyzer: a,
+					Fset:     fset,
+					Files:    pkg.Files,
+					Path:     pkg.Path,
+					Dir:      pkg.Dir,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					report:   report,
+				})
+				locks[i].Unlock()
+			}
+		}(pkg)
+	}
+	wg.Wait()
+
 	for _, a := range analyzers {
 		if a.End != nil {
 			a.End(report)
@@ -135,7 +196,10 @@ func RunPackages(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ResetCoverageConfig scopes reset-coverage to the simulator packages
+// whose stats feed measured results. Service-layer packages (runner,
+// cluster) keep cumulative counters for their whole process lifetime
+// and are deliberately out of scope.
+type ResetCoverageConfig struct {
+	// Packages is the list of import paths whose Stats-named structs
+	// are checked. Types anywhere can opt in with //catch:stats.
+	Packages []string
+}
+
+// DefaultResetCoverageConfig covers every package that contributes to
+// a measured Result.
+func DefaultResetCoverageConfig() ResetCoverageConfig {
+	return ResetCoverageConfig{Packages: []string{
+		"catch/internal/cache",
+		"catch/internal/core",
+		"catch/internal/cpu",
+		"catch/internal/tact",
+		"catch/internal/criticality",
+		"catch/internal/prefetch",
+		"catch/internal/memory",
+		"catch/internal/interconnect",
+		"catch/internal/stats",
+	}}
+}
+
+// NewResetCoverage builds the analyzer that proves every measurement
+// counter is cleared at a warmup/measurement boundary. A struct is
+// reset-checked when its name is "Stats" or ends in "Stats" and it
+// lives in a configured package, or when its declaration carries
+// //catch:stats. A field counts as reset when
+//
+//   - some function assigns a whole composite literal over a value of
+//     the struct type with plain `=` (c.Stats = Stats{} — the
+//     canonical boundary reset; `:=` and &T{} construct, they don't
+//     reset), or
+//   - the field is selected inside a function whose name contains
+//     "reset" (Histogram.Reset walks h.Counts element-wise).
+//
+// Types with a Delta method are exempt: they are cumulative by design
+// and the measurement window rebases against a captured baseline
+// instead of zeroing (tact.Stats, criticality.Stats). Everything else
+// must be covered or annotated //catch:noreset <reason>; an
+// annotation on a field that is reset anyway is reported stale.
+func NewResetCoverage(eng *stateEngine, cfg ResetCoverageConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "reset-coverage",
+		Doc:  "every field of measurement-stats structs is zeroed at a warmup boundary or carries //catch:noreset <reason>",
+	}
+	a.Run = func(pass *Pass) { eng.collect(pass) }
+	a.End = func(report func(Diagnostic)) {
+		c := &resetChecker{eng: eng, cfg: cfg, report: report}
+		c.check()
+	}
+	return a
+}
+
+type resetChecker struct {
+	eng    *stateEngine
+	cfg    ResetCoverageConfig
+	report func(Diagnostic)
+}
+
+func (c *resetChecker) reportf(pos token.Pos, format string, args ...any) {
+	c.report(Diagnostic{
+		Analyzer: "reset-coverage",
+		Pos:      c.eng.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *resetChecker) inScope(path string) bool {
+	for _, p := range c.cfg.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// isStatsStruct reports whether sf is subject to reset-coverage.
+func (c *resetChecker) isStatsStruct(sf *structFacts) bool {
+	if sf.typeAnno["stats"] != nil {
+		return true
+	}
+	name := sf.obj.Name()
+	if sf.obj.Pkg() == nil || !c.inScope(sf.obj.Pkg().Path()) {
+		return false
+	}
+	return name == "Stats" || strings.HasSuffix(name, "Stats")
+}
+
+func (c *resetChecker) check() {
+	// wholeReset: struct types overwritten wholesale by a composite
+	// assignment somewhere in the module. fieldReset: fields touched
+	// inside a *reset*-named function.
+	wholeReset := make(map[*types.TypeName]bool)
+	fieldReset := make(map[*types.Var]bool)
+	for _, ff := range c.eng.sortedFuncs() {
+		for tn := range ff.compositeAssign {
+			wholeReset[tn] = true
+		}
+		if containsFold(ff.obj.Name(), "reset") {
+			for fv := range ff.sel {
+				fieldReset[fv] = true
+			}
+		}
+	}
+
+	for _, sf := range c.eng.sortedStructs() {
+		if !c.isStatsStruct(sf) {
+			continue
+		}
+		if hasMethod(sf.obj, "Delta") {
+			continue // cumulative-rebase pattern; never zeroed by design
+		}
+		typeNoreset := sf.typeAnno["noreset"]
+		whole := wholeReset[sf.obj]
+		for _, fv := range sf.fields {
+			covered := whole || fieldReset[fv]
+			an := sf.anno(fv, "noreset")
+			if an == nil {
+				an = typeNoreset
+			}
+			if an != nil {
+				if covered && an != typeNoreset {
+					c.reportf(an.pos, "stale //catch:noreset on %s: the field is reset at a measurement boundary",
+						fieldName(sf.obj, fv))
+				}
+				continue
+			}
+			if c.isEmbeddedChecked(fv) {
+				continue // the embedded stats type is checked on its own
+			}
+			if !covered {
+				c.reportf(fv.Pos(), "stats field %s is never reset at a measurement boundary (zero it in a reset path or annotate //catch:noreset <reason>)",
+					fieldName(sf.obj, fv))
+			}
+		}
+	}
+}
+
+// isEmbeddedChecked reports whether fv embeds another reset-checked
+// stats struct — its fields are that struct's own obligation.
+func (c *resetChecker) isEmbeddedChecked(fv *types.Var) bool {
+	if !fv.Embedded() {
+		return false
+	}
+	tn := namedStructOf(fv.Type())
+	if tn == nil {
+		return false
+	}
+	sf := c.eng.structs[tn]
+	return sf != nil && c.isStatsStruct(sf)
+}

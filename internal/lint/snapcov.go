@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// snapSide distinguishes the two halves of a snapshot codec. Every
+// rule runs once per side: a field written but never restored is as
+// much a divergence bug as one never written.
+type snapSide int
+
+const (
+	snapWrite snapSide = iota
+	snapRead
+	snapSides
+)
+
+// NewSnapshotCoverage builds the analyzer that proves snapshot codecs
+// are complete. Codec roots are discovered structurally, not by a
+// hard-coded list:
+//
+//   - any method taking a *snap.Writer parameter marks its receiver
+//     type as a write-side root (SnapshotTo, snapshotTo);
+//   - any plain function taking a *snap.Writer marks each
+//     pointer-to-struct parameter as a write-side root
+//     (snapshotCross(w, &t.cross) and friends);
+//   - a method Snapshot() ([]byte, error) is a write-side root for its
+//     receiver; Restore([]byte) error and *snap.Reader mirror the
+//     read side.
+//
+// From each side's root functions the analyzer takes the transitive
+// static call closure (minus the snap codec package itself) and treats
+// every struct-field selection and composite-literal field in that
+// closure as covered — so state rebuilt through a constructor during
+// restore (stats.NewHistogram, regIndex.rebuildFilter) counts. It then
+// requires every field reachable from a root type to be covered on
+// both sides, or carry //catch:nosnap <reason>. A second rule catches
+// partially-serialized types hidden behind interfaces (cache
+// replacement policies): a struct that is not reachable from any root
+// type but has at least one field covered must have all of them
+// covered. Finally, //catch:nosnap annotations whose field is in fact
+// fully covered — or whose type belongs to no codec at all — are
+// reported as stale.
+func NewSnapshotCoverage(eng *stateEngine) *Analyzer {
+	a := &Analyzer{
+		Name: "snapshot-coverage",
+		Doc:  "every field of snapshot-codec state types is written in SnapshotTo and read in RestoreFrom, or carries //catch:nosnap <reason>",
+	}
+	a.Run = func(pass *Pass) { eng.collect(pass) }
+	a.End = func(report func(Diagnostic)) {
+		c := &snapChecker{
+			eng:      eng,
+			report:   report,
+			consumed: make(map[*anno]bool),
+		}
+		c.check()
+	}
+	return a
+}
+
+type snapChecker struct {
+	eng      *stateEngine
+	report   func(Diagnostic)
+	consumed map[*anno]bool
+
+	roots   [snapSides]map[*types.TypeName]bool
+	covered [snapSides]map[*types.Var]bool
+}
+
+func (c *snapChecker) reportf(pos token.Pos, format string, args ...any) {
+	c.report(Diagnostic{
+		Analyzer: "snapshot-coverage",
+		Pos:      c.eng.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *snapChecker) check() {
+	var rootFuncs [snapSides][]*types.Func
+	for s := snapWrite; s < snapSides; s++ {
+		c.roots[s] = make(map[*types.TypeName]bool)
+	}
+	for _, ff := range c.eng.sortedFuncs() {
+		if isSnapPkg(ff.obj.Pkg()) {
+			continue // the codec substrate is not itself state
+		}
+		for s := snapWrite; s < snapSides; s++ {
+			if c.isRoot(s, ff) {
+				rootFuncs[s] = append(rootFuncs[s], ff.obj)
+				c.addRootTypes(s, ff)
+			}
+		}
+	}
+	for s := snapWrite; s < snapSides; s++ {
+		c.covered[s] = c.closure(rootFuncs[s])
+	}
+	for s := snapWrite; s < snapSides; s++ {
+		visited := make(map[*types.TypeName]bool)
+		for _, tn := range sortedTypeNames(c.roots[s]) {
+			c.walkType(s, tn, visited)
+		}
+		c.partialStructs(s, visited)
+	}
+	c.staleAnnotations()
+}
+
+// isRoot reports whether ff anchors side s of a codec.
+func (c *snapChecker) isRoot(s snapSide, ff *funcFacts) bool {
+	sig, ok := ff.obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	ptrName, altName := "Writer", "Snapshot"
+	altSig := isSnapshotSig
+	if s == snapRead {
+		ptrName, altName = "Reader", "Restore"
+		altSig = isRestoreSig
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isSnapPtr(sig.Params().At(i).Type(), ptrName) {
+			return true
+		}
+	}
+	return ff.obj.Name() == altName && sig.Recv() != nil && altSig(sig)
+}
+
+// addRootTypes records the state types whose coverage ff anchors.
+func (c *snapChecker) addRootTypes(s snapSide, ff *funcFacts) {
+	if recv := receiverStruct(ff.obj); recv != nil {
+		if c.eng.structs[recv] != nil {
+			c.roots[s][recv] = true
+		}
+		return
+	}
+	// Plain helper: each pointer-to-module-struct parameter is the
+	// state being serialized.
+	sig := ff.obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt, ok := sig.Params().At(i).Type().Underlying().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if tn := namedStructOf(pt.Elem()); tn != nil && c.eng.structs[tn] != nil && !isSnapPkg(tn.Pkg()) {
+			c.roots[s][tn] = true
+		}
+	}
+}
+
+// isSnapshotSig matches func() ([]byte, error).
+func isSnapshotSig(sig *types.Signature) bool {
+	return sig.Params().Len() == 0 && sig.Results().Len() == 2 &&
+		isByteSlice(sig.Results().At(0).Type()) && isErrorType(sig.Results().At(1).Type())
+}
+
+// isRestoreSig matches func([]byte) error.
+func isRestoreSig(sig *types.Signature) bool {
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		isByteSlice(sig.Params().At(0).Type()) && isErrorType(sig.Results().At(0).Type())
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// closure gathers every field touched in the transitive static call
+// closure of the root functions, excluding the snap package itself.
+// Constructors called during restore are deliberately inside the
+// closure: rebuilding state counts as restoring it.
+func (c *snapChecker) closure(rootFuncs []*types.Func) map[*types.Var]bool {
+	covered := make(map[*types.Var]bool)
+	seen := make(map[*types.Func]bool)
+	stack := append([]*types.Func(nil), rootFuncs...)
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[fn] || isSnapPkg(fn.Pkg()) {
+			continue
+		}
+		seen[fn] = true
+		ff := c.eng.funcs[fn]
+		if ff == nil {
+			continue // outside the module
+		}
+		for fv := range ff.sel {
+			covered[fv] = true
+		}
+		for fv := range ff.litField {
+			covered[fv] = true
+		}
+		stack = append(stack, ff.calls...)
+	}
+	return covered
+}
+
+// walkType requires every field of tn — and recursively of the state
+// structs its fields contain — to be covered on side s, unless
+// exempted by //catch:nosnap or function-typed (wiring, not state).
+// Recursion stops at types that anchor their own codec: their fields
+// are their own root's responsibility.
+func (c *snapChecker) walkType(s snapSide, tn *types.TypeName, visited map[*types.TypeName]bool) {
+	if visited[tn] || isSnapPkg(tn.Pkg()) {
+		return
+	}
+	visited[tn] = true
+	sf := c.eng.structs[tn]
+	if sf == nil {
+		return
+	}
+	for _, fv := range sf.fields {
+		if an := sf.anno(fv, "nosnap"); an != nil {
+			c.consumed[an] = true
+			continue
+		}
+		if isFuncField(fv.Type()) {
+			continue
+		}
+		if !c.isEmbeddedModuleStruct(fv) && !c.covered[s][fv] {
+			verb, fix := "written by any snapshot path", "serialize it in the SnapshotTo side"
+			if s == snapRead {
+				verb, fix = "restored by any restore path", "read it in the RestoreFrom side"
+			}
+			c.reportf(fv.Pos(), "field %s is not %s (%s or annotate //catch:nosnap <reason>)",
+				fieldName(tn, fv), verb, fix)
+		}
+		for _, ct := range c.eng.containedStructs(fv.Type()) {
+			if c.roots[s][ct] {
+				continue
+			}
+			c.walkType(s, ct, visited)
+		}
+	}
+}
+
+// isEmbeddedModuleStruct reports whether fv is an embedded module
+// struct: its promoted fields are required, the embed name itself is
+// not (a codec writes c.Insts, never c.CoreStats wholesale).
+func (c *snapChecker) isEmbeddedModuleStruct(fv *types.Var) bool {
+	if !fv.Embedded() {
+		return false
+	}
+	tn := namedStructOf(fv.Type())
+	return tn != nil && c.eng.structs[tn] != nil
+}
+
+// partialStructs is the interface-hiding rule: a struct that no root
+// type reaches by fields, yet has at least one field covered on side
+// s, is being serialized behind an interface (a replacement policy in
+// a type switch) — so all of its fields must be covered.
+func (c *snapChecker) partialStructs(s snapSide, visited map[*types.TypeName]bool) {
+	reach := make(map[*types.TypeName]bool)
+	var spread func(tn *types.TypeName)
+	spread = func(tn *types.TypeName) {
+		if reach[tn] {
+			return
+		}
+		reach[tn] = true
+		sf := c.eng.structs[tn]
+		if sf == nil {
+			return
+		}
+		for _, fv := range sf.fields {
+			for _, ct := range c.eng.containedStructs(fv.Type()) {
+				spread(ct)
+			}
+		}
+	}
+	for _, tn := range sortedTypeNames(c.roots[s]) {
+		spread(tn)
+	}
+	for _, sf := range c.eng.sortedStructs() {
+		tn := sf.obj
+		if isSnapPkg(tn.Pkg()) || reach[tn] || visited[tn] {
+			continue
+		}
+		partial := false
+		for _, fv := range sf.fields {
+			if c.covered[s][fv] {
+				partial = true
+				break
+			}
+		}
+		if partial {
+			c.walkType(s, tn, visited)
+		}
+	}
+}
+
+// staleAnnotations reports //catch:nosnap markers that no longer
+// excuse a gap: either the field (and everything under it) is covered
+// on both sides anyway, or the annotated type is not part of any
+// snapshot codec at all.
+func (c *snapChecker) staleAnnotations() {
+	for _, sf := range c.eng.sortedStructs() {
+		for _, fv := range sf.fields {
+			an := sf.anno(fv, "nosnap")
+			if an == nil {
+				continue
+			}
+			if !c.consumed[an] {
+				c.reportf(an.pos, "stale //catch:nosnap on %s: %s is not part of any snapshot codec",
+					fieldName(sf.obj, fv), qualified(sf.obj))
+				continue
+			}
+			if c.fullyCovered(snapWrite, fv) && c.fullyCovered(snapRead, fv) {
+				c.reportf(an.pos, "stale //catch:nosnap on %s: the field is covered by the snapshot codec",
+					fieldName(sf.obj, fv))
+			}
+		}
+	}
+}
+
+// fullyCovered reports whether fv and its whole subtree are covered on
+// side s — i.e. whether dropping its //catch:nosnap would produce no
+// finding.
+func (c *snapChecker) fullyCovered(s snapSide, fv *types.Var) bool {
+	if isFuncField(fv.Type()) {
+		return false
+	}
+	if !c.isEmbeddedModuleStruct(fv) && !c.covered[s][fv] {
+		return false
+	}
+	return c.subtreeCovered(s, fv.Type(), make(map[*types.TypeName]bool))
+}
+
+func (c *snapChecker) subtreeCovered(s snapSide, t types.Type, visited map[*types.TypeName]bool) bool {
+	for _, ct := range c.eng.containedStructs(t) {
+		if c.roots[s][ct] || visited[ct] {
+			continue
+		}
+		visited[ct] = true
+		sf := c.eng.structs[ct]
+		for _, fv := range sf.fields {
+			if sf.anno(fv, "nosnap") != nil || isFuncField(fv.Type()) {
+				continue
+			}
+			if !c.isEmbeddedModuleStruct(fv) && !c.covered[s][fv] {
+				return false
+			}
+			if !c.subtreeCovered(s, fv.Type(), visited) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedTypeNames renders a type-name set in deterministic order.
+func sortedTypeNames(set map[*types.TypeName]bool) []*types.TypeName {
+	out := make([]*types.TypeName, 0, len(set))
+	for tn := range set {
+		out = append(out, tn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := "", ""
+		if out[i].Pkg() != nil {
+			pi = out[i].Pkg().Path()
+		}
+		if out[j].Pkg() != nil {
+			pj = out[j].Pkg().Path()
+		}
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}

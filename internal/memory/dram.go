@@ -62,7 +62,7 @@ type channel struct {
 
 // DRAM is the memory device model.
 type DRAM struct {
-	cfg      Config
+	cfg      Config //catch:nosnap construction-time configuration, not warm state
 	banks    []bank
 	channels []channel
 	pending  int // buffered writes awaiting a drain

@@ -20,7 +20,7 @@ type stream struct {
 // multi-stream prefetcher that fills the L2 and LLC.
 type StreamPrefetcher struct {
 	streams []stream
-	Degree  int
+	Degree  int //catch:nosnap construction-time configuration, not warm state
 	tick    int64
 	Stats   StreamStats
 }

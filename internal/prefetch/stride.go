@@ -21,7 +21,7 @@ type strideEntry struct {
 // prefetches into the L1 once a stride has been seen twice.
 type StridePrefetcher struct {
 	entries []strideEntry
-	mask    uint64
+	mask    uint64 //catch:nosnap derived from len(entries) at construction
 	Stats   StrideStats
 }
 

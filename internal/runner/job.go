@@ -62,6 +62,8 @@ func MPJob(cfg config.SystemConfig, names []string, insts, warmup int64) Job {
 // canonical JSON encoding of (config name+params, workloads, insts,
 // warmup). Canonicalization sorts object keys recursively, so the key
 // is stable across struct field reordering and across processes.
+//
+//catch:keyfn
 func (j Job) Key() string {
 	raw, err := json.Marshal(&j)
 	if err != nil {

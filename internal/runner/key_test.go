@@ -1,0 +1,152 @@
+package runner
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"catch/internal/config"
+)
+
+// TestJobKeyCoversEveryConfigField is the dynamic counterpart of the
+// key-coverage analyzer: it perturbs every reachable field of a Job —
+// including every field of the embedded SystemConfig, recursively —
+// and asserts the content key changes. A field that does not move the
+// key is a stale-hit bug: two jobs differing only in that field would
+// collide in the result cache and one would silently get the other's
+// numbers.
+func TestJobKeyCoversEveryConfigField(t *testing.T) {
+	base := STJob(config.BaselineExclusive(), "hmmer", 40_000, 8_000)
+	// A fully-populated variant so fields behind nil pointers
+	// (Config.Convert, Sample) are perturbed too.
+	full := base
+	full.Sample = &SampleSpec{Interval: 4_000, K: 3}
+	full.Config.Convert = &config.ConvertSpec{ToLat: 10}
+
+	for name, job := range map[string]Job{"base": base, "full": full} {
+		t.Run(name, func(t *testing.T) {
+			baseKey := job.Key()
+			for _, leaf := range collectLeaves(t, reflect.ValueOf(job)) {
+				cp := deepCopyJob(t, job)
+				leaf.mutate(navigate(reflect.ValueOf(&cp).Elem(), leaf.path))
+				if cp.Key() == baseKey {
+					t.Errorf("perturbing %s did not change the job key: "+
+						"jobs differing only in this field would share a cache entry", leaf.name)
+				}
+			}
+		})
+	}
+}
+
+// deepCopyJob copies a job through its JSON encoding. Fields the
+// encoding drops stay at their zero value in the copy — which is fine:
+// the perturbation happens after the copy, and a perturbation the key
+// cannot see is exactly what the test reports.
+func deepCopyJob(t *testing.T, j Job) Job {
+	t.Helper()
+	raw, err := json.Marshal(&j)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Job
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return out
+}
+
+// pathStep addresses one hop from a Job value toward a leaf field.
+type pathStep struct {
+	field int  // struct field index, or -1
+	index int  // slice index, or -1
+	deref bool // follow a pointer
+}
+
+// leaf is one perturbable location plus the mutation that perturbs it.
+type leaf struct {
+	name   string
+	path   []pathStep
+	mutate func(v reflect.Value)
+}
+
+// navigate walks an addressable value along a recorded path.
+func navigate(v reflect.Value, path []pathStep) reflect.Value {
+	for _, s := range path {
+		switch {
+		case s.deref:
+			v = v.Elem()
+		case s.index >= 0:
+			v = v.Index(s.index)
+		default:
+			v = v.Field(s.field)
+		}
+	}
+	return v
+}
+
+// collectLeaves enumerates every perturbable location in v. Unexported
+// fields are skipped (the key-coverage analyzer rejects them
+// statically); any kind the walker does not understand fails the test,
+// so new field shapes must be taught here rather than silently skipped.
+func collectLeaves(t *testing.T, v reflect.Value) []leaf {
+	t.Helper()
+	var leaves []leaf
+	var walk func(v reflect.Value, path []pathStep, name string)
+	walk = func(v reflect.Value, path []pathStep, name string) {
+		clone := func(s pathStep) []pathStep {
+			return append(append([]pathStep(nil), path...), s)
+		}
+		switch v.Kind() {
+		case reflect.Struct:
+			st := v.Type()
+			for i := 0; i < st.NumField(); i++ {
+				f := st.Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				walk(v.Field(i), clone(pathStep{field: i, index: -1}), name+"."+f.Name)
+			}
+		case reflect.Pointer:
+			if v.IsNil() {
+				// Presence itself must be part of the key.
+				leaves = append(leaves, leaf{
+					name: name + " (nil→set)",
+					path: path,
+					mutate: func(fv reflect.Value) {
+						fv.Set(reflect.New(fv.Type().Elem()))
+					},
+				})
+				return
+			}
+			walk(v.Elem(), clone(pathStep{field: -1, index: -1, deref: true}), name)
+		case reflect.Slice:
+			leaves = append(leaves, leaf{
+				name: name + " (len)",
+				path: path,
+				mutate: func(fv reflect.Value) {
+					fv.Set(reflect.Append(fv, reflect.Zero(fv.Type().Elem())))
+				},
+			})
+			if v.Len() > 0 {
+				walk(v.Index(0), clone(pathStep{field: -1, index: 0}), name+"[0]")
+			}
+		case reflect.Bool:
+			leaves = append(leaves, leaf{name, path, func(fv reflect.Value) { fv.SetBool(!fv.Bool()) }})
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			leaves = append(leaves, leaf{name, path, func(fv reflect.Value) { fv.SetInt(fv.Int() + 1) }})
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			leaves = append(leaves, leaf{name, path, func(fv reflect.Value) { fv.SetUint(fv.Uint() + 1) }})
+		case reflect.Float32, reflect.Float64:
+			leaves = append(leaves, leaf{name, path, func(fv reflect.Value) { fv.SetFloat(fv.Float() + 1) }})
+		case reflect.String:
+			leaves = append(leaves, leaf{name, path, func(fv reflect.Value) { fv.SetString(fv.String() + "~") }})
+		default:
+			t.Fatalf("field %s has kind %s the perturbation walker does not handle; teach collectLeaves about it", name, v.Kind())
+		}
+	}
+	walk(v, nil, "Job")
+	if len(leaves) < 20 {
+		t.Fatalf("only %d perturbable fields found; the walker is losing coverage", len(leaves))
+	}
+	return leaves
+}

@@ -169,6 +169,8 @@ const snapMagic = "CATCHSP1"
 // path maps a key to its on-disk file: a content address over the key
 // itself, so the filename needs no escaping and collisions would need a
 // SHA-256 collision.
+//
+//catch:keyfn
 func (s *Store) path(key warmKey) (string, bool) {
 	if s.dir == "" || len(key.Name) > 1<<16-1 {
 		return "", false

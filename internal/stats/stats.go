@@ -105,8 +105,12 @@ func SpeedupPercent(newIPC, oldIPC float64) float64 {
 }
 
 // Histogram is a fixed-bucket histogram over float64 samples in [0,1].
+// It accumulates measurement state, so reset-coverage holds it to the
+// warmup-boundary discipline despite the name.
+//
+//catch:stats
 type Histogram struct {
-	Bounds []float64 // ascending upper bounds; final bucket is > last bound
+	Bounds []float64 //catch:noreset bucket geometry, not a counter
 	Counts []uint64
 	Total  uint64
 }

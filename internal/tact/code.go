@@ -14,7 +14,7 @@ type CodePrefetcher struct {
 	lastLine uint64
 	haveLast bool
 
-	queue []uint64 // scratch for the run-ahead walk
+	queue []uint64 //catch:nosnap scratch for the run-ahead walk, dead between calls
 
 	Learned uint64
 	Issued  uint64

@@ -132,7 +132,7 @@ type regIndex struct {
 	// filter is a 64-bit Bloom-style presence filter over hashed PCs:
 	// the common case (a load PC with no trained registrations) is
 	// rejected with one multiply and one mask.
-	filter uint64
+	filter uint64 //catch:nosnap rebuilt from pcs by rebuildFilter on restore
 }
 
 func (ix *regIndex) init(capacity int) {

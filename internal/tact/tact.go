@@ -112,8 +112,8 @@ type target struct {
 // state train/predict path performs no map operations and no heap
 // allocation.
 type Prefetchers struct {
-	Cfg  Config
-	Crit Criticality
+	Cfg  Config      //catch:nosnap construction-time configuration, not warm state
+	Crit Criticality //catch:nosnap cross-subsystem wiring; the criticality source snapshots itself
 
 	// IssueData asks the hierarchy to prefetch a data line into the L1
 	// (dropped unless it is resident in L2/LLC).
@@ -138,8 +138,8 @@ type Prefetchers struct {
 
 	// Trace, when attached and enabled, receives TACT train/trigger
 	// events (one branch per site when nil or disabled).
-	Trace    *telemetry.Tracer
-	TraceTID uint8
+	Trace    *telemetry.Tracer //catch:nosnap observability wiring, not simulated state
+	TraceTID uint8             //catch:nosnap observability wiring, not simulated state
 
 	Stats Stats
 }
