@@ -1,14 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke batch-smoke sample-smoke
+.PHONY: check build vet test race lint fmtcheck bench benchcmp benchall chaos cluster-smoke batch-smoke sample-smoke partition-smoke
 
 # check gates a change: build + formatting + vet + catchlint + the
 # full test suite under the race detector (this includes
 # internal/telemetry's concurrent counter/histogram/tracer tests and
 # the runner's /metrics tests) + the seeded chaos suite + the
 # cluster determinism smoke + the batch-kernel determinism smoke +
-# the sampling accuracy smoke.
-check: build fmtcheck vet lint race chaos cluster-smoke batch-smoke sample-smoke
+# the sampling accuracy smoke + the self-healing partition smoke.
+check: build fmtcheck vet lint race chaos cluster-smoke batch-smoke sample-smoke partition-smoke
+
+# partition-smoke proves the self-healing layer: with -replicas 2,
+# killing any single peer yields a byte-identical sweep with zero
+# recomputation (kill-one-peer variant), hinted handoff restores full
+# replication when the peer returns, and a split-brain 3-node cluster
+# (seeded fault schedule severing one node) keeps computing on both
+# sides, then converges every key to its full replica set on heal.
+# Bypasses the go test cache so it always re-proves.
+partition-smoke:
+	$(GO) test -run 'TestClusterReplicationSurvivesKill|TestClusterHintedHandoffDrain|TestClusterPartitionTolerance' -count=1 ./internal/cluster
 
 # sample-smoke proves representative-interval sampling stays honest:
 # the fig13 grid run through a sampling engine must reproduce every

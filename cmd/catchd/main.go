@@ -41,12 +41,25 @@
 //
 // Sweep jobs shard across the members by consistent hashing on their
 // content-addressed keys, GET /v1/results resolves through a tiered
-// read path (local memory → local disk → the key's owner peer), idle
-// members steal queued jobs from loaded ones (-steal-interval), and
-// GET /v1/cluster/status reports ring membership, tier traffic and
-// per-peer breaker state. A dead peer's shards reroute along the ring;
-// because jobs are pure functions of their key, an N-node sweep is
-// byte-identical to the single-node run.
+// read path (local memory → local disk → the key's replica peers),
+// idle members steal queued jobs from loaded ones (-steal-interval),
+// and GET /v1/cluster/status reports ring membership, tier traffic,
+// per-peer breaker state and the health/replication view. A dead
+// peer's shards reroute along the ring; because jobs are pure
+// functions of their key, an N-node sweep is byte-identical to the
+// single-node run.
+//
+// -replicas R makes the cluster self-healing: each completed result
+// is pushed to its R ring owners, a seeded prober (-probe-interval)
+// tracks peers through live/suspect/down, fills owed to an
+// unreachable replica queue as hints (bounded by -hint-cap, journaled
+// under -journal-dir) and drain when it returns, and an anti-entropy
+// pass (-repair-interval) diffs peer manifests to close remaining
+// gaps. Killing any single node then loses no results and recomputes
+// nothing; a partitioned minority keeps computing, reports the owed
+// keys as "unreplicated" in /v1/cluster/status, and reconciles on
+// heal. -peer-timeout bounds each control-plane peer call (shard
+// dispatch is never client-bounded; the probe deadline stays tight).
 package main
 
 import (
@@ -58,6 +71,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -94,12 +108,17 @@ type options struct {
 	sampleK    int
 
 	// Cluster mode (all optional; empty peers = single node).
-	peers         string
-	self          string
-	vnodes        int
-	stealInterval time.Duration
-	lentDeadline  time.Duration
-	resultMaxAge  time.Duration
+	peers          string
+	self           string
+	vnodes         int
+	stealInterval  time.Duration
+	lentDeadline   time.Duration
+	resultMaxAge   time.Duration
+	replicas       int
+	probeInterval  time.Duration
+	repairInterval time.Duration
+	hintCap        int
+	peerTimeout    time.Duration
 
 	peerList []string // resolved by validate
 }
@@ -197,6 +216,27 @@ func validate(o *options) error {
 	if o.resultMaxAge < 0 {
 		return fmt.Errorf("-result-max-age must be >= 0 (0 = default; got %v)", o.resultMaxAge)
 	}
+	if o.replicas < 0 {
+		return fmt.Errorf("-replicas must be >= 0 (0 = owner only; got %d)", o.replicas)
+	}
+	if o.replicas > 1 && len(o.peerList) == 0 {
+		return errors.New("-replicas without -peers does nothing; list the cluster membership")
+	}
+	if n := len(o.peerList); n > 0 && o.replicas > n {
+		return fmt.Errorf("-replicas %d exceeds the %d-member cluster", o.replicas, n)
+	}
+	if o.probeInterval < 0 {
+		return fmt.Errorf("-probe-interval must be >= 0 (0 = failure detection off; got %v)", o.probeInterval)
+	}
+	if o.repairInterval < 0 {
+		return fmt.Errorf("-repair-interval must be >= 0 (0 = anti-entropy repair off; got %v)", o.repairInterval)
+	}
+	if o.hintCap < 0 {
+		return fmt.Errorf("-hint-cap must be >= 0 (0 = default %d; got %d)", cluster.DefaultHintCap, o.hintCap)
+	}
+	if o.peerTimeout < 0 {
+		return fmt.Errorf("-peer-timeout must be >= 0 (0 = per-op defaults; got %v)", o.peerTimeout)
+	}
 	return nil
 }
 
@@ -228,6 +268,12 @@ func main() {
 		stealInterval = flag.Duration("steal-interval", 2*time.Second, "pace of the background work-steal loop (0 = off)")
 		lentDeadline  = flag.Duration("lent-deadline", 0, "how long a shard waits for stolen jobs before reclaiming them (0 = 30s)")
 		resultMaxAge  = flag.Duration("result-max-age", 0, "Cache-Control max-age for GET /v1/results (0 = default 1 year; results are immutable)")
+
+		replicas       = flag.Int("replicas", 0, "cluster members holding each completed result (0 = owner only)")
+		probeInterval  = flag.Duration("probe-interval", time.Second, "pace of the health prober driving live/suspect/down membership (0 = off)")
+		repairInterval = flag.Duration("repair-interval", 30*time.Second, "pace of the anti-entropy repair pass re-filling replica gaps (0 = off)")
+		hintCap        = flag.Int("hint-cap", 0, "max queued hinted-handoff fills; overflow drops oldest for repair to re-discover (0 = default)")
+		peerTimeout    = flag.Duration("peer-timeout", 0, "deadline for each control-plane peer call; shard dispatch is never bounded by it (0 = per-op defaults)")
 	)
 	flag.Parse()
 
@@ -238,6 +284,8 @@ func main() {
 		sample: *sampleOn, sampleIv: *sampleIv, sampleK: *sampleK,
 		peers: *peers, self: *self, vnodes: *vnodes,
 		stealInterval: *stealInterval, lentDeadline: *lentDeadline, resultMaxAge: *resultMaxAge,
+		replicas: *replicas, probeInterval: *probeInterval, repairInterval: *repairInterval,
+		hintCap: *hintCap, peerTimeout: *peerTimeout,
 	}
 	if err := validate(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, "catchd:", err)
@@ -300,6 +348,13 @@ func main() {
 	// the ring, results resolve through the tiered read path, and the
 	// background steal loop helps drained peers.
 	if len(opts.peerList) > 0 {
+		hintPath := ""
+		if *journalDir != "" {
+			// Hints ride the journal directory: both are "redo this after
+			// a restart" state, and a node without one simply re-earns
+			// replication through anti-entropy repair.
+			hintPath = filepath.Join(*journalDir, "hints.log")
+		}
 		node, err := cluster.NewNode(cluster.Options{
 			Self:             opts.self,
 			Peers:            opts.peerList,
@@ -309,6 +364,13 @@ func main() {
 			LentDeadline:     opts.lentDeadline,
 			BreakerThreshold: opts.brThresh,
 			BreakerCooldown:  opts.brCooldown,
+			Replicas:         opts.replicas,
+			ProbeInterval:    opts.probeInterval,
+			RepairInterval:   opts.repairInterval,
+			HintCap:          opts.hintCap,
+			HintPath:         hintPath,
+			Seed:             plan.Seed,
+			Timeouts:         cluster.OpTimeouts{}.WithDefault(opts.peerTimeout),
 			Fault:            inj,
 			Metrics:          reg,
 			Logf: func(format string, args ...any) {
@@ -319,6 +381,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "catchd:", err)
 			os.Exit(2)
 		}
+		srv.ClusterInfo = node.HealthSummary
 		handler = (&cluster.Server{
 			Node:         node,
 			Resolve:      experiments.ConfigByName,
@@ -328,8 +391,8 @@ func main() {
 			Version:      version,
 		}).Handler()
 		node.Start(ctx)
-		fmt.Fprintf(os.Stderr, "catchd: cluster of %d (self %s, %d vnodes)\n",
-			len(opts.peerList), opts.self, node.Ring().VNodes())
+		fmt.Fprintf(os.Stderr, "catchd: cluster of %d (self %s, %d vnodes, %d replicas)\n",
+			len(opts.peerList), opts.self, node.Ring().VNodes(), node.Replicas())
 	}
 	hs := &http.Server{Addr: *addr, Handler: handler}
 

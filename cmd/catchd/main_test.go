@@ -72,6 +72,22 @@ func TestValidate(t *testing.T) {
 		{"negative sample-k", func(o *options) {
 			o.sample, o.sampleK = true, -2
 		}, "-sample-k must be >= 0"},
+		{"replicated cluster passes", func(o *options) {
+			o.peers = "http://a:8080,http://b:8080,http://c:8080"
+			o.self = "http://a:8080"
+			o.replicas = 2
+		}, ""},
+		{"negative replicas", func(o *options) { o.replicas = -1 }, "-replicas must be >= 0"},
+		{"replicas without peers", func(o *options) { o.replicas = 2 }, "-replicas without -peers"},
+		{"replicas exceed cluster", func(o *options) {
+			o.peers = "http://a:8080,http://b:8080"
+			o.self = "http://a:8080"
+			o.replicas = 3
+		}, "-replicas 3 exceeds the 2-member cluster"},
+		{"negative probe-interval", func(o *options) { o.probeInterval = -time.Second }, "-probe-interval must be >= 0"},
+		{"negative repair-interval", func(o *options) { o.repairInterval = -time.Second }, "-repair-interval must be >= 0"},
+		{"negative hint-cap", func(o *options) { o.hintCap = -1 }, "-hint-cap must be >= 0"},
+		{"negative peer-timeout", func(o *options) { o.peerTimeout = -time.Second }, "-peer-timeout must be >= 0"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

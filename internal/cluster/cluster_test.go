@@ -87,10 +87,12 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // testCluster is n catchd-shaped nodes wired over loopback HTTP.
 type testCluster struct {
-	urls    []string
-	nodes   []*Node
-	engines []*runner.Engine
-	servers []*httptest.Server
+	urls     []string
+	nodes    []*Node
+	engines  []*runner.Engine
+	servers  []*httptest.Server
+	handlers []*swapHandler
+	wired    []http.Handler // each node's full handler, for restart after kill
 }
 
 // newTestCluster starts an n-node cluster. mutate, when non-nil, can
@@ -99,10 +101,11 @@ type testCluster struct {
 func newTestCluster(t *testing.T, n int, mutate func(i int, o *Options)) *testCluster {
 	t.Helper()
 	tc := &testCluster{}
-	handlers := make([]*swapHandler, n)
+	tc.handlers = make([]*swapHandler, n)
+	tc.wired = make([]http.Handler, n)
 	for i := 0; i < n; i++ {
-		handlers[i] = &swapHandler{}
-		srv := httptest.NewServer(handlers[i])
+		tc.handlers[i] = &swapHandler{}
+		srv := httptest.NewServer(tc.handlers[i])
 		t.Cleanup(srv.Close)
 		tc.servers = append(tc.servers, srv)
 		tc.urls = append(tc.urls, srv.URL)
@@ -124,12 +127,23 @@ func newTestCluster(t *testing.T, n int, mutate func(i int, o *Options)) *testCl
 		}
 		inner := &runner.Server{Engine: eng, Resolve: testResolver()}
 		cs := &Server{Node: node, Resolve: testResolver(), Inner: inner.Handler()}
-		handlers[i].set(cs.Handler())
+		tc.wired[i] = cs.Handler()
+		tc.handlers[i].set(tc.wired[i])
 		tc.nodes = append(tc.nodes, node)
 		tc.engines = append(tc.engines, eng)
 	}
 	return tc
 }
+
+// kill makes node i answer every request 503 (text/plain, no
+// Retry-After: a crashed catchd behind a load balancer, not a
+// shedding one). The process state — engine, cache, hint log — stays
+// alive so restart models a quick supervisor bounce.
+func (tc *testCluster) kill(i int) { tc.handlers[i].set(nil) }
+
+// restart rewires node i's handler, modeling the supervisor bringing
+// the same process state back.
+func (tc *testCluster) restart(i int) { tc.handlers[i].set(tc.wired[i]) }
 
 // newLocalServer serves h on loopback for the duration of the test and
 // returns its base URL.

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// hint is one deferred replica fill: peer needs key. The result bytes
+// themselves are NOT queued — they already live in the local
+// content-addressed cache, so a hint is just the (destination, key)
+// pair and the hint log stays small no matter how large results are.
+type hint struct {
+	peer string
+	key  string
+}
+
+// hintLog is the bounded, journal-backed hinted-handoff queue. A fill
+// destined for an unroutable replica is recorded here instead of
+// waited on; when the failure detector sees the peer return, the log
+// drains — every hinted key is re-read from the local cache and
+// pushed as a replica fill. The bound keeps a long outage from
+// growing the log without limit: overflow drops the oldest hint
+// (counted, logged), which costs replication factor on that key until
+// the anti-entropy repair pass re-discovers the gap, never
+// correctness.
+//
+// The journal is append-only ("+ peer key" on add, "- peer key" on
+// resolve), torn-tail tolerant, and compacted on open — the same
+// discipline as the sweep journal. It is a hint in the literal sense:
+// losing it costs prompt re-replication, not data, because repair
+// rebuilds the same information from cache manifests.
+type hintLog struct {
+	cap  int
+	path string // "" = memory-only
+
+	mu      sync.Mutex
+	pending []hint // FIFO
+	index   map[hint]bool
+	dropped uint64
+	f       *os.File
+	broken  bool // journal I/O failed; keep serving from memory
+
+	logf func(format string, args ...any)
+}
+
+// DefaultHintCap bounds the hint log when the option is unset.
+const DefaultHintCap = 1024
+
+// newHintLog opens (and compacts) the hint journal at path; an empty
+// path keeps the log memory-only. Journal damage is tolerated: a
+// torn tail parses up to the tear, and an unopenable journal degrades
+// to memory-only with one logged diagnostic.
+func newHintLog(capacity int, path string, logf func(format string, args ...any)) *hintLog {
+	if capacity <= 0 {
+		capacity = DefaultHintCap
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	hl := &hintLog{cap: capacity, path: path, index: make(map[hint]bool), logf: logf}
+	if path == "" {
+		return hl
+	}
+	hl.load()
+	return hl
+}
+
+// load replays the journal into memory and rewrites it compacted.
+func (hl *hintLog) load() {
+	raw, err := os.ReadFile(hl.path)
+	if err != nil && !os.IsNotExist(err) {
+		hl.logf("cluster: hint journal %s unreadable (%v); continuing memory-only", hl.path, err)
+		hl.broken = true
+		return
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			continue // torn tail or blank line
+		}
+		h := hint{peer: fields[1], key: fields[2]}
+		switch fields[0] {
+		case "+":
+			if !hl.index[h] {
+				hl.index[h] = true
+				hl.pending = append(hl.pending, h)
+			}
+		case "-":
+			if hl.index[h] {
+				delete(hl.index, h)
+				hl.pending = removeHint(hl.pending, h)
+			}
+		}
+	}
+	hl.rewrite()
+}
+
+// rewrite persists the compacted pending set and leaves an open append
+// handle. Callers hold hl.mu (or are in single-threaded construction).
+func (hl *hintLog) rewrite() {
+	if hl.path == "" || hl.broken {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(hl.path), 0o755); err != nil {
+		hl.journalErr(err)
+		return
+	}
+	tmp := hl.path + ".tmp"
+	var sb strings.Builder
+	for _, h := range hl.pending {
+		fmt.Fprintf(&sb, "+ %s %s\n", h.peer, h.key)
+	}
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+		hl.journalErr(err)
+		return
+	}
+	if err := os.Rename(tmp, hl.path); err != nil {
+		hl.journalErr(err)
+		return
+	}
+	if hl.f != nil {
+		_ = hl.f.Close()
+		hl.f = nil
+	}
+	f, err := os.OpenFile(hl.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		hl.journalErr(err)
+		return
+	}
+	hl.f = f
+}
+
+// journalErr degrades the log to memory-only after the first I/O
+// failure, logging once. Hints keep working; only restart durability
+// is lost, and repair covers that gap.
+func (hl *hintLog) journalErr(err error) {
+	if !hl.broken {
+		hl.logf("cluster: hint journal %s: %v; continuing memory-only", hl.path, err)
+	}
+	hl.broken = true
+}
+
+// append writes one journal line. Callers hold hl.mu.
+func (hl *hintLog) append(op string, h hint) {
+	if hl.f == nil || hl.broken {
+		return
+	}
+	if _, err := fmt.Fprintf(hl.f, "%s %s %s\n", op, h.peer, h.key); err != nil {
+		hl.journalErr(err)
+	}
+}
+
+// add queues a hint, deduplicating. Over capacity, the oldest hint is
+// dropped (counted): repair will re-discover that gap from manifests.
+// Reports whether the hint is newly queued.
+func (hl *hintLog) add(peer, key string) bool {
+	h := hint{peer: peer, key: key}
+	hl.mu.Lock()
+	defer hl.mu.Unlock()
+	if hl.index[h] {
+		return false
+	}
+	hl.index[h] = true
+	hl.pending = append(hl.pending, h)
+	hl.append("+", h)
+	if len(hl.pending) > hl.cap {
+		oldest := hl.pending[0]
+		hl.pending = hl.pending[1:]
+		delete(hl.index, oldest)
+		hl.dropped++
+		hl.append("-", oldest)
+		hl.logf("cluster: hint log full (%d); dropped oldest hint %s for %s (repair will re-discover it)",
+			hl.cap, shortKey(oldest.key), oldest.peer)
+	}
+	return true
+}
+
+// take removes and returns every key hinted for peer, in queue order.
+// The caller pushes them; a failed push re-adds the hint.
+func (hl *hintLog) take(peer string) []string {
+	hl.mu.Lock()
+	defer hl.mu.Unlock()
+	var keys []string
+	kept := hl.pending[:0]
+	for _, h := range hl.pending {
+		if h.peer == peer {
+			keys = append(keys, h.key)
+			delete(hl.index, h)
+			hl.append("-", h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	hl.pending = kept
+	return keys
+}
+
+// pendingCount reports queued hints; distinctKeys reports how many
+// distinct result keys are under-replicated because of them (the
+// "unreplicated" number surfaced in /v1/cluster/status and /healthz).
+func (hl *hintLog) pendingCount() int {
+	hl.mu.Lock()
+	defer hl.mu.Unlock()
+	return len(hl.pending)
+}
+
+func (hl *hintLog) distinctKeys() int {
+	hl.mu.Lock()
+	defer hl.mu.Unlock()
+	seen := make(map[string]bool, len(hl.pending))
+	for _, h := range hl.pending {
+		seen[h.key] = true
+	}
+	return len(seen)
+}
+
+func (hl *hintLog) droppedCount() uint64 {
+	hl.mu.Lock()
+	defer hl.mu.Unlock()
+	return hl.dropped
+}
+
+// close releases the journal handle (tests; catchd holds it for life).
+func (hl *hintLog) close() {
+	hl.mu.Lock()
+	defer hl.mu.Unlock()
+	if hl.f != nil {
+		_ = hl.f.Close()
+		hl.f = nil
+	}
+}
+
+// removeHint deletes one hint from a slice, preserving order.
+func removeHint(s []hint, h hint) []hint {
+	for i := range s {
+		if s[i] == h {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// DrainHints pushes every hint queued for peer: each hinted key is
+// re-read from the local cache and sent as a replica fill. A key the
+// cache no longer holds is dropped (repair covers it); a failed push
+// re-queues the hint for the peer's next return. Returns how many
+// fills landed.
+func (n *Node) DrainHints(ctx context.Context, peer string) int {
+	keys := n.hints.take(peer)
+	if len(keys) == 0 {
+		return 0
+	}
+	drained := 0
+	for _, key := range keys {
+		rs, ok := n.opts.Engine.Cache().Get(key)
+		if !ok {
+			n.logf("cluster: hint for %s lost its local copy of %s; leaving it to repair", peer, shortKey(key))
+			continue
+		}
+		if err := n.client.ReplicaFill(ctx, peer, key, rs); err != nil {
+			n.hints.add(peer, key)
+			n.logf("cluster: hint drain to %s stalled at %s (%v); re-queued", peer, shortKey(key), err)
+			break // the peer is gone again; stop pushing this round
+		}
+		drained++
+		n.mHintsDrained.Inc()
+	}
+	return drained
+}

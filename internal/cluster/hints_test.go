@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKeyN(i int) string { return fmt.Sprintf("%016x", i) }
+
+// TestHintLogAddTakeDedup pins the queue semantics: FIFO per peer,
+// deduplicated, take removes only the asked-for peer's hints.
+func TestHintLogAddTakeDedup(t *testing.T) {
+	hl := newHintLog(0, "", nil)
+	if hl.cap != DefaultHintCap {
+		t.Fatalf("default cap = %d, want %d", hl.cap, DefaultHintCap)
+	}
+	if !hl.add("b", testKeyN(1)) || !hl.add("b", testKeyN(2)) || !hl.add("c", testKeyN(1)) {
+		t.Fatal("fresh hints reported as duplicates")
+	}
+	if hl.add("b", testKeyN(1)) {
+		t.Fatal("duplicate hint reported as fresh")
+	}
+	if hl.pendingCount() != 3 || hl.distinctKeys() != 2 {
+		t.Fatalf("pending/distinct = %d/%d, want 3/2", hl.pendingCount(), hl.distinctKeys())
+	}
+	got := hl.take("b")
+	if len(got) != 2 || got[0] != testKeyN(1) || got[1] != testKeyN(2) {
+		t.Fatalf("take(b) = %v, want FIFO [key1 key2]", got)
+	}
+	if hl.pendingCount() != 1 {
+		t.Fatalf("take removed other peers' hints; %d left, want 1", hl.pendingCount())
+	}
+	if got := hl.take("b"); len(got) != 0 {
+		t.Fatalf("second take(b) = %v, want empty", got)
+	}
+	// Taken hints can re-queue (a failed drain puts them back).
+	if !hl.add("b", testKeyN(1)) {
+		t.Fatal("re-adding a taken hint reported as duplicate")
+	}
+}
+
+// TestHintLogBoundDropsOldest pins the overflow policy: the cap holds,
+// the oldest hint goes first, and the drop is counted (repair's cue).
+func TestHintLogBoundDropsOldest(t *testing.T) {
+	hl := newHintLog(3, "", nil)
+	for i := 1; i <= 5; i++ {
+		hl.add("b", testKeyN(i))
+	}
+	if hl.pendingCount() != 3 {
+		t.Fatalf("pending = %d, want cap 3", hl.pendingCount())
+	}
+	if hl.droppedCount() != 2 {
+		t.Fatalf("dropped = %d, want 2", hl.droppedCount())
+	}
+	got := hl.take("b")
+	if len(got) != 3 || got[0] != testKeyN(3) || got[2] != testKeyN(5) {
+		t.Fatalf("survivors = %v, want the 3 newest", got)
+	}
+}
+
+// TestHintLogJournalSurvivesReopen pins restart durability: adds and
+// resolutions journal as they happen, and a reopened log carries
+// exactly the outstanding hints, compacted.
+func TestHintLogJournalSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints", "hints.log")
+	hl := newHintLog(0, path, nil)
+	hl.add("b", testKeyN(1))
+	hl.add("b", testKeyN(2))
+	hl.add("c", testKeyN(3))
+	hl.take("b") // resolved: only c's hint is outstanding
+	hl.add("b", testKeyN(4))
+	hl.close()
+
+	re := newHintLog(0, path, nil)
+	defer re.close()
+	if re.pendingCount() != 2 {
+		t.Fatalf("reopened log has %d hints, want 2", re.pendingCount())
+	}
+	if got := re.take("c"); len(got) != 1 || got[0] != testKeyN(3) {
+		t.Fatalf("reopened take(c) = %v", got)
+	}
+	if got := re.take("b"); len(got) != 1 || got[0] != testKeyN(4) {
+		t.Fatalf("reopened take(b) = %v", got)
+	}
+	// The reopen compacted: resolved entries are gone from disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), testKeyN(1)) {
+		t.Fatal("compaction kept a resolved hint on disk")
+	}
+}
+
+// TestHintLogTornTailAndDamage pins the failure posture: a torn final
+// line parses up to the tear, and an unreadable journal degrades to
+// memory-only with one diagnostic instead of failing the node.
+func TestHintLogTornTailAndDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.log")
+	content := fmt.Sprintf("+ b %s\n+ c %s\n+ b", testKeyN(1), testKeyN(2))
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hl := newHintLog(0, path, nil)
+	defer hl.close()
+	if hl.pendingCount() != 2 {
+		t.Fatalf("pending = %d after torn tail, want the 2 intact lines", hl.pendingCount())
+	}
+
+	var diags []string
+	logf := func(format string, args ...any) { diags = append(diags, fmt.Sprintf(format, args...)) }
+	dir := t.TempDir() // a directory is unreadable as a journal file
+	broken := newHintLog(0, dir, logf)
+	defer broken.close()
+	if !broken.broken {
+		t.Fatal("unreadable journal did not degrade to memory-only")
+	}
+	if len(diags) != 1 {
+		t.Fatalf("degradation logged %d diagnostics, want exactly 1", len(diags))
+	}
+	// Memory-only still queues and drains.
+	broken.add("b", testKeyN(9))
+	if got := broken.take("b"); len(got) != 1 {
+		t.Fatalf("degraded log take = %v", got)
+	}
+}

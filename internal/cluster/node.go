@@ -38,6 +38,33 @@ type Options struct {
 	// breakers (non-positive: fault.NewBreaker defaults).
 	BreakerThreshold int
 	BreakerCooldown  int
+	// Replicas is how many cluster members hold each completed result
+	// (<=1: owner only, the historical behavior). Capped at the
+	// cluster size. With R > 1, every OK result fans out to the key's
+	// first R distinct ring successors, the peer tier walks that set
+	// on lookup, and fills to unroutable members queue as hints.
+	Replicas int
+	// ProbeInterval paces the background failure detector; <=0
+	// disables background probing (ProbeOnce still works). Rounds are
+	// jittered into [50%,100%] of the interval, seeded by Seed.
+	ProbeInterval time.Duration
+	// SuspectAfter/DownAfter are the consecutive-probe-miss budgets
+	// for the suspect and down transitions (<=0: 1 and 3).
+	SuspectAfter int
+	DownAfter    int
+	// HintCap bounds the hinted-handoff log (<=0: DefaultHintCap).
+	HintCap int
+	// HintPath is the hint journal file; empty keeps hints in memory
+	// only (they survive peer outages, not process restarts).
+	HintPath string
+	// RepairInterval paces the background anti-entropy pass; <=0
+	// disables it (RepairOnce still works).
+	RepairInterval time.Duration
+	// Seed drives the probe/repair pacing jitter.
+	Seed uint64
+	// Timeouts bounds each peer-call kind for the default client
+	// (ignored when Client is supplied).
+	Timeouts OpTimeouts
 	// Fault injects deterministic peer-call failures into the default
 	// client (chaos only; ignored when Client is supplied).
 	Fault *fault.Injector
@@ -57,13 +84,22 @@ type Node struct {
 	client *Client
 	tiers  *Tiered
 	queue  *stealQueue
+	health *Health
+	hints  *hintLog
 
-	mSteals      *telemetry.Counter
-	mStolenJobs  *telemetry.Counter
-	mFills       *telemetry.Counter
-	mShardsIn    *telemetry.Counter
-	mRerouted    *telemetry.Counter
-	mPeerCompute *telemetry.Counter
+	mSteals       *telemetry.Counter
+	mStolenJobs   *telemetry.Counter
+	mFills        *telemetry.Counter
+	mShardsIn     *telemetry.Counter
+	mRerouted     *telemetry.Counter
+	mPeerCompute  *telemetry.Counter
+	mProbes       *telemetry.Counter
+	mProbeFails   *telemetry.Counter
+	mReplicaFills *telemetry.Counter
+	mReplicasIn   *telemetry.Counter
+	mHintsQueued  *telemetry.Counter
+	mHintsDrained *telemetry.Counter
+	mRepairFills  *telemetry.Counter
 }
 
 // NewNode builds a node. The engine must have a cache: the cluster's
@@ -92,15 +128,24 @@ func NewNode(o Options) (*Node, error) {
 	if o.LentDeadline <= 0 {
 		o.LentDeadline = 30 * time.Second
 	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if members := len(ring.Members()); o.Replicas > members {
+		o.Replicas = members
+	}
 	n := &Node{opts: o, ring: ring, client: o.Client, queue: newStealQueue()}
 	if n.client == nil {
 		n.client = NewClient(ClientOptions{
 			Fault:            o.Fault,
+			Timeouts:         o.Timeouts,
 			BreakerThreshold: o.BreakerThreshold,
 			BreakerCooldown:  o.BreakerCooldown,
 			Metrics:          o.Metrics,
 		})
 	}
+	n.health = newHealth(o.Self, ring.Members(), o.SuspectAfter, o.DownAfter)
+	n.hints = newHintLog(o.HintCap, o.HintPath, n.logf)
 	cache := o.Engine.Cache()
 	newBreaker := func(name string) *fault.Breaker {
 		// Local tiers ride the cache's own disk breaker; only the peer
@@ -124,10 +169,34 @@ func NewNode(o Options) (*Node, error) {
 		n.mShardsIn = r.Counter("catch_cluster_shards_total", "Shard requests served for sweep coordinators.")
 		n.mRerouted = r.Counter("catch_cluster_reroutes_total", "Shards rerouted after a peer failure (ring exclusion).")
 		n.mPeerCompute = r.Counter("catch_cluster_lent_reclaimed_total", "Lent jobs reclaimed and recomputed locally.")
+		n.mProbes = r.Counter("catch_cluster_probes_total", "Health probes sent to peers.")
+		n.mProbeFails = r.Counter("catch_cluster_probe_failures_total", "Health probes that failed.")
+		n.mReplicaFills = r.Counter("catch_cluster_replica_fills_total", "Replica copies pushed to peers.")
+		n.mReplicasIn = r.Counter("catch_cluster_replicas_in_total", "Replica copies accepted from peers.")
+		n.mHintsQueued = r.Counter("catch_cluster_hints_queued_total", "Replica fills deferred into the hint log.")
+		n.mHintsDrained = r.Counter("catch_cluster_hints_drained_total", "Hinted fills delivered after a peer returned.")
+		n.mRepairFills = r.Counter("catch_cluster_repair_fills_total", "Replica copies pushed by anti-entropy repair.")
 		r.GaugeFunc("catch_cluster_queue_len", "Pending jobs in the steal queue.",
 			func() float64 { return float64(n.queue.queueLen()) })
 		r.GaugeFunc("catch_cluster_peers", "Static cluster size.",
 			func() float64 { return float64(len(ring.Members())) })
+		r.GaugeFunc("catch_cluster_hints_pending", "Hinted replica fills waiting for their peer to return.",
+			func() float64 { return float64(n.hints.pendingCount()) })
+		r.GaugeFunc("catch_cluster_unreplicated_keys", "Distinct result keys below their replication factor.",
+			func() float64 { return float64(n.hints.distinctKeys()) })
+		r.GaugeFunc("catch_cluster_peers_down", "Peers the failure detector currently condemns.",
+			func() float64 { _, _, down := n.health.Counts(); return float64(down) })
+	}
+	// Counters that feed /v1/cluster/status must count even without a
+	// metrics registry; standalone handles cost one atomic each.
+	for _, c := range []**telemetry.Counter{
+		&n.mSteals, &n.mStolenJobs, &n.mFills, &n.mShardsIn, &n.mRerouted, &n.mPeerCompute,
+		&n.mProbes, &n.mProbeFails, &n.mReplicaFills, &n.mReplicasIn,
+		&n.mHintsQueued, &n.mHintsDrained, &n.mRepairFills,
+	} {
+		if *c == nil {
+			*c = &telemetry.Counter{}
+		}
 	}
 	return n, nil
 }
@@ -141,9 +210,26 @@ func (n *Node) Self() string { return n.opts.Self }
 // Tiers exposes the tiered read path.
 func (n *Node) Tiers() *Tiered { return n.tiers }
 
+// Health exposes the failure detector's membership view.
+func (n *Node) Health() *Health { return n.health }
+
+// Replicas reports the effective replication factor.
+func (n *Node) Replicas() int { return n.opts.Replicas }
+
+// HealthSummary renders the one-line cluster view surfaced in
+// /healthz: member disposition counts (self counts as live — a node
+// answering /healthz is up by construction) and the backlog of
+// under-replicated results.
+func (n *Node) HealthSummary() string {
+	live, suspect, down := n.health.Counts()
+	return fmt.Sprintf("replicas=%d live=%d suspect=%d down=%d hints=%d unreplicated=%d",
+		n.opts.Replicas, live+1, suspect, down, n.hints.pendingCount(), n.hints.distinctKeys())
+}
+
 // peerTier is the third cache level: fetch the result from the key's
-// owner peer. Keys this node owns are a structural miss (there is no
-// better copy elsewhere), as is a cluster of one.
+// replica set, primary owner first, then each successor. Down peers
+// are excluded before the walk; a key whose whole remote replica set
+// misses (or is this node) is a structural miss.
 type peerTier struct{ node *Node }
 
 func (p *peerTier) Name() string              { return "peer" }
@@ -152,18 +238,21 @@ func (p *peerTier) Put(string, []core.Result) {}
 
 func (p *peerTier) Get(ctx context.Context, key string) ([]core.Result, error) {
 	n := p.node
-	owner := n.ring.Owner(key, nil)
-	if owner == "" || owner == n.opts.Self {
-		return nil, nil
+	var lastErr error
+	for _, owner := range n.ring.Owners(key, n.opts.Replicas, n.health.Down()) {
+		if owner == n.opts.Self {
+			continue // local tiers already missed; no better copy here
+		}
+		rs, found, err := n.client.FetchResult(ctx, owner, key)
+		if err != nil {
+			lastErr = err // a dead primary must not mask a live replica
+			continue
+		}
+		if found {
+			return rs, nil
+		}
 	}
-	rs, found, err := n.client.FetchResult(ctx, owner, key)
-	if err != nil {
-		return nil, err
-	}
-	if !found {
-		return nil, nil
-	}
-	return rs, nil
+	return nil, lastErr
 }
 
 // Lookup resolves key through the tiered read path without computing:
@@ -179,6 +268,50 @@ func (n *Node) Lookup(ctx context.Context, key string, localOnly bool) ([]core.R
 // when journaled); the returned results are in job order, so a
 // coordinator can splice shards back together deterministically.
 func (n *Node) ExecuteShard(ctx context.Context, jobs []runner.Job, jl *runner.Journal) []runner.JobResult {
+	out := n.executeShard(ctx, jobs, jl)
+	// Fan completed results out to their replica sets. Replication is
+	// idempotent (content-addressed keys), so re-pushing a cache hit
+	// costs one small call and repairs any gap a past failure left.
+	if n.opts.Replicas > 1 {
+		for i := range out {
+			if out[i].Status == runner.StatusOK {
+				n.replicate(ctx, out[i].Key, out[i].Results)
+			}
+		}
+	}
+	return out
+}
+
+// replicate pushes one completed result to every other member of its
+// replica set. A member that is unroutable (suspect or down) — or
+// whose fill fails — gets a hint instead: the copy is owed, and the
+// drain delivers it when the member returns. The local node keeps
+// serving the result meanwhile, so a minority partition degrades to
+// "computed but unreplicated", never to "lost".
+func (n *Node) replicate(ctx context.Context, key string, rs []core.Result) {
+	for _, owner := range n.ring.Owners(key, n.opts.Replicas, nil) {
+		if owner == n.opts.Self {
+			continue
+		}
+		if n.health.Unroutable(owner) {
+			if n.hints.add(owner, key) {
+				n.mHintsQueued.Inc()
+			}
+			continue
+		}
+		if err := n.client.ReplicaFill(ctx, owner, key, rs); err != nil {
+			if n.hints.add(owner, key) {
+				n.mHintsQueued.Inc()
+				n.logf("cluster: replica fill %s to %s failed (%v); hinted", shortKey(key), owner, err)
+			}
+			continue
+		}
+		n.mReplicaFills.Inc()
+	}
+}
+
+// executeShard is ExecuteShard minus replication.
+func (n *Node) executeShard(ctx context.Context, jobs []runner.Job, jl *runner.Journal) []runner.JobResult {
 	items, armed := n.queue.begin(jobs)
 	if !armed {
 		// Another shard is active: run engine-only. Correct, just not
@@ -257,16 +390,29 @@ func (n *Node) HandleSteal(max int) []runner.Job {
 	return n.queue.steal(max)
 }
 
-// HandleFill accepts a stolen job's results from the stealer.
-func (n *Node) HandleFill(key string, rs []core.Result) error {
+// HandleFill accepts results pushed by a peer. An authoritative fill
+// (a stolen job coming home) completes the outstanding queue entry —
+// or, when none is outstanding, lands in the cache and fans out to the
+// key's replica set, since this node is where the result now lives. A
+// replica fill stores and stops: it is already the fan-out, and a
+// receiver that re-fanned would loop copies around the ring forever.
+func (n *Node) HandleFill(ctx context.Context, key string, rs []core.Result, replica bool) error {
 	if !runner.ValidKey(key) || len(rs) == 0 {
 		return fmt.Errorf("cluster: fill needs a valid key and non-empty results")
 	}
 	n.mFills.Inc()
+	if replica {
+		n.mReplicasIn.Inc()
+		n.opts.Engine.Cache().Put(key, rs)
+		return nil
+	}
 	if !n.queue.fill(key, rs) {
 		// Not outstanding (reclaimed, or a very late stealer): the
 		// results are still valid and content-addressed, keep them.
 		n.opts.Engine.Cache().Put(key, rs)
+		if n.opts.Replicas > 1 {
+			n.replicate(ctx, key, rs)
+		}
 	}
 	return nil
 }
@@ -280,6 +426,9 @@ func (n *Node) StealOnce(ctx context.Context) (int, error) {
 	for _, peer := range n.ring.Members() {
 		if peer == n.opts.Self {
 			continue
+		}
+		if n.health.State(peer) != MemberLive {
+			continue // no point polling a peer the detector condemned
 		}
 		st, err := n.client.Status(ctx, peer)
 		if err != nil {
@@ -314,29 +463,60 @@ func (n *Node) StealOnce(ctx context.Context) (int, error) {
 	return computed, nil
 }
 
-// Start launches the background steal loop (when StealInterval is
-// set). It returns immediately; the loop ends with ctx.
+// Start launches the background loops — steal, health probing and
+// anti-entropy repair — for whichever intervals are set. It returns
+// immediately; every loop ends with ctx.
 func (n *Node) Start(ctx context.Context) {
-	if n.opts.StealInterval <= 0 {
-		return
-	}
-	go func() {
-		t := time.NewTicker(n.opts.StealInterval)
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				if n.queue.queueLen() > 0 {
-					continue // busy locally; don't steal
-				}
-				if _, err := n.StealOnce(ctx); err != nil {
-					n.logf("cluster: steal: %v", err)
+	if n.opts.StealInterval > 0 {
+		go func() {
+			t := time.NewTicker(n.opts.StealInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n.queue.queueLen() > 0 {
+						continue // busy locally; don't steal
+					}
+					if _, err := n.StealOnce(ctx); err != nil {
+						n.logf("cluster: steal: %v", err)
+					}
 				}
 			}
+		}()
+	}
+	if n.opts.ProbeInterval > 0 {
+		go n.paceLoop(ctx, "probe", n.opts.ProbeInterval, func() {
+			n.ProbeOnce(ctx)
+		})
+	}
+	if n.opts.RepairInterval > 0 && n.opts.Replicas > 1 {
+		go n.paceLoop(ctx, "repair", n.opts.RepairInterval, func() {
+			if _, err := n.RepairOnce(ctx); err != nil {
+				n.logf("cluster: repair: %v", err)
+			}
+		})
+	}
+}
+
+// paceLoop runs step roughly every interval, each round jittered into
+// [50%,100%] of the interval by the seeded Backoff hash — the same
+// jitter discipline as retry pacing, so a fleet started together never
+// probes (or repairs) in lockstep, and the schedule is a pure function
+// of the seed.
+func (n *Node) paceLoop(ctx context.Context, name string, interval time.Duration, step func()) {
+	bo := fault.Backoff{Base: interval, Max: interval, Seed: n.opts.Seed}
+	for round := 1; ; round++ {
+		t := time.NewTimer(bo.Delay(fmt.Sprintf("%s:%d", name, round), 1))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
 		}
-	}()
+		step()
+	}
 }
 
 // RunSweep coordinates a sweep across the cluster: jobs group by ring
@@ -351,7 +531,10 @@ func (n *Node) RunSweep(ctx context.Context, jobs []runner.Job, jl *runner.Journ
 	for i := range jobs {
 		remaining[i] = i
 	}
-	down := make(map[string]bool)
+	// Seed the exclusion set from the failure detector: peers already
+	// condemned never get a first (doomed) dispatch. Sweep-local
+	// failures still add to the set as they happen.
+	down := n.health.Down()
 
 	for len(remaining) > 0 {
 		if ctx.Err() != nil {

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+)
+
+// RepairOnce runs one anti-entropy pass: every key in the local cache
+// is checked against the manifests of its live replica-set members,
+// and any owner missing its copy gets a replica fill. The pass pushes
+// only — each node repairs from what it holds — so running it on every
+// member converges the cluster to full replication no matter which
+// side of a partition computed what. Results are content-addressed,
+// which makes repair idempotent: re-filling a key a peer already holds
+// rewrites identical bytes.
+//
+// Peers that are down, suspect, or fail the manifest fetch are skipped
+// this pass (their gaps persist into the next one); keys the cache
+// evicted between listing and read are skipped the same way. The pass
+// reports how many fills it pushed.
+func (n *Node) RepairOnce(ctx context.Context) (int, error) {
+	if n.opts.Replicas <= 1 {
+		return 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	keys := n.opts.Engine.Cache().Keys()
+	if len(keys) == 0 {
+		return 0, nil
+	}
+
+	// One manifest fetch per live peer, not per key. A peer we cannot
+	// manifest is treated as having nothing to repair this round —
+	// guessing "it has nothing" would push the whole cache at it.
+	manifests := make(map[string]map[string]bool)
+	for _, peer := range n.health.peers {
+		if n.health.State(peer) != MemberLive {
+			continue
+		}
+		peerKeys, err := n.client.Manifest(ctx, peer)
+		if err != nil {
+			n.logf("cluster: repair: manifest from %s failed (%v); skipping it this pass", peer, err)
+			continue
+		}
+		set := make(map[string]bool, len(peerKeys))
+		for _, k := range peerKeys {
+			set[k] = true
+		}
+		manifests[peer] = set
+	}
+	if len(manifests) == 0 {
+		return 0, nil
+	}
+
+	sort.Strings(keys) // deterministic repair order
+	fills := 0
+	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return fills, err
+		}
+		for _, owner := range n.ring.Owners(key, n.opts.Replicas, nil) {
+			if owner == n.opts.Self {
+				continue
+			}
+			set, live := manifests[owner]
+			if !live || set[key] {
+				continue
+			}
+			rs, ok := n.opts.Engine.Cache().Get(key)
+			if !ok {
+				break // evicted since listing; nothing to push anywhere
+			}
+			if err := n.client.ReplicaFill(ctx, owner, key, rs); err != nil {
+				n.logf("cluster: repair: fill %s to %s failed: %v", shortKey(key), owner, err)
+				continue
+			}
+			set[key] = true // the view, so a second pass in-round stays quiet
+			fills++
+			n.mRepairFills.Inc()
+		}
+	}
+	return fills, nil
+}

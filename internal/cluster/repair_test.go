@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestRepairOnceFillsGaps pins the anti-entropy pass: a node holding
+// results its peers lack (here: a cluster warmed with replication off,
+// then raised to R=2 conceptually via a fresh sweep path) pushes
+// exactly the missing copies, and a second pass is quiet.
+func TestRepairOnceFillsGaps(t *testing.T) {
+	ref := singleNodeFlatten(t)
+	tc := newTestCluster(t, 3, func(i int, o *Options) { o.Replicas = 2 })
+	ctx := context.Background()
+	keys := jobKeys()
+
+	// Warm ONLY node 0's cache by computing locally, bypassing the
+	// sweep path (and hence normal replication): the cluster now has
+	// every key on one node and nowhere else.
+	g := testGrid()
+	out := tc.engines[0].Run(ctx, g.Jobs())
+	if got := mustFlatten(t, out); !bytes.Equal(got, ref) {
+		t.Fatal("local warm run diverged")
+	}
+
+	fills, err := tc.nodes[0].RepairOnce(ctx)
+	if err != nil {
+		t.Fatalf("RepairOnce: %v", err)
+	}
+	if fills == 0 {
+		t.Fatal("repair pushed nothing with every replica missing")
+	}
+	// Every key is now on its full replica set — note node 0 pushes to
+	// owners even for keys it does not own, so placement is correct,
+	// not just "some copy exists".
+	assertReplicated(t, tc, keys, 2)
+	if got := tc.nodes[0].mRepairFills.Value(); got != uint64(fills) {
+		t.Fatalf("repair counter = %d, want %d", got, fills)
+	}
+
+	// Convergence: a second pass finds nothing to do.
+	again, err := tc.nodes[0].RepairOnce(ctx)
+	if err != nil {
+		t.Fatalf("second RepairOnce: %v", err)
+	}
+	if again != 0 {
+		t.Fatalf("second repair pass pushed %d fills, want 0", again)
+	}
+}
+
+// TestRepairSkipsCondemnedPeers pins that repair never waits on a dead
+// socket: a down peer's gaps persist to the next pass instead of
+// stalling this one.
+func TestRepairSkipsCondemnedPeers(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int, o *Options) { o.Replicas = 2 })
+	ctx := context.Background()
+
+	g := testGrid()
+	tc.engines[0].Run(ctx, g.Jobs())
+
+	tc.kill(1)
+	for i := 0; i < 3; i++ {
+		tc.nodes[0].ProbeOnce(ctx)
+	}
+	if _, err := tc.nodes[0].RepairOnce(ctx); err != nil {
+		t.Fatalf("RepairOnce with a down peer: %v", err)
+	}
+	// Node 2 got its copies; node 1 (down) got none and recovers later.
+	for _, key := range jobKeys() {
+		for _, owner := range tc.nodes[0].Ring().Owners(key, 2, nil) {
+			if owner != tc.urls[2] {
+				continue
+			}
+			if _, ok := tc.engines[2].Cache().Get(key); !ok {
+				t.Fatalf("live replica %s never repaired while a sibling was down", shortKey(key))
+			}
+		}
+	}
+	if n := len(tc.engines[1].Cache().Keys()); n != 0 {
+		t.Fatalf("dead peer somehow received %d repair fills", n)
+	}
+
+	// The peer returns; the next pass closes its gaps too.
+	tc.restart(1)
+	tc.nodes[0].ProbeOnce(ctx)
+	if _, err := tc.nodes[0].RepairOnce(ctx); err != nil {
+		t.Fatalf("post-restart RepairOnce: %v", err)
+	}
+	assertReplicated(t, tc, jobKeys(), 2)
+}
+
+// TestRepairNoopBelowReplication pins that R=1 clusters (the legacy
+// configuration) never run repair traffic.
+func TestRepairNoopBelowReplication(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	g := testGrid()
+	tc.engines[0].Run(context.Background(), g.Jobs())
+	fills, err := tc.nodes[0].RepairOnce(context.Background())
+	if err != nil || fills != 0 {
+		t.Fatalf("RepairOnce on R=1 = (%d, %v), want (0, nil)", fills, err)
+	}
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// ownerIndex maps a ring member URL back to its testCluster index.
+func (tc *testCluster) ownerIndex(t *testing.T, url string) int {
+	t.Helper()
+	for i, u := range tc.urls {
+		if u == url {
+			return i
+		}
+	}
+	t.Fatalf("url %q not in cluster", url)
+	return -1
+}
+
+// jobKeys returns the standard test grid's content-addressed keys.
+func jobKeys() []string {
+	g := testGrid()
+	jobs := g.Jobs()
+	keys := make([]string, len(jobs))
+	for i := range jobs {
+		keys[i] = jobs[i].Key()
+	}
+	return keys
+}
+
+// assertReplicated fails unless every key is cached on every member of
+// its replica set.
+func assertReplicated(t *testing.T, tc *testCluster, keys []string, replicas int) {
+	t.Helper()
+	for _, key := range keys {
+		for _, owner := range tc.nodes[0].Ring().Owners(key, replicas, nil) {
+			oi := tc.ownerIndex(t, owner)
+			if _, ok := tc.engines[oi].Cache().Get(key); !ok {
+				t.Fatalf("key %s missing from replica %d (set %v)",
+					shortKey(key), oi, tc.nodes[0].Ring().Owners(key, replicas, nil))
+			}
+		}
+	}
+}
+
+// TestClusterReplicationSurvivesKill is the kill-owner chaos tentpole:
+// with -replicas 2, a warm cluster loses any single peer and a
+// follow-up sweep still produces byte-identical output with ZERO
+// recomputation — every job that would have landed on the dead peer is
+// served from a surviving replica's cache.
+func TestClusterReplicationSurvivesKill(t *testing.T) {
+	ref := singleNodeFlatten(t)
+	tc := newTestCluster(t, 3, func(i int, o *Options) { o.Replicas = 2 })
+
+	keys := jobKeys()
+	out := tc.sweep(t, 0)
+	if got := mustFlatten(t, out); !bytes.Equal(got, ref) {
+		t.Fatal("warm sweep diverged from the single-node run")
+	}
+	warm := executedTotal(tc)
+	if warm != uint64(len(keys)) {
+		t.Fatalf("warm sweep executed %d jobs, want %d", warm, len(keys))
+	}
+	// The warm sweep fanned every result out to its full replica set.
+	assertReplicated(t, tc, keys, 2)
+
+	// Kill each non-coordinator in turn: the re-sweep must stay
+	// byte-identical AND compute nothing — the dead peer's shard
+	// reroutes to its ring successor, which already holds the replica.
+	for _, victim := range []int{1, 2} {
+		tc.kill(victim)
+		out := tc.sweep(t, 0)
+		if got := mustFlatten(t, out); !bytes.Equal(got, ref) {
+			t.Fatalf("sweep with node %d dead diverged", victim)
+		}
+		if n := executedTotal(tc); n != warm {
+			t.Fatalf("sweep with node %d dead recomputed %d jobs; replicas should have served all of them",
+				victim, n-warm)
+		}
+		tc.restart(victim)
+	}
+}
+
+// TestClusterHintedHandoffDrain walks the full outage lifecycle: the
+// prober condemns a killed peer (live → suspect → down), sweeps route
+// around it from the first dispatch, replica fills owed to it queue as
+// hints, and its return (down → live) drains the hints — restoring
+// full replication without the peer recomputing anything.
+func TestClusterHintedHandoffDrain(t *testing.T) {
+	ref := singleNodeFlatten(t)
+	tc := newTestCluster(t, 3, func(i int, o *Options) { o.Replicas = 2 })
+	ctx := context.Background()
+	keys := jobKeys()
+
+	if got := mustFlatten(t, tc.sweep(t, 0)); !bytes.Equal(got, ref) {
+		t.Fatal("warm sweep diverged")
+	}
+	warm := executedTotal(tc)
+	deadExecuted := tc.engines[2].Executed()
+
+	tc.kill(2)
+	// Three failed probe rounds condemn the peer on both survivors:
+	// live → suspect on the first miss, down on the third.
+	for round := 0; round < 3; round++ {
+		for _, i := range []int{0, 1} {
+			tc.nodes[i].ProbeOnce(ctx)
+		}
+	}
+	for _, i := range []int{0, 1} {
+		if st := tc.nodes[i].health.State(tc.urls[2]); st != MemberDown {
+			t.Fatalf("node %d sees the killed peer as %s after 3 failed probes, want down", i, st)
+		}
+	}
+
+	// The detector seeded the sweep's down-set, so the dead peer never
+	// gets a doomed dispatch (no reroute), and replica fills owed to it
+	// queue as hints instead of waiting on its socket.
+	rerouted := tc.nodes[0].mRerouted.Value()
+	if got := mustFlatten(t, tc.sweep(t, 0)); !bytes.Equal(got, ref) {
+		t.Fatal("sweep with a condemned peer diverged")
+	}
+	if executedTotal(tc) != warm {
+		t.Fatal("sweep with a condemned peer recomputed cached jobs")
+	}
+	if tc.nodes[0].mRerouted.Value() != rerouted {
+		t.Fatal("coordinator dispatched a shard to a peer the detector had already condemned")
+	}
+
+	// Every key whose replica set includes the dead peer is owed a
+	// copy; the survivors' hint logs must carry exactly those.
+	owed := make(map[string]bool)
+	for _, key := range keys {
+		for _, owner := range tc.nodes[0].Ring().Owners(key, 2, nil) {
+			if owner == tc.urls[2] {
+				owed[key] = true
+			}
+		}
+	}
+	hinted := make(map[string]bool)
+	for _, i := range []int{0, 1} {
+		tc.nodes[i].hints.mu.Lock()
+		for _, h := range tc.nodes[i].hints.pending {
+			if h.peer == tc.urls[2] {
+				hinted[h.key] = true
+			}
+		}
+		tc.nodes[i].hints.mu.Unlock()
+	}
+	if len(hinted) != len(owed) {
+		t.Fatalf("hint logs owe the dead peer %d distinct keys, want %d", len(hinted), len(owed))
+	}
+
+	// The peer returns: the first successful probe flips it back to
+	// live and drains the hints into its cache.
+	tc.restart(2)
+	for _, i := range []int{0, 1} {
+		trs := tc.nodes[i].ProbeOnce(ctx)
+		for _, tr := range trs {
+			if tr.Peer == tc.urls[2] && tr.To != MemberLive {
+				t.Fatalf("node %d transitioned the restarted peer to %s", i, tr.To)
+			}
+		}
+	}
+	for _, i := range []int{0, 1} {
+		if n := tc.nodes[i].hints.pendingCount(); n != 0 {
+			t.Fatalf("node %d still holds %d hints after the peer returned", i, n)
+		}
+	}
+	for key := range owed {
+		if _, ok := tc.engines[2].Cache().Get(key); !ok {
+			t.Fatalf("restarted peer never received hinted key %s", shortKey(key))
+		}
+	}
+	// The drain restored replication by copying, not recomputing.
+	if tc.engines[2].Executed() != deadExecuted {
+		t.Fatal("restarted peer recomputed results the drain should have delivered")
+	}
+	assertReplicated(t, tc, keys, 2)
+}
+
+// TestClusterStatusReplicationFields pins the new status-document
+// surface: replication factor, per-peer health view and the
+// under-replication backlog an operator watches during an incident.
+func TestClusterStatusReplicationFields(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int, o *Options) { o.Replicas = 2 })
+	ctx := context.Background()
+
+	tc.kill(2)
+	for round := 0; round < 3; round++ {
+		tc.nodes[0].ProbeOnce(ctx)
+	}
+	tc.nodes[0].hints.add(tc.urls[2], "deadbeefdeadbeef")
+
+	resp, err := http.Get(tc.urls[0] + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var doc StatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Replicas != 2 {
+		t.Fatalf("status replicas = %d, want 2", doc.Replicas)
+	}
+	if doc.Hints != 1 || doc.Unreplicated != 1 {
+		t.Fatalf("status hints/unreplicated = %d/%d, want 1/1", doc.Hints, doc.Unreplicated)
+	}
+	states := make(map[string]string)
+	for _, h := range doc.Health {
+		states[h.Peer] = h.State
+	}
+	if states[tc.urls[2]] != "down" || states[tc.urls[1]] != "live" {
+		t.Fatalf("status health = %v", states)
+	}
+	if doc.ProbeFailures == 0 {
+		t.Fatal("status reports zero probe failures after a condemned peer")
+	}
+}

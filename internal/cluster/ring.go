@@ -89,18 +89,47 @@ func (r *Ring) VNodes() int { return r.vnodes }
 // key's hash and skipping members in down (nil means none). When every
 // member is down (or the ring is empty) it returns "".
 func (r *Ring) Owner(key string, down map[string]bool) string {
-	if len(r.points) == 0 {
+	owners := r.Owners(key, 1, down)
+	if len(owners) == 0 {
 		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the first n distinct live members clockwise from the
+// key's hash: the key's replica set. The first element is the primary
+// owner; the rest are the successors a replicated result fans out to,
+// in the order a reader should try them. Members in down are skipped,
+// which preserves the consistent-hashing property — excluding a member
+// changes only the replica sets that contained it, each by exactly one
+// member. Fewer than n live members yields a shorter slice; an empty
+// ring yields nil.
+func (r *Ring) Owners(key string, n int, down map[string]bool) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
 	}
 	h := ringHash(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	for i := 0; i < len(r.points); i++ {
+	owners := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if !down[p.member] {
-			return p.member
+		if down[p.member] || contains(owners, p.member) {
+			continue
+		}
+		owners = append(owners, p.member)
+	}
+	return owners
+}
+
+// contains reports membership in a small slice (replica sets are a
+// handful of entries; a map would cost more than the scan).
+func contains(s []string, v string) bool {
+	for _, e := range s {
+		if e == v {
+			return true
 		}
 	}
-	return ""
+	return false
 }
 
 // ringHash maps a string onto the ring: FNV-1a finished with the

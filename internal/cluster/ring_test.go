@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -73,6 +75,164 @@ func TestRingMembershipStability(t *testing.T) {
 		if owner != "http://b:1" && rerouted != owner {
 			t.Fatalf("key %s not owned by the down member moved anyway (%s -> %s)", k[:12], owner, rerouted)
 		}
+	}
+}
+
+// dropMember filters one member out of an owner sequence.
+func dropMember(owners []string, member string) []string {
+	out := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o != member {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func sameOwners(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRingOwnersReplicaSets pins the replica-set contract: n distinct
+// live successors, primary first, down members excluded, and a short
+// cluster truncating gracefully.
+func TestRingOwnersReplicaSets(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(members, 0)
+	for _, k := range ringKeys(500) {
+		owners := r.Owners(k, 2, nil)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%s, 2) = %v; want 2 distinct members", k[:12], owners)
+		}
+		if owners[0] != r.Owner(k, nil) {
+			t.Fatalf("Owners(%s)[0] = %s, but Owner = %s", k[:12], owners[0], r.Owner(k, nil))
+		}
+		down := map[string]bool{owners[0]: true}
+		promoted := r.Owners(k, 2, down)
+		if len(promoted) != 2 || promoted[0] != owners[1] {
+			t.Fatalf("with the primary down, Owners = %v; want successor %s promoted", promoted, owners[1])
+		}
+		// Asking for more replicas than members returns every member.
+		if all := r.Owners(k, 5, nil); len(all) != len(members) {
+			t.Fatalf("Owners(%s, 5) = %v on a 3-member ring", k[:12], all)
+		}
+	}
+	if NewRing(nil, 8).Owners("deadbeefdeadbeef", 2, nil) != nil {
+		t.Fatal("empty ring returned owners")
+	}
+	if r.Owners("deadbeefdeadbeef", 0, nil) != nil {
+		t.Fatal("Owners with n=0 returned owners")
+	}
+}
+
+// TestRingOwnersMembershipStability pins the consistent-hashing
+// property at the replica-set level: membership churn (add, remove,
+// down) reshuffles only the replica sets that touch the changed
+// member. Survivors keep their successor order — filtering the changed
+// member out of the wider walk reproduces the old sets exactly.
+func TestRingOwnersMembershipStability(t *testing.T) {
+	three := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	four := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 0)
+	for _, k := range ringKeys(2000) {
+		// Adding d only inserts d: deleting it from the 4-member walk
+		// yields the 3-member walk, so no key's replicas swap among
+		// survivors.
+		if got := dropMember(four.Owners(k, 4, nil), "http://d:1"); !sameOwners(got, three.Owners(k, 3, nil)) {
+			t.Fatalf("key %s survivors reordered after add: %v vs %v", k[:12], got, three.Owners(k, 3, nil))
+		}
+		// Marking b down at lookup time is the same filter.
+		down := map[string]bool{"http://b:1": true}
+		want := dropMember(three.Owners(k, 3, nil), "http://b:1")[:2]
+		if got := three.Owners(k, 2, down); !sameOwners(got, want) {
+			t.Fatalf("key %s replicas with b down = %v, want %v", k[:12], got, want)
+		}
+		// A key whose replica set never included b keeps it verbatim.
+		base := three.Owners(k, 2, nil)
+		if base[0] != "http://b:1" && base[1] != "http://b:1" {
+			if got := three.Owners(k, 2, down); !sameOwners(got, base) {
+				t.Fatalf("key %s moved replicas despite not touching the down member: %v vs %v", k[:12], got, base)
+			}
+		}
+	}
+}
+
+// TestRingOwnersChurnConcurrent hammers Owners from parallel readers
+// while the membership churns underneath them (ring swaps model
+// add/remove; per-call down-sets model failure-detector flaps). Run
+// under -race this pins that lookups never tear, and every answer is
+// internally consistent no matter which membership generation it hit.
+func TestRingOwnersChurnConcurrent(t *testing.T) {
+	gens := []*Ring{
+		NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 16),
+		NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 16),
+		NewRing([]string{"http://a:1", "http://c:1", "http://d:1"}, 16), // b removed
+	}
+	var cur atomic.Pointer[Ring]
+	cur.Store(gens[0])
+	keys := ringKeys(64)
+	downs := []map[string]bool{nil, {"http://c:1": true}}
+
+	stop := make(chan struct{})
+	errc := make(chan string, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := cur.Load()
+				down := downs[(i+w)%len(downs)]
+				for _, k := range keys {
+					owners := r.Owners(k, 2, down)
+					seen := make(map[string]bool, len(owners))
+					for _, o := range owners {
+						if down[o] {
+							reportOnce(errc, fmt.Sprintf("down member %s in replica set for %s", o, k[:12]))
+							return
+						}
+						if seen[o] {
+							reportOnce(errc, fmt.Sprintf("duplicate member %s in replica set for %s", o, k[:12]))
+							return
+						}
+						seen[o] = true
+					}
+					if len(owners) > 0 && owners[0] != r.Owner(k, down) {
+						reportOnce(errc, fmt.Sprintf("Owners[0] disagrees with Owner for %s", k[:12]))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 500; i++ {
+		cur.Store(gens[i%len(gens)])
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func reportOnce(errc chan string, msg string) {
+	select {
+	case errc <- msg:
+	default:
 	}
 }
 

@@ -43,6 +43,7 @@ type StatusDoc struct {
 	Self      string      `json:"self"`
 	Members   []string    `json:"members"`
 	VNodes    int         `json:"vnodes"`
+	Replicas  int         `json:"replicas"` // effective replication factor
 	Version   string      `json:"version,omitempty"`
 	QueueLen  int         `json:"queueLen"`
 	Lent      int         `json:"lent"`
@@ -50,6 +51,24 @@ type StatusDoc struct {
 	Reclaimed int         `json:"reclaimed"` // lent jobs reclaimed locally
 	Tiers     []TierStats `json:"tiers"`
 	Peers     []PeerState `json:"peers"`
+	// Health is this node's failure-detector view of every peer.
+	Health []MemberHealthDoc `json:"health,omitempty"`
+	// Hints is the hinted-handoff backlog: replica fills waiting for
+	// their destination to return. Unreplicated is the distinct result
+	// keys in that backlog — results this node serves correctly but
+	// that currently live below their replication factor (the number a
+	// minority partition watches shrink to zero after heal).
+	Hints        int    `json:"hints"`
+	HintsDropped uint64 `json:"hintsDropped,omitempty"` // overflowed hint-log entries (repair's job now)
+	Unreplicated int    `json:"unreplicated"`
+	// Replication traffic counters: copies pushed on completion,
+	// copies accepted from peers, hinted fills delivered after a
+	// return, and copies pushed by anti-entropy repair.
+	ReplicaFills  uint64 `json:"replicaFills,omitempty"`
+	ReplicasIn    uint64 `json:"replicasIn,omitempty"`
+	HintsDrained  uint64 `json:"hintsDrained,omitempty"`
+	RepairFills   uint64 `json:"repairFills,omitempty"`
+	ProbeFailures uint64 `json:"probeFailures,omitempty"`
 }
 
 // PeerState is one ring member's view from this node.
@@ -80,10 +99,26 @@ type stealResponse struct {
 	Jobs []runner.Job `json:"jobs"`
 }
 
-// fillRequest returns a stolen job's results to its owner.
+// fillRequest returns a stolen job's results to its owner (Replica
+// false) or pushes a replica copy to a member of the key's replica set
+// (Replica true). The flag is what keeps replication loop-free: only
+// authoritative fills fan out again.
 type fillRequest struct {
 	Key     string        `json:"key"`
 	Results []core.Result `json:"results"`
+	Replica bool          `json:"replica,omitempty"`
+}
+
+// pingDoc answers the failure detector's probe.
+type pingDoc struct {
+	Self string `json:"self"`
+}
+
+// manifestDoc lists every result key this node holds (memory and
+// disk), for anti-entropy repair diffs.
+type manifestDoc struct {
+	Self string   `json:"self"`
+	Keys []string `json:"keys"`
 }
 
 type errorBody struct {
@@ -95,6 +130,8 @@ type errorBody struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cluster/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/cluster/ping", s.handlePing)
+	mux.HandleFunc("GET /v1/cluster/manifest", s.handleManifest)
 	mux.HandleFunc("POST /v1/cluster/shard", s.handleShard)
 	mux.HandleFunc("POST /v1/cluster/steal", s.handleSteal)
 	mux.HandleFunc("POST /v1/cluster/fill", s.handleFill)
@@ -110,16 +147,41 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	n := s.Node
 	stolen, reclaimed := n.queue.counters()
 	writeJSON(w, http.StatusOK, StatusDoc{
-		Self:      n.Self(),
-		Members:   n.Ring().Members(),
-		VNodes:    n.Ring().VNodes(),
-		Version:   s.Version,
-		QueueLen:  n.queue.queueLen(),
-		Lent:      n.queue.lentCount(),
-		Stolen:    stolen,
-		Reclaimed: reclaimed,
-		Tiers:     n.Tiers().Stats(),
-		Peers:     n.peerStates(),
+		Self:          n.Self(),
+		Members:       n.Ring().Members(),
+		VNodes:        n.Ring().VNodes(),
+		Replicas:      n.Replicas(),
+		Version:       s.Version,
+		QueueLen:      n.queue.queueLen(),
+		Lent:          n.queue.lentCount(),
+		Stolen:        stolen,
+		Reclaimed:     reclaimed,
+		Tiers:         n.Tiers().Stats(),
+		Peers:         n.peerStates(),
+		Health:        n.health.snapshot(),
+		Hints:         n.hints.pendingCount(),
+		HintsDropped:  n.hints.droppedCount(),
+		Unreplicated:  n.hints.distinctKeys(),
+		ReplicaFills:  n.mReplicaFills.Value(),
+		ReplicasIn:    n.mReplicasIn.Value(),
+		HintsDrained:  n.mHintsDrained.Value(),
+		RepairFills:   n.mRepairFills.Value(),
+		ProbeFailures: n.mProbeFails.Value(),
+	})
+}
+
+// handlePing answers the failure detector: a 200 means "up", nothing
+// more. The body names the node so a misconfigured peer list shows
+// itself in probes.
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, pingDoc{Self: s.Node.Self()})
+}
+
+// handleManifest lists this node's cached result keys for repair.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, manifestDoc{
+		Self: s.Node.Self(),
+		Keys: s.Node.opts.Engine.Cache().Keys(),
 	})
 }
 
@@ -202,7 +264,7 @@ func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{"bad request body: " + err.Error()})
 		return
 	}
-	if err := s.Node.HandleFill(req.Key, req.Results); err != nil {
+	if err := s.Node.HandleFill(r.Context(), req.Key, req.Results, req.Replica); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
 	}

@@ -125,16 +125,17 @@ func TestHandleFillUnsolicited(t *testing.T) {
 	}
 	key := stealJobs(1)[0].Key()
 	rs := []core.Result{{Workload: "mcf", IPC: 1}}
-	if err := n.HandleFill(key, rs); err != nil {
+	ctx := context.Background()
+	if err := n.HandleFill(ctx, key, rs, false); err != nil {
 		t.Fatalf("HandleFill: %v", err)
 	}
 	if got, ok := eng.Cache().Get(key); !ok || len(got) != 1 {
 		t.Fatal("unsolicited fill did not land in the cache")
 	}
-	if err := n.HandleFill("not hex!", rs); err == nil {
+	if err := n.HandleFill(ctx, "not hex!", rs, false); err == nil {
 		t.Fatal("HandleFill accepted a malformed key")
 	}
-	if err := n.HandleFill(key, nil); err == nil {
+	if err := n.HandleFill(ctx, key, nil, false); err == nil {
 		t.Fatal("HandleFill accepted empty results")
 	}
 }

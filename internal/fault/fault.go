@@ -17,6 +17,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -93,6 +94,13 @@ type Rule struct {
 	Times int
 	// Delay is the artificial latency for Slow rules (default 1ms).
 	Delay time.Duration
+	// Match, when non-empty, restricts the rule to sites containing the
+	// substring. Peer-call sites embed the target peer's URL, so a
+	// matched Peer rule severs exactly the links to one peer — the
+	// building block partition chaos tests cut a cluster with
+	// (Prob 1 + Match "http://b:1" fails every call to b and nothing
+	// else, deterministically).
+	Match string
 }
 
 // Plan is a seeded fault schedule: at most one rule per kind.
@@ -196,6 +204,9 @@ func (in *Injector) Fire(kind Kind, site string) bool {
 	}
 	r := in.rules[kind]
 	if r.Prob <= 0 || !selected(in.seed, kind, site, r.Prob) {
+		return false
+	}
+	if r.Match != "" && !strings.Contains(site, r.Match) {
 		return false
 	}
 	k := siteKey{kind, site}

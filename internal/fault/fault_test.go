@@ -148,8 +148,40 @@ func TestInjectedErrorIdentity(t *testing.T) {
 	}
 }
 
+// TestRuleMatchFilter pins the site-substring filter partitions are
+// built from: a matched rule fires only at sites containing the
+// filter, so Prob 1 + Match <peer URL> severs exactly the links to
+// that peer and nothing else.
+func TestRuleMatchFilter(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Rules: map[Kind]Rule{
+		Peer: {Prob: 1, Times: 1 << 20, Match: "http://b:1"},
+	}})
+	matched := []string{
+		"fetch:http://b:1:fetch:http://b:1:deadbeef",
+		"probe:http://b:1:probe:http://b:1",
+	}
+	unmatched := []string{
+		"fetch:http://a:1:fetch:http://a:1:deadbeef",
+		"probe:http://c:1:probe:http://c:1",
+		"fill:http://a:9:fill:http://a:9:cafe",
+	}
+	for _, s := range matched {
+		if !in.Fire(Peer, s) {
+			t.Fatalf("matched site %q did not fire under Prob 1", s)
+		}
+	}
+	for _, s := range unmatched {
+		if in.Fire(Peer, s) {
+			t.Fatalf("unmatched site %q fired despite the filter", s)
+		}
+	}
+	if got := in.Injected(Peer); got != uint64(len(matched)) {
+		t.Fatalf("injected = %d, want %d (matched sites only)", got, len(matched))
+	}
+}
+
 func TestParsePlanRoundTrip(t *testing.T) {
-	spec := "seed=42,disk-read=0.5,corrupt=0.25:2,slow=0.3@5ms"
+	spec := "seed=42,disk-read=0.5,corrupt=0.25:2,slow=0.3@5ms,peer=1:99~http://b:1"
 	p, err := ParsePlan(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +189,9 @@ func TestParsePlanRoundTrip(t *testing.T) {
 	if p.Seed != 42 || p.Rules[DiskRead].Prob != 0.5 ||
 		p.Rules[Corrupt].Times != 2 || p.Rules[Slow].Delay != 5*time.Millisecond {
 		t.Fatalf("parsed plan = %+v", p)
+	}
+	if r := p.Rules[Peer]; r.Prob != 1 || r.Times != 99 || r.Match != "http://b:1" {
+		t.Fatalf("parsed peer rule = %+v; ~match did not survive", r)
 	}
 	p2, err := ParsePlan(p.String())
 	if err != nil {
@@ -179,6 +214,8 @@ func TestParsePlanRejectsGarbage(t *testing.T) {
 		"disk-read=0.5:0",
 		"slow=0.5@-3ms",
 		"seed=abc",
+		"peer=0.5~", // an empty filter would silently match every site
+
 	} {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("spec %q parsed", spec)

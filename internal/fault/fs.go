@@ -14,6 +14,10 @@ type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
+	// ReadDir lists the file names in dir (sorted, as os.ReadDir
+	// guarantees). The result cache uses it to manifest its on-disk
+	// keys for anti-entropy repair.
+	ReadDir(dir string) ([]string, error)
 }
 
 // OS is the real filesystem.
@@ -26,6 +30,17 @@ func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
 func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
 
 // InjectFS decorates an FS with injected disk faults. Sites are the
 // base name of the path (stable across temp directories), so a seeded
@@ -76,4 +91,11 @@ func (f InjectFS) Rename(oldpath, newpath string) error {
 
 func (f InjectFS) Remove(name string) error {
 	return f.FS.Remove(name)
+}
+
+func (f InjectFS) ReadDir(dir string) ([]string, error) {
+	if f.Inj.Fire(DiskRead, site(dir)) {
+		return nil, f.Inj.Err(DiskRead, site(dir))
+	}
+	return f.FS.ReadDir(dir)
 }

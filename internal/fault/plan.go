@@ -10,12 +10,15 @@ import (
 // ParsePlan parses a compact fault-plan spec of comma-separated
 // fields:
 //
-//	seed=42,disk-read=0.5,corrupt=0.25:2,panic=0.1,slow=0.3:1@5ms
+//	seed=42,disk-read=0.5,corrupt=0.25:2,panic=0.1,slow=0.3:1@5ms,peer=1:99~http://b:1
 //
-// Each fault field is kind=prob[:times][@delay]: prob is the fraction
-// of sites selected (0..1], times the per-site firing budget (default
-// 1), and @delay the artificial latency for slow faults. An empty
-// spec parses to the zero Plan (nothing injected).
+// Each fault field is kind=prob[:times][@delay][~match]: prob is the
+// fraction of sites selected (0..1], times the per-site firing budget
+// (default 1), @delay the artificial latency for slow faults, and
+// ~match a site-substring filter — the rule fires only at sites
+// containing it (peer-call sites embed the peer URL, so ~match cuts
+// the links to one peer). An empty spec parses to the zero Plan
+// (nothing injected).
 func ParsePlan(spec string) (Plan, error) {
 	p := Plan{Rules: make(map[Kind]Rule)}
 	if strings.TrimSpace(spec) == "" {
@@ -52,9 +55,16 @@ func ParsePlan(spec string) (Plan, error) {
 	return p, nil
 }
 
-// parseRule parses prob[:times][@delay].
+// parseRule parses prob[:times][@delay][~match].
 func parseRule(val string) (Rule, error) {
 	var r Rule
+	if i := strings.IndexByte(val, '~'); i >= 0 {
+		r.Match = val[i+1:]
+		if r.Match == "" {
+			return Rule{}, fmt.Errorf("empty ~match filter")
+		}
+		val = val[:i]
+	}
 	if i := strings.IndexByte(val, '@'); i >= 0 {
 		d, err := time.ParseDuration(val[i+1:])
 		if err != nil || d < 0 {
@@ -95,6 +105,9 @@ func (p Plan) String() string {
 		}
 		if r.Delay > 0 {
 			fmt.Fprintf(&sb, "@%s", r.Delay)
+		}
+		if r.Match != "" {
+			fmt.Fprintf(&sb, "~%s", r.Match)
 		}
 	}
 	return sb.String()

@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"sync"
 
 	"catch/internal/core"
@@ -204,6 +206,46 @@ func (c *Cache) PutDisk(key string, rs []core.Result) {
 		return
 	}
 	c.storeDisk(key, rs)
+}
+
+// Keys manifests every key this cache holds — the union of the memory
+// layer and the on-disk entries — sorted, so two nodes can diff their
+// manifests deterministically during anti-entropy repair. Disk health
+// feeds the breaker exactly as reads do; with the breaker open (or on
+// a listing error) the manifest degrades to the memory layer alone,
+// which only makes repair conservative, never wrong: a key missing
+// from a manifest is re-filled, and fills are idempotent under content
+// addressing.
+func (c *Cache) Keys() []string {
+	seen := make(map[string]bool)
+	c.mu.Lock()
+	for k := range c.mem {
+		seen[k] = true
+	}
+	c.mu.Unlock()
+	if c.dir != "" && c.breaker.Allow() {
+		names, err := c.fs.ReadDir(c.dir)
+		if err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				c.diskErrs.Inc()
+				c.breaker.Failure()
+			}
+		} else {
+			c.breaker.Success()
+			for _, name := range names {
+				key, isEntry := strings.CutSuffix(name, ".json")
+				if isEntry && ValidKey(key) {
+					seen[key] = true
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Do returns the results for key, computing them at most once across

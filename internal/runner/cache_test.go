@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -193,6 +194,47 @@ func TestCorruptDiskEntryIsAMiss(t *testing.T) {
 		if s := c.Stats(); s.Misses != 1 {
 			t.Fatalf("garbage %q: stats = %+v", garbage, s)
 		}
+	}
+}
+
+// TestCacheKeys pins the manifest the cluster's anti-entropy repair
+// diffs: the union of memory and disk entries, sorted, with non-entry
+// files in the cache directory ignored.
+func TestCacheKeys(t *testing.T) {
+	dir := t.TempDir()
+	memKey := STJob(config.BaselineExclusive(), "mcf", 100, 50).Key()
+	diskKey := STJob(config.BaselineExclusive(), "lbm", 100, 50).Key()
+
+	// One entry written through the cache (mem+disk), one landed on disk
+	// by another process (a replica fill before a restart), plus files a
+	// manifest must never report.
+	c := NewCache(dir)
+	if _, _, err := c.Do(memKey, func() ([]core.Result, error) { return oneResult("m"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(oneResult("d"))
+	for name, body := range map[string]string{
+		diskKey + ".json": string(raw),
+		"README.md":       "not an entry",
+		"UPPER.json":      "bad key",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := []string{memKey, diskKey}
+	sort.Strings(want)
+	got := c.Keys()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Keys() = %v, want sorted %v", got, want)
+	}
+
+	// A memory-only cache still reports its entries.
+	m := NewCache("")
+	m.Do(memKey, func() ([]core.Result, error) { return oneResult("m"), nil })
+	if got := m.Keys(); len(got) != 1 || got[0] != memKey {
+		t.Fatalf("memory-only Keys() = %v", got)
 	}
 }
 

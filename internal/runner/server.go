@@ -71,6 +71,11 @@ type Server struct {
 	Version string
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// ClusterInfo, when non-nil, contributes a one-line cluster summary
+	// to /healthz (member disposition, under-replicated backlog). The
+	// cluster layer sets it; single-node servers leave it nil and the
+	// field stays absent from the body.
+	ClusterInfo func() string
 
 	sem      chan struct{}
 	start    time.Time
@@ -501,6 +506,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body["sampleFallbacks"] = s.Engine.SampleFallbacks()
 		body["sampleProfiles"] = p.Stats()
 		body["sampleSnapshots"] = p.Snapshots().Stats()
+	}
+	if s.ClusterInfo != nil {
+		body["cluster"] = s.ClusterInfo()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

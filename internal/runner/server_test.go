@@ -73,6 +73,39 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestHealthzClusterLine pins the operator's first grep during an
+// incident: when the server is part of a cluster, /healthz carries a
+// one-line membership summary; a standalone server omits the field.
+func TestHealthzClusterLine(t *testing.T) {
+	e := New(Options{Workers: 1, Cache: NewCache("")})
+	s := &Server{Engine: e, Resolve: testResolve,
+		ClusterInfo: func() string { return "replicas=2 live=2 suspect=0 down=1 hints=3 unreplicated=3" }}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(url string) map[string]any {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	if got := get(ts.URL)["cluster"]; got != "replicas=2 live=2 suspect=0 down=1 hints=3 unreplicated=3" {
+		t.Fatalf("healthz cluster line = %v", got)
+	}
+
+	solo := newTestServer(New(Options{Workers: 1, Cache: NewCache("")}))
+	defer solo.Close()
+	if _, present := get(solo.URL)["cluster"]; present {
+		t.Fatal("standalone healthz grew a cluster field")
+	}
+}
+
 func TestRunEndpointEndToEnd(t *testing.T) {
 	ts := newTestServer(New(Options{Workers: 2, Cache: NewCache("")}))
 	defer ts.Close()
